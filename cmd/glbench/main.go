@@ -1,0 +1,277 @@
+// Command glbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table per quantitative claim in the paper's §5, §9
+// and §10. Each table compares the system's mechanism against the baseline
+// the paper argues it beats.
+//
+// Usage:
+//
+//	glbench [-e E1,E5,...] [-reps n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"gluenail"
+	"gluenail/internal/bench"
+	"gluenail/internal/storage"
+)
+
+var reps = flag.Int("reps", 3, "repetitions per measurement (best is reported)")
+
+func main() {
+	sel := flag.String("e", "", "comma-separated experiments to run (default all)")
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*sel, ",") {
+		if e != "" {
+			want[strings.ToUpper(e)] = true
+		}
+	}
+	all := []struct {
+		id string
+		fn func()
+	}{
+		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
+		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"F1", f1},
+		{"A1", a1},
+	}
+	ran := 0
+	for _, exp := range all {
+		if len(want) > 0 && !want[exp.id] {
+			continue
+		}
+		exp.fn()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E9,F1")
+		os.Exit(1)
+	}
+}
+
+// best times f over reps runs and returns the fastest.
+func best(f func()) time.Duration {
+	bestD := time.Duration(1<<62 - 1)
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+func table(title, claim string, header []string, rows [][]string) {
+	fmt.Printf("== %s\n", title)
+	fmt.Printf("   paper: %s\n", claim)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  "+strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, "  "+strings.Join(r, "\t"))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+func ratio(a, b time.Duration) string {
+	if a == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(b)/float64(a))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glbench:", err)
+		os.Exit(1)
+	}
+}
+
+func e1() {
+	var rows [][]string
+	for _, n := range []int{10, 50, 100, 500, 1000, 2000} {
+		src := bench.SyntheticProgram(n)
+		d := best(func() { check(bench.CompileSource(src)) })
+		rate := float64(n) / d.Seconds()
+		rows = append(rows, []string{
+			fmt.Sprint(n), ms(d), fmt.Sprintf("%.0f", rate),
+		})
+	}
+	table("E1: compiler throughput (lex+parse+link+plan)",
+		`"compiles about two statements per Mips-second" — expect throughput ~flat in program size`,
+		[]string{"statements", "compile ms", "stmts/sec"}, rows)
+}
+
+func e2() {
+	var rows [][]string
+	for _, n := range []int{1000, 5000, 20000} {
+		pipe := bench.NewJoinSystem(n, 4)
+		mat := bench.NewJoinSystem(n, 4, gluenail.WithMaterializedExecution())
+		dp := best(func() { check(bench.RunJoin(pipe)) })
+		dm := best(func() { check(bench.RunJoin(mat)) })
+		rows = append(rows, []string{
+			fmt.Sprint(n), ms(dp), ms(dm), ratio(dp, dm),
+			fmt.Sprint(pipe.Stats().Exec.TuplesMaterialized / int64(*reps)),
+			fmt.Sprint(mat.Stats().Exec.TuplesMaterialized / int64(*reps)),
+		})
+	}
+	table("E2: pipelined vs fully materialized execution (3-way join)",
+		`materializing the supplementary relation "costs an extra load and store for each tuple" (§9)`,
+		[]string{"rows/rel", "pipelined ms", "materialized ms", "mat/pipe",
+			"tuples stored (pipe)", "tuples stored (mat)"}, rows)
+}
+
+func e3() {
+	var rows [][]string
+	for _, dup := range []int{1, 2, 4, 16} {
+		with := bench.NewDupSystem(4000/dup, dup)
+		without := bench.NewDupSystem(4000/dup, dup, gluenail.WithoutDupElimination())
+		dw := best(func() { check(bench.RunDup(with)) })
+		dn := best(func() { check(bench.RunDup(without)) })
+		rows = append(rows, []string{
+			fmt.Sprint(dup), ms(dw), ms(dn), ratio(dw, dn),
+		})
+	}
+	table("E3: duplicate elimination at pipeline breaks",
+		`"removing duplicates early has always been advantageous ... in the worst case [no duplicates] a loss" (§9)`,
+		[]string{"dup factor", "dedup ms", "no-dedup ms", "no-dedup/dedup"}, rows)
+}
+
+func e4() {
+	var rows [][]string
+	const nRows, keys = 50000, 500
+	for _, q := range []int{1, 2, 4, 16, 64, 256} {
+		a := bench.RunSelections(storage.IndexAdaptive, nRows, keys, q)
+		n := bench.RunSelections(storage.IndexNever, nRows, keys, q)
+		al := bench.RunSelections(storage.IndexAlways, nRows, keys, q)
+		rows = append(rows, []string{
+			fmt.Sprint(q),
+			fmt.Sprint(a.RowsScanned), fmt.Sprint(a.IndexBuilds),
+			fmt.Sprint(n.RowsScanned),
+			fmt.Sprint(al.RowsScanned), fmt.Sprint(al.IndexBuilds),
+		})
+	}
+	table("E4: adaptive run-time index creation (50k rows, repeated selections)",
+		`build an index "after the cumulative cost of selection by scanning reaches the cost of creating the index" (§10)`,
+		[]string{"queries", "adaptive rows scanned", "adaptive builds",
+			"never-index rows scanned", "always-index rows scanned", "always builds"}, rows)
+}
+
+func e5() {
+	var rows [][]string
+	for _, n := range []int{32, 64, 128} {
+		semi := bench.NewTCSystem(bench.ChainEdges(n))
+		naive := bench.NewTCSystem(bench.ChainEdges(n), gluenail.WithNaiveEvaluation())
+		ds := best(func() { _, err := semi.Query("tc(X,Y)"); check(err) })
+		dn := best(func() { _, err := naive.Query("tc(X,Y)"); check(err) })
+		rows = append(rows, []string{
+			fmt.Sprint(n), ms(ds), ms(dn), ratio(ds, dn),
+		})
+	}
+	table("E5: semi-naive (uniondiff) vs naive recursion (full closure of a chain)",
+		`the back end implements uniondiff "to support compiled recursive NAIL! queries" (§10)`,
+		[]string{"chain length", "semi-naive ms", "naive ms", "naive/semi"}, rows)
+}
+
+func e6() {
+	var rows [][]string
+	for _, sets := range []int{8, 64, 256} {
+		narrowed := bench.NewDispatchSystem(sets, 4, 400)
+		runtime := bench.NewDispatchSystem(sets, 4, 400, gluenail.WithoutDispatchNarrowing())
+		dn := best(func() { check(bench.RunDispatch(narrowed)) })
+		dr := best(func() { check(bench.RunDispatch(runtime)) })
+		rows = append(rows, []string{
+			fmt.Sprint(sets), ms(dn), ms(dr), ratio(dn, dr),
+		})
+	}
+	table("E6: HiLog predicate-variable dispatch (400 unrelated relations in store)",
+		`"much of the predicate selection analysis can be done at compile time" (§5); naive systems check every class at run time (§9)`,
+		[]string{"sets", "narrowed ms", "runtime-deref ms", "runtime/narrowed"}, rows)
+}
+
+func e7() {
+	sys1 := bench.NewSetEqSystem(64, 100)
+	sys2 := bench.NewSetEqSystem(64, 100)
+	dn := best(func() { check(bench.RunSetEqByName(sys1)) })
+	dm := best(func() { check(bench.RunSetEqByMembers(sys2)) })
+	table("E7: set equality, name matching vs extensional comparison (64 pairs of 100-element sets)",
+		`"much of the time a simple string-string matching suffices to determine equality" (§5.1)`,
+		[]string{"by-name ms", "set_eq ms", "set_eq/by-name"},
+		[][]string{{ms(dn), ms(dm), ratio(dn, dm)}})
+}
+
+func e8() {
+	var rows [][]string
+	for _, calls := range []int{10, 50} {
+		mem := bench.NewTemporariesSystem(40)
+		lay := bench.NewTemporariesSystem(40, gluenail.WithLayeredBackend())
+		dm := best(func() { check(bench.RunTemporaries(mem, calls)) })
+		dl := best(func() { check(bench.RunTemporaries(lay, calls)) })
+		st := lay.Stats().Scratch
+		rows = append(rows, []string{
+			fmt.Sprint(calls), ms(dm), ms(dl), ratio(dm, dl),
+			fmt.Sprint(st.LogBytes), fmt.Sprint(st.LatchAcquires),
+		})
+	}
+	table("E8: tailored main-memory back end vs DBMS-layered back end (tc_e temporaries)",
+		`building on a relational DBMS is "a mistake ... the system wastes much of its time" protecting short-lived temporaries (§10)`,
+		[]string{"proc calls", "tailored ms", "layered ms", "layered/tailored",
+			"log bytes", "latch acquires"}, rows)
+}
+
+func e9() {
+	var rows [][]string
+	for _, n := range []int{200, 400, 800} {
+		magic := bench.NewTCSystem(bench.RandomEdges(n, n, 7))
+		full := bench.NewTCSystem(bench.RandomEdges(n, n, 7), gluenail.WithoutMagicSets())
+		dm := best(func() { _, err := magic.Query("tc(1, X)"); check(err) })
+		df := best(func() { _, err := full.Query("tc(1, X)"); check(err) })
+		rows = append(rows, []string{
+			fmt.Sprint(n), ms(dm), ms(df), ratio(dm, df),
+		})
+	}
+	table("E9: magic sets for bound queries (tc(1,X) on sparse random graphs)",
+		`bound calls evaluate only the relevant subset (magic templates, §8.2; set-at-a-time calls, §4)`,
+		[]string{"nodes", "magic ms", "full+filter ms", "full/magic"}, rows)
+}
+
+func a1() {
+	var rows [][]string
+	for _, n := range []int{500, 1000} {
+		ordered := bench.NewReorderSystem(n)
+		source := bench.NewReorderSystem(n, gluenail.WithoutReordering())
+		do := best(func() { check(bench.RunReorder(ordered)) })
+		ds := best(func() { check(bench.RunReorder(source)) })
+		rows = append(rows, []string{fmt.Sprint(n), ms(do), ms(ds), ratio(do, ds)})
+	}
+	table("A1 (ablation): non-fixed subgoal reordering",
+		`"A Glue system is free to reorder the non-fixed subgoals" (§3.1): a selective constant-argument lookup moves ahead of an unselective scan`,
+		[]string{"rows", "reordered ms", "source-order ms", "source/reordered"}, rows)
+}
+
+func f1() {
+	var rows [][]string
+	for _, n := range []int{1000, 10000} {
+		r := bench.NewCadRun(n)
+		var key string
+		d := best(func() {
+			var err error
+			key, err = r.Select()
+			check(err)
+		})
+		rows = append(rows, []string{fmt.Sprint(n), ms(d), key})
+	}
+	table("F1: Figure 1 micro-CAD select (scripted reject-then-accept interaction)",
+		"the paper's complete worked example runs as written",
+		[]string{"elements", "select ms", "chosen"}, rows)
+}

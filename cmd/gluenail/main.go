@@ -1,0 +1,227 @@
+// Command gluenail runs Glue-Nail programs: it loads one or more source
+// files, optionally restores a persisted EDB, then calls a procedure,
+// answers a one-shot query, or starts an interactive query loop.
+//
+// Usage:
+//
+//	gluenail [flags] file.glue...
+//
+//	-edb file     load this EDB image before running, save it after
+//	-call m.proc  call an exported 0-bound procedure and print its results
+//	-q goals      evaluate one query conjunction and print the answers
+//	-i            interactive query loop on stdin (default when no -call/-q)
+//	-module m     module scope for queries (default "main")
+//	-naive        use naive instead of semi-naive evaluation
+//	-no-magic     disable magic-set rewriting
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gluenail"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gluenail:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		edbPath     = flag.String("edb", "", "EDB image to load before and save after the run")
+		call        = flag.String("call", "", "procedure to call, as module.proc")
+		query       = flag.String("q", "", "query conjunction to evaluate")
+		interactive = flag.Bool("i", false, "interactive query loop")
+		module      = flag.String("module", "main", "module scope for queries")
+		naive       = flag.Bool("naive", false, "naive instead of semi-naive evaluation")
+		noMagic     = flag.Bool("no-magic", false, "disable magic-set rewriting")
+		explain     = flag.String("plan", "", "print the compiled plan of module.proc (or 'all') and exit")
+		trace       = flag.Bool("trace", false, "trace statement execution to stderr")
+		stats       = flag.Bool("stats", false, "print executor statistics after the run")
+	)
+	var loadCSVs, saveCSVs []string
+	flag.Func("load-csv", "load rel=file.csv into the EDB (repeatable)", func(v string) error {
+		loadCSVs = append(loadCSVs, v)
+		return nil
+	})
+	flag.Func("save-csv", "save rel/arity=file.csv after the run (repeatable)", func(v string) error {
+		saveCSVs = append(saveCSVs, v)
+		return nil
+	})
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("no source files; usage: gluenail [flags] file.glue...")
+	}
+	var opts []gluenail.Option
+	opts = append(opts, gluenail.WithOutput(os.Stdout), gluenail.WithInput(os.Stdin))
+	if *trace {
+		opts = append(opts, gluenail.WithTrace(os.Stderr))
+	}
+	if *naive {
+		opts = append(opts, gluenail.WithNaiveEvaluation())
+	}
+	if *noMagic {
+		opts = append(opts, gluenail.WithoutMagicSets())
+	}
+	sys := gluenail.New(opts...)
+	for _, path := range flag.Args() {
+		if err := sys.LoadFile(path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if *edbPath != "" {
+		if _, err := os.Stat(*edbPath); err == nil {
+			if err := sys.LoadEDB(*edbPath); err != nil {
+				return err
+			}
+		}
+	}
+	for _, spec := range loadCSVs {
+		rel, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-load-csv wants rel=file.csv, got %q", spec)
+		}
+		if err := sys.LoadCSVFile(rel, path); err != nil {
+			return err
+		}
+	}
+	if *explain != "" {
+		if *explain == "all" {
+			ids, err := sys.Procs()
+			if err != nil {
+				return err
+			}
+			for _, id := range ids {
+				mod, proc, _ := strings.Cut(id, ".")
+				text, err := sys.ExplainProc(mod, proc)
+				if err != nil {
+					return err
+				}
+				fmt.Print(text)
+			}
+			return nil
+		}
+		mod, proc, ok := strings.Cut(*explain, ".")
+		if !ok {
+			mod, proc = "main", *explain
+		}
+		text, err := sys.ExplainProc(mod, proc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+	switch {
+	case *call != "":
+		mod, proc, ok := strings.Cut(*call, ".")
+		if !ok {
+			mod, proc = "main", *call
+		}
+		rows, err := sys.Call(mod, proc)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+	case *query != "":
+		if err := answer(sys, *module, *query); err != nil {
+			return err
+		}
+	default:
+		*interactive = true
+	}
+	if *interactive {
+		if err := repl(sys, *module); err != nil {
+			return err
+		}
+	}
+	if *edbPath != "" {
+		if err := sys.SaveEDB(*edbPath); err != nil {
+			return err
+		}
+	}
+	for _, spec := range saveCSVs {
+		relArity, path, ok := strings.Cut(spec, "=")
+		rel, arityText, ok2 := strings.Cut(relArity, "/")
+		if !ok || !ok2 {
+			return fmt.Errorf("-save-csv wants rel/arity=file.csv, got %q", spec)
+		}
+		arity, err := strconv.Atoi(arityText)
+		if err != nil {
+			return fmt.Errorf("-save-csv arity: %w", err)
+		}
+		if err := sys.SaveCSVFile(rel, arity, path); err != nil {
+			return err
+		}
+	}
+	if *stats {
+		st := sys.Stats()
+		fmt.Fprintf(os.Stderr,
+			"stats: %d stmts, %d loop iterations, %d pipeline breaks, %d tuples stored, %d deduped, %d proc calls\n",
+			st.Exec.StmtsExecuted, st.Exec.LoopIterations, st.Exec.PipelineBreaks,
+			st.Exec.TuplesMaterialized, st.Exec.RowsDeduped, st.Exec.ProcCalls)
+		fmt.Fprintf(os.Stderr,
+			"stats: EDB %d inserts, %d deletes, %d rows scanned, %d index builds; scratch %d relations created\n",
+			st.EDB.Inserts, st.EDB.Deletes, st.EDB.RowsScanned, st.EDB.IndexBuilds,
+			st.Scratch.RelsCreated)
+	}
+	return nil
+}
+
+func answer(sys *gluenail.System, module, goals string) error {
+	res, err := sys.QueryIn(module, goals)
+	if err != nil {
+		return err
+	}
+	if len(res.Vars) == 0 {
+		if len(res.Rows) > 0 {
+			fmt.Println("true")
+		} else {
+			fmt.Println("false")
+		}
+		return nil
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	printRows(res.Rows)
+	fmt.Printf("(%d answers)\n", len(res.Rows))
+	return nil
+}
+
+func printRows(rows [][]gluenail.Value) {
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}
+
+func repl(sys *gluenail.System, module string) error {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("Glue-Nail interactive query loop; enter goal conjunctions, or 'quit'.")
+	for {
+		fmt.Print("?- ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := answer(sys, module, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command nailc shows the NAIL!-to-Glue compilation described in the paper:
+// given source files, a NAIL! predicate, and a binding pattern, it prints
+// the Glue procedure the system generates for that call — the semi-naive
+// loops, delta relations, and (for bound patterns) magic-set seeding.
+//
+// Usage:
+//
+//	nailc [-module m] [-adorn bf] [-naive] [-no-magic] pred file.glue...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/modsys"
+	"gluenail/internal/nail"
+	"gluenail/internal/parser"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nailc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		module  = flag.String("module", "main", "module defining the predicate")
+		adorn   = flag.String("adorn", "", "binding pattern, e.g. bf (default all-free)")
+		naive   = flag.Bool("naive", false, "naive instead of semi-naive evaluation")
+		noMagic = flag.Bool("no-magic", false, "disable magic-set rewriting")
+	)
+	flag.Parse()
+	if flag.NArg() < 2 {
+		return fmt.Errorf("usage: nailc [flags] pred file.glue...")
+	}
+	pred := flag.Arg(0)
+	var srcs []string
+	for _, path := range flag.Args()[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, string(data))
+	}
+	prog, err := parser.Parse(strings.Join(srcs, "\n"))
+	if err != nil {
+		return err
+	}
+	for _, m := range prog.Modules {
+		modsys.ExtractEDBFacts(m) // facts are data, not rules
+	}
+	lp, err := modsys.Link(prog)
+	if err != nil {
+		return err
+	}
+	sym := lp.Resolve(*module, pred)
+	if sym == nil {
+		return fmt.Errorf("no predicate %s in module %s", pred, *module)
+	}
+	if sym.Class != modsys.ClassNail {
+		return fmt.Errorf("%s is a %s, not a NAIL! predicate", pred, sym.Class)
+	}
+	arity := sym.NameArity + sym.Free
+	a := *adorn
+	if a == "" {
+		a = strings.Repeat("f", arity)
+	}
+	if len(a) != arity {
+		return fmt.Errorf("adornment %q has length %d, predicate arity is %d", a, len(a), arity)
+	}
+	proc, err := nail.Generate(lp, sym, a, nail.Options{
+		Magic:     !*noMagic,
+		SemiNaive: !*naive,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%% Glue procedure generated for %s.%s with binding pattern %q\n", *module, pred, a)
+	fmt.Print(ast.FormatProc(proc))
+	return nil
+}

@@ -1,0 +1,134 @@
+package gluenail
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+// CSV interchange for EDB relations: a pragmatic addition to §10's disk
+// persistence, so data can come from and go to other tools. Fields are
+// typed by content: integers, then floats, then strings; a field wrapped
+// in single quotes is always a string ('42' loads as the string "42").
+
+// LoadCSV reads CSV records from r into the named relation, creating it on
+// first use. Every record must have the same width.
+func (s *System) LoadCSV(relation string, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var rel storage.Rel
+	arity := -1
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("gluenail: csv %s record %d: %w", relation, n+1, err)
+		}
+		n++
+		if arity == -1 {
+			arity = len(rec)
+			rel = s.edb.Ensure(term.NewString(relation), arity)
+		}
+		if len(rec) != arity {
+			return fmt.Errorf("gluenail: csv %s record %d has %d fields, want %d",
+				relation, n, len(rec), arity)
+		}
+		tup := make(term.Tuple, arity)
+		for i, f := range rec {
+			tup[i] = csvValue(f)
+		}
+		rel.Insert(tup)
+	}
+}
+
+// LoadCSVFile reads a CSV file into the named relation.
+func (s *System) LoadCSVFile(relation, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadCSV(relation, f)
+}
+
+// csvValue types a CSV field: int, float, else string. Single quotes force
+// a string and are stripped.
+func csvValue(f string) term.Value {
+	if len(f) >= 2 && f[0] == '\'' && f[len(f)-1] == '\'' {
+		return term.NewString(f[1 : len(f)-1])
+	}
+	if i, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return term.NewInt(i)
+	}
+	if x, err := strconv.ParseFloat(f, 64); err == nil {
+		return term.NewFloat(x)
+	}
+	return term.NewString(f)
+}
+
+// SaveCSV writes the named relation's tuples to w as CSV, sorted, one field
+// per column. Compound values render in source syntax; strings that would
+// re-load as numbers are single-quoted so a round trip preserves types.
+func (s *System) SaveCSV(relation string, arity int, w io.Writer) error {
+	rel, ok := s.edb.Get(term.NewString(relation), arity)
+	if !ok {
+		return fmt.Errorf("gluenail: no relation %s/%d", relation, arity)
+	}
+	cw := csv.NewWriter(w)
+	for _, t := range storage.Sorted(rel) {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = csvField(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSVFile writes the relation to a CSV file.
+func (s *System) SaveCSVFile(relation string, arity int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveCSV(relation, arity, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func csvField(v Value) string {
+	switch v.Kind() {
+	case term.Int:
+		return strconv.FormatInt(v.Int(), 10)
+	case term.Float:
+		s := strconv.FormatFloat(v.Float(), 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep integral floats loading back as floats
+		}
+		return s
+	case term.Str:
+		s := v.Str()
+		// Quote strings that would re-load as numbers (or as quoted
+		// strings) to keep the round trip type-faithful.
+		if _, err := strconv.ParseFloat(s, 64); err == nil ||
+			(len(s) >= 2 && strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'")) {
+			return "'" + s + "'"
+		}
+		return s
+	}
+	return v.String()
+}

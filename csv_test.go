@@ -1,0 +1,184 @@
+package gluenail
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadCSVTyping(t *testing.T) {
+	sys := New()
+	sys.Load(`edb reading(Station, Temp, Note);`)
+	err := sys.LoadCSV("reading", strings.NewReader(
+		"oslo,-3,cold\nmadang,36.5,humid\n'42',7,'7'\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("reading", 3)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Typed fields: int, float, forced strings.
+	res, err := sys.Query("reading(oslo, T, _)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != -3 {
+		t.Errorf("oslo temp = %v", res.Rows[0][0])
+	}
+	res, _ = sys.Query("reading(madang, T, _)")
+	if res.Rows[0][0].Float() != 36.5 {
+		t.Errorf("madang temp = %v", res.Rows[0][0])
+	}
+	// '42' loaded as the STRING "42", and '7' as the string "7".
+	res, _ = sys.Query(`reading('42', N, S)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 7 || res.Rows[0][1].Str() != "7" {
+		t.Errorf("quoted-string row = %v", res.Rows)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	sys := New()
+	sys.Load(`edb data(A, B, C);`)
+	sys.Assert("data",
+		[]any{1, "plain", 2.5},
+		[]any{2, "123", -1.0},  // a string of digits must survive as a string
+		[]any{3, "it,s", 0.25}, // comma inside a field
+	)
+	var buf bytes.Buffer
+	if err := sys.SaveCSV("data", 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := New()
+	sys2.Load(`edb data(A, B, C);`)
+	if err := sys2.LoadCSV("data", bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sys.Relation("data", 3)
+	b, _ := sys2.Relation("data", 3)
+	if len(a) != len(b) {
+		t.Fatalf("round trip: %d vs %d rows\ncsv:\n%s", len(a), len(b), buf.String())
+	}
+	for i := range a {
+		for j := range a[i] {
+			if !a[i][j].Equal(b[i][j]) {
+				t.Errorf("row %d col %d: %v vs %v (kind %v vs %v)\ncsv:\n%s",
+					i, j, a[i][j], b[i][j], a[i][j].Kind(), b[i][j].Kind(), buf.String())
+			}
+		}
+	}
+}
+
+func TestCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.csv")
+	sys := New()
+	sys.Load(`edb edge(X,Y);`)
+	sys.Assert("edge", []any{1, 2}, []any{2, 3})
+	if err := sys.SaveCSVFile("edge", 2, path); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := New()
+	sys2.Load(`
+edb edge(X,Y);
+tc(X,Y) :- edge(X,Y).
+tc(X,Z) :- tc(X,Y) & edge(Y,Z).
+`)
+	if err := sys2.LoadCSVFile("edge", path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys2.Query("tc(1, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("tc over CSV-loaded edges = %v", res.Rows)
+	}
+	if err := sys2.LoadCSVFile("edge", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	sys := New()
+	if err := sys.LoadCSV("r", strings.NewReader("a,b\nc\n")); err == nil {
+		t.Error("ragged records should fail")
+	}
+	if err := sys.SaveCSV("absent", 2, &bytes.Buffer{}); err == nil {
+		t.Error("saving a missing relation should fail")
+	}
+}
+
+func TestQuickCSVRoundTripValues(t *testing.T) {
+	// Property: any tuple of ints/floats/strings survives a CSV round trip
+	// with kinds intact.
+	prop := func(i int64, f float64, s string) bool {
+		if strings.ContainsAny(s, "\r\n") {
+			return true // csv quoting of newlines is reader-config territory
+		}
+		sys := New()
+		sys.Load(`edb t(A,B,C);`)
+		if err := sys.Assert("t", []any{i, f, s}); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := sys.SaveCSV("t", 3, &buf); err != nil {
+			return false
+		}
+		sys2 := New()
+		sys2.Load(`edb t(A,B,C);`)
+		if err := sys2.LoadCSV("t", bytes.NewReader(buf.Bytes())); err != nil {
+			return false
+		}
+		rows, _ := sys2.Relation("t", 3)
+		if len(rows) != 1 {
+			return false
+		}
+		return rows[0][0].Equal(Int(i)) && rows[0][1].Equal(Float(f)) &&
+			rows[0][2].Equal(Str(s))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	var trace bytes.Buffer
+	sys := New(WithTrace(&trace))
+	sys.Load(`
+edb e(X,Y);
+tc(X,Y) :- e(X,Y).
+tc(X,Z) :- tc(X,Y) & e(Y,Z).
+`)
+	sys.Assert("e", []any{1, 2})
+	if _, err := sys.Query("tc(1, X)"); err != nil {
+		t.Fatal(err)
+	}
+	out := trace.String()
+	for _, want := range []string{"call main.tc@bf", "row(s)", "return from"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAssertArityValidation(t *testing.T) {
+	sys := New()
+	sys.Load(`edb edge(X,Y);`)
+	// Before compilation, arity is unchecked (declaration not yet linked).
+	if err := sys.Assert("edge", []any{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query("edge(X,Y)"); err != nil {
+		t.Fatal(err)
+	}
+	// After compilation the declared arity is enforced.
+	if err := sys.Assert("edge", []any{1, 2, 3}); err == nil {
+		t.Error("arity mismatch after compile should fail")
+	}
+	if err := sys.Assert("edge", []any{3, 4}); err != nil {
+		t.Errorf("correct arity should pass: %v", err)
+	}
+}

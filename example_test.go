@@ -1,0 +1,140 @@
+package gluenail_test
+
+import (
+	"fmt"
+	"log"
+
+	"gluenail"
+)
+
+// The canonical use: declare an EDB relation, define rules, assert facts,
+// query with a bound argument (compiled via magic sets).
+func Example() {
+	sys := gluenail.New()
+	err := sys.Load(`
+edb edge(X,Y);
+tc(X,Y) :- edge(X,Y).
+tc(X,Z) :- tc(X,Y) & edge(Y,Z).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Assert("edge", []any{1, 2}, []any{2, 3})
+	res, err := sys.Query("tc(1, X)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// 2
+	// 3
+}
+
+// Glue procedures are called set-at-a-time: one call covers all the input
+// bindings (§4 of the paper).
+func ExampleSystem_Call() {
+	sys := gluenail.New()
+	err := sys.Load(`
+edb e(X,Y);
+procedure tc_e (X:Y)
+rels connected(X,Y);
+  connected(X,Y):= in(X) & e(X,Y).
+  repeat
+    connected(X,Y)+= connected(X,Z) & e(Z,Y).
+  until unchanged( connected(_,_));
+  return(X:Y):= connected(X,Y).
+end
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Assert("e", []any{1, 2}, []any{2, 3}, []any{7, 8})
+	rows, err := sys.Call("main", "tc_e", []any{1}, []any{7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%v -> %v\n", r[0], r[1])
+	}
+	// Output:
+	// 1 -> 2
+	// 1 -> 3
+	// 7 -> 8
+}
+
+// HiLog set-valued attributes: predicate names are values, and S(X)
+// enumerates the named set (§5 of the paper).
+func ExampleSystem_Query_hilog() {
+	sys := gluenail.New()
+	err := sys.Load(`
+edb attends(N, ID);
+students(ID)(N) :- attends(N, ID).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Assert("attends", []any{"wilson", "cs99"}, []any{"green", "cs99"})
+	res, err := sys.Query("students(cs99)(N)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// green
+	// wilson
+}
+
+// Foreign procedures make Go functions usable as Glue subgoals — the
+// foreign-language interface of §10.
+func ExampleSystem_Register() {
+	sys := gluenail.New()
+	err := sys.Register("square", 1, 1, false,
+		func(in [][]gluenail.Value) ([][]gluenail.Value, error) {
+			var out [][]gluenail.Value
+			for _, row := range in {
+				n := row[0].Int()
+				out = append(out, []gluenail.Value{row[0], gluenail.Int(n * n)})
+			}
+			return out, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Load(`edb n(X);`)
+	sys.Assert("n", []any{3}, []any{4})
+	res, err := sys.Query("n(X) & square(X, Y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%v^2 = %v\n", row[0], row[1])
+	}
+	// Output:
+	// 3^2 = 9
+	// 4^2 = 16
+}
+
+// Aggregation with grouping (§3.3.1).
+func ExampleSystem_Query_aggregation() {
+	sys := gluenail.New()
+	sys.Load(`
+edb grade(Course, Student, G);
+avg(C, A) :- grade(C, S, G) & group_by(C) & A = mean(G).
+`)
+	sys.Assert("grade",
+		[]any{"db", "ann", 80}, []any{"db", "bob", 90}, []any{"os", "cy", 70})
+	res, err := sys.Query("avg(C, A)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%v: %v\n", row[0], row[1])
+	}
+	// Output:
+	// db: 85.0
+	// os: 70.0
+}

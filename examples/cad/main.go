@@ -1,0 +1,122 @@
+// The micro-CAD example of Figure 1 in the paper: the select procedure
+// presents graphical elements near a mouse click to the user, one at a
+// time in order of increasing distance, until one is confirmed.
+//
+// The windowing system the paper imports (event, highlight, dehighlight)
+// is supplied here as foreign Go procedures with a scripted event queue,
+// exercising the same fixed-subgoal code paths without a display.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gluenail"
+)
+
+// The module follows Figure 1, with the paper's typos repaired: the
+// distance is bound explicitly in graphic_search, select's return matches
+// its 0:1 signature, and the emptiness test names possible at its real
+// arity.
+const cadModule = `
+module example;
+export select(:Key);
+edb element(Key, Origin, P1, P2, DS), tolerance(T);
+
+proc select(:Key)
+rels possible(Key, D), try(Key), confirmed(Key);
+  possible( Key, D ):=
+        event( mouse, p(X,Y) ) &
+        graphic_search( p(X,Y), Key, D ).
+  repeat
+    try(Key):=
+      possible( Key, D ) &
+      D = min(D) &
+      It = arbitrary(Key) &
+      Key = It &
+      --possible( It, D ).
+    confirmed(K):=
+      try(K) &
+      highlight(K) &
+      write( 'This one?' ) &
+      event( keyboard, KeyBuffer ) &
+      dehighlight( K ) &
+      KeyBuffer = 'y'.
+  until {confirmed(K) | empty(possible(_,_)) };
+  return(:Key):= confirmed( Key ).
+end
+
+graphic_search( p(X,Y), Key, Dist ):-
+  element( Key, _, p(Xmin, Ymin), _, _ ) &
+  tolerance( T ) &
+  Dist = (X-Xmin)*(X-Xmin) + (Y-Ymin)*(Y-Ymin) &
+  Dist < T.
+end
+`
+
+// event is a scripted queue standing in for the windowing system.
+type eventQueue struct {
+	events [][2]gluenail.Value
+}
+
+func (q *eventQueue) next(in [][]gluenail.Value) ([][]gluenail.Value, error) {
+	if len(in) == 0 || len(q.events) == 0 {
+		return nil, nil
+	}
+	e := q.events[0]
+	q.events = q.events[1:]
+	return [][]gluenail.Value{{e[0], e[1]}}, nil
+}
+
+func main() {
+	queue := &eventQueue{events: [][2]gluenail.Value{
+		// The user clicks at (12, 9)...
+		{gluenail.Str("mouse"), gluenail.Compound("p", gluenail.Int(12), gluenail.Int(9))},
+		// ...rejects the nearest element, then accepts the next.
+		{gluenail.Str("keyboard"), gluenail.Str("n")},
+		{gluenail.Str("keyboard"), gluenail.Str("y")},
+	}}
+	sys := gluenail.New(gluenail.WithOutput(os.Stdout))
+	must(sys.Register("event", 0, 2, true, queue.next))
+	must(sys.Register("highlight", 1, 0, true, func(in [][]gluenail.Value) ([][]gluenail.Value, error) {
+		for _, row := range in {
+			fmt.Printf("[screen] highlighting %v\n", row[0])
+		}
+		return in, nil
+	}))
+	must(sys.Register("dehighlight", 1, 0, true, func(in [][]gluenail.Value) ([][]gluenail.Value, error) {
+		for _, row := range in {
+			fmt.Printf("[screen] dehighlighting %v\n", row[0])
+		}
+		return in, nil
+	}))
+	must(sys.Load(cadModule))
+
+	// A tiny drawing: elements keyed by name with their minimum corner.
+	p := func(x, y int64) gluenail.Value {
+		return gluenail.Compound("p", gluenail.Int(x), gluenail.Int(y))
+	}
+	must(sys.Assert("element",
+		[]any{"line17", "origin", p(10, 10), p(30, 10), "solid"},
+		[]any{"circle3", "origin", p(13, 11), p(18, 16), "dashed"},
+		[]any{"box9", "origin", p(40, 40), p(60, 60), "solid"},
+	))
+	must(sys.Assert("tolerance", []any{50}))
+
+	rows, err := sys.Call("example", "select")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rows) == 0 {
+		fmt.Println("nothing selected")
+		return
+	}
+	fmt.Printf("selected element: %v\n", rows[0][0])
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

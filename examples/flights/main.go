@@ -1,0 +1,106 @@
+// A flight-network application mixing the two languages the way the paper
+// intends (§1): declarative NAIL! rules for the query-oriented parts
+// (reachability, per-carrier aggregates) and a Glue procedure for an
+// algorithm that wants explicit iteration (breadth-first hop counts).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gluenail"
+)
+
+const flights = `
+edb flight(From, To, Miles, Carrier);
+
+% Declarative reachability; queries with a bound origin compile through
+% magic sets, so only the relevant part of the network is explored.
+reach(X,Y) :- flight(X,Y,_,_).
+reach(X,Z) :- reach(X,Y) & flight(Y,Z,_,_).
+
+% Aggregates with grouping (§3.3.1).
+carrier_longest(C, M) :- flight(_,_,Miles,C) & group_by(C) & M = max(Miles).
+carrier_route_count(C, N) :- flight(_,_,_,C) & group_by(C) & N = count(C).
+
+% Procedural breadth-first search: hop counts from an origin, written in
+% Glue because the frontier iteration is naturally stateful.
+proc hops(Origin : Dest, N)
+rels level(D,N), frontier(D), nextf(D), visited(D);
+  frontier(D) := in(Origin) & flight(Origin, D, _, _).
+  visited(D) := frontier(D).
+  level(D, 1) := frontier(D).
+  repeat
+    nextf(D2) := frontier(D) & flight(D, D2, _, _) & !visited(D2).
+    level(D2, N2) += nextf(D2) & level(_, N) & N = max(N) & N2 = N + 1.
+    frontier(D) := nextf(D).
+    visited(D) += frontier(D).
+  until empty(frontier(_));
+  return(Origin : Dest, N) := level(Dest, N).
+end
+`
+
+func main() {
+	sys := gluenail.New(gluenail.WithOutput(os.Stdout))
+	if err := sys.Load(flights); err != nil {
+		log.Fatal(err)
+	}
+	must(sys.Assert("flight",
+		[]any{"sfo", "lax", 337, "ua"},
+		[]any{"sfo", "ord", 1846, "ua"},
+		[]any{"ord", "jfk", 740, "aa"},
+		[]any{"lax", "jfk", 2475, "aa"},
+		[]any{"jfk", "lhr", 3451, "ba"},
+		[]any{"lhr", "cdg", 214, "ba"},
+		[]any{"syd", "sfo", 7417, "qf"},
+	))
+
+	res, err := sys.Query("reach(sfo, X)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reachable from sfo:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %v\n", r[0])
+	}
+
+	res, err = sys.Query("reach(sfo, X) & N = count(X)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("destinations reachable from sfo: %v\n", res.Rows[0][1])
+
+	res, err = sys.Query("carrier_longest(C, M)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("longest flight per carrier:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %v: %v miles\n", r[0], r[1])
+	}
+
+	res, err = sys.Query("carrier_route_count(C, N)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("routes per carrier:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %v: %v\n", r[0], r[1])
+	}
+
+	rows, err := sys.Call("main", "hops", []any{"sfo"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hop counts from sfo (procedural BFS):")
+	for _, r := range rows {
+		fmt.Printf("  %v: %v hops\n", r[1], r[2])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// The class-information example of §5: set-valued attributes hold
+// predicate names in the HiLog style, so a tuple can carry "the set of
+// students of cs99" as the name students(cs99), and a subgoal S(X)
+// enumerates the set through the name.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gluenail"
+)
+
+const registrar = `
+edb class_instructor(ID, I), class_room(ID, R), class_subject(ID, Subj),
+    failed_exam(Person, Subj), attends(Person, ID);
+
+% Families with compound names (§5): one relation per class.
+students(ID)(Name) :- attends(Name, ID).
+tas(ID)(TA) :-
+  class_subject(ID, Subject) &
+  failed_exam(TA, Subject).
+
+% class_info carries the set NAMES as attributes, not the members.
+class_info(ID, Instructor, Room, tas(ID), students(ID)) :-
+  class_instructor(ID, Instructor) &
+  class_room(ID, Room).
+
+% Enumerate members through predicate variables.
+roster(ID, Student) :- class_info(ID, _, _, _, S) & S(Student).
+staff(ID, TA) :- class_info(ID, _, _, T, _) & T(TA).
+
+% The set_eq procedure of §5.1: extensional comparison when name equality
+% is not enough.
+proc set_eq( S, T: )
+rels different(S,T);
+  different(S,T):= in(S,T) & S(X) & !T(X).
+  different(S,T)+= in(S,T) & T(X) & !S(X).
+  return(S,T:):= !different(S,T).
+end
+`
+
+func main() {
+	sys := gluenail.New(gluenail.WithOutput(os.Stdout))
+	if err := sys.Load(registrar); err != nil {
+		log.Fatal(err)
+	}
+	// The EDB from §5.
+	must(sys.Assert("class_instructor", []any{"cs99", "smith"}, []any{"cs245", "jones"}))
+	must(sys.Assert("class_room", []any{"cs99", "mjh460a"}, []any{"cs245", "gates104"}))
+	must(sys.Assert("class_subject", []any{"cs99", "databases"}, []any{"cs245", "databases"}))
+	must(sys.Assert("failed_exam", []any{"jones", "databases"}))
+	must(sys.Assert("attends",
+		[]any{"wilson", "cs99"}, []any{"green", "cs99"},
+		[]any{"wilson", "cs245"}, []any{"hu", "cs245"}))
+
+	res, err := sys.Query("class_info(cs99, I, R, T, S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := res.Rows[0]
+	fmt.Printf("cs99: instructor=%v room=%v ta_set=%v student_set=%v\n",
+		row[0], row[1], row[2], row[3])
+
+	res, err = sys.Query("roster(cs99, Student)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cs99 roster (via S(Student) dispatch):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %v\n", r[0])
+	}
+
+	res, err = sys.Query("staff(ID, TA)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("teaching assistants:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %v assists %v\n", r[1], r[0])
+	}
+
+	// Name equality vs extensional equality (§5.1): the two classes have
+	// different set NAMES but set_eq compares members.
+	s99 := gluenail.Compound("students", gluenail.Str("cs99"))
+	s245 := gluenail.Compound("students", gluenail.Str("cs245"))
+	eq, err := sys.Call("main", "set_eq", []any{s99, s245})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("students(cs99) == students(cs245) extensionally: %v\n", len(eq) == 1)
+	eq, err = sys.Call("main", "set_eq", []any{s99, s99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("students(cs99) == students(cs99) extensionally: %v\n", len(eq) == 1)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,523 @@
+// Package gluenail is a deductive database system reproducing Phipps, Derr
+// & Ross, "Glue-Nail: A Deductive Database System" (SIGMOD 1991). It
+// couples two tightly knit languages — the declarative NAIL! rule language
+// and the procedural Glue language — over a main-memory relational back
+// end:
+//
+//   - NAIL! rules define IDB predicates, compiled on demand into Glue
+//     procedures (semi-naive evaluation, magic sets for bound calls,
+//     stratified negation);
+//   - Glue procedures perform set-at-a-time computation with assignment
+//     statements, repeat/until loops, aggregation, EDB updates, and I/O;
+//   - HiLog-style higher-order syntax gives both languages set-valued
+//     attributes (predicate names as values) with first-order semantics;
+//   - the back end stores duplicate-free ground relations with adaptive
+//     run-time index creation and disk persistence for the EDB.
+//
+// A System loads modules, answers queries, calls procedures, and asserts
+// EDB facts:
+//
+//	sys := gluenail.New()
+//	sys.Load(`
+//	    edb edge(X,Y);
+//	    tc(X,Y) :- edge(X,Y).
+//	    tc(X,Z) :- tc(X,Y) & edge(Y,Z).
+//	`)
+//	sys.Assert("edge", []any{1, 2}, []any{2, 3})
+//	res, _ := sys.Query("tc(1, X)")
+package gluenail
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/modsys"
+	"gluenail/internal/parser"
+	"gluenail/internal/plan"
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+	"gluenail/internal/vm"
+)
+
+// Value is a ground Glue-Nail term: an integer, float, string/atom, or
+// HiLog compound term.
+type Value = term.Value
+
+// Int builds an integer value.
+func Int(i int64) Value { return term.NewInt(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return term.NewFloat(f) }
+
+// Str builds a string/atom value.
+func Str(s string) Value { return term.NewString(s) }
+
+// Compound builds a compound term with an atom functor, e.g.
+// Compound("students", Str("cs99")) is the set name students(cs99).
+func Compound(functor string, args ...Value) Value {
+	return term.Atom(functor, args...)
+}
+
+// Config captures the tunable behaviours; each corresponds to a design
+// decision in the paper and is exercised by an experiment.
+type config struct {
+	out          io.Writer
+	in           io.Reader
+	trace        io.Writer
+	layered      bool
+	indexPolicy  storage.IndexPolicy
+	materialized bool
+	loopLimit    int
+	planOpts     plan.Options
+}
+
+// Option configures a System.
+type Option func(*config)
+
+// WithOutput directs write/nl output.
+func WithOutput(w io.Writer) Option { return func(c *config) { c.out = w } }
+
+// WithInput supplies read_line input.
+func WithInput(r io.Reader) Option { return func(c *config) { c.in = r } }
+
+// WithLayeredBackend runs every relation — including the short-lived
+// temporaries of procedure frames — on the simulated DBMS-layered store
+// (write-ahead logging, latching, catalog probes): the E8 baseline.
+func WithLayeredBackend() Option { return func(c *config) { c.layered = true } }
+
+// WithIndexPolicy overrides the adaptive index policy (E4 baselines).
+func WithIndexPolicy(p storage.IndexPolicy) Option {
+	return func(c *config) { c.indexPolicy = p }
+}
+
+// WithMaterializedExecution selects the fully materialized execution
+// strategy instead of the pipelined one (E2 baseline).
+func WithMaterializedExecution() Option {
+	return func(c *config) { c.materialized = true }
+}
+
+// WithoutDupElimination disables duplicate elimination at pipeline breaks
+// (E3 baseline).
+func WithoutDupElimination() Option {
+	return func(c *config) { c.planOpts.NoDedup = true }
+}
+
+// WithoutReordering disables non-fixed subgoal reordering.
+func WithoutReordering() Option {
+	return func(c *config) { c.planOpts.NoReorder = true }
+}
+
+// WithoutMagicSets disables magic-set rewriting of bound NAIL! calls (E9
+// baseline).
+func WithoutMagicSets() Option {
+	return func(c *config) { c.planOpts.NoMagic = true }
+}
+
+// WithNaiveEvaluation replaces semi-naive recursion with naive
+// re-derivation (E5 baseline).
+func WithNaiveEvaluation() Option {
+	return func(c *config) { c.planOpts.Naive = true }
+}
+
+// WithoutDispatchNarrowing disables compile-time narrowing of HiLog
+// predicate-variable dispatch (E6 baseline).
+func WithoutDispatchNarrowing() Option {
+	return func(c *config) { c.planOpts.NoNarrow = true }
+}
+
+// WithLoopLimit bounds repeat-loop iterations; 0 means unlimited. The
+// default is 1,000,000.
+func WithLoopLimit(n int) Option { return func(c *config) { c.loopLimit = n } }
+
+// WithTrace streams one line per statement execution and procedure call to
+// w, narrating the supplementary-relation evaluation of §3.2.
+func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
+
+// System is a Glue-Nail database instance: loaded modules, an EDB store,
+// and an executor.
+type System struct {
+	cfg      config
+	registry *vm.Registry
+	edb      storage.Store
+	temp     storage.Store
+	sources  []string
+	compiled bool
+	machine  *vm.Machine
+	compiler *plan.Compiler
+	lp       *modsys.Program
+	// queries caches compiled query procedures by module and goal text;
+	// reset whenever the program is recompiled.
+	queries map[string]compiledQuery
+}
+
+type compiledQuery struct {
+	id   string
+	vars []string
+}
+
+// New creates an empty system.
+func New(opts ...Option) *System {
+	cfg := config{
+		out:         os.Stdout,
+		in:          strings.NewReader(""),
+		indexPolicy: storage.IndexAdaptive,
+		loopLimit:   1_000_000,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	newStore := func() storage.Store {
+		if cfg.layered {
+			return storage.NewLayeredStore(cfg.indexPolicy)
+		}
+		return storage.NewMemStore(cfg.indexPolicy)
+	}
+	return &System{
+		cfg:      cfg,
+		registry: vm.NewRegistry(),
+		edb:      newStore(),
+		temp:     newStore(),
+	}
+}
+
+// Register adds a foreign (Go) procedure callable from Glue as a subgoal:
+// bound/free give the argument split, fixed marks side-effecting
+// procedures whose position in a statement must be preserved. fn receives
+// the distinct input tuples and returns full (bound+free) result tuples.
+// Procedures must be registered before the code referencing them is
+// compiled (i.e., before the first query or call after Load).
+func (s *System) Register(name string, bound, free int, fixed bool,
+	fn func(in [][]Value) ([][]Value, error)) error {
+	err := s.registry.Register(name, plan.BuiltinSig{Bound: bound, Free: free, Fixed: fixed},
+		func(_ *vm.Machine, in []term.Tuple) ([]term.Tuple, error) {
+			rows := make([][]Value, len(in))
+			for i, t := range in {
+				rows[i] = []Value(t)
+			}
+			out, err := fn(rows)
+			if err != nil {
+				return nil, err
+			}
+			res := make([]term.Tuple, len(out))
+			for i, r := range out {
+				res[i] = term.Tuple(r)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return err
+	}
+	s.compiled = false
+	return nil
+}
+
+// Load adds Glue/NAIL! source (one or more modules, or a bare script that
+// becomes the implicit main module). Compilation is deferred to first use.
+func (s *System) Load(src string) error {
+	// Parse eagerly for early syntax errors.
+	if _, err := parser.Parse(src); err != nil {
+		return err
+	}
+	s.sources = append(s.sources, src)
+	s.compiled = false
+	return nil
+}
+
+// LoadFile loads source from a file.
+func (s *System) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return s.Load(string(data))
+}
+
+// ensure links and compiles all loaded sources.
+func (s *System) ensure() error {
+	if s.compiled {
+		return nil
+	}
+	prog := &ast.Program{}
+	var mainMod *ast.Module
+	for _, src := range s.sources {
+		p, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		for _, m := range p.Modules {
+			for _, fact := range modsys.ExtractEDBFacts(m) {
+				s.edb.Ensure(term.NewString(fact.Name), len(fact.Tuple)).Insert(fact.Tuple)
+			}
+			if m.Name == "main" {
+				if mainMod == nil {
+					mainMod = m
+					prog.Modules = append(prog.Modules, m)
+				} else {
+					mainMod.EDB = append(mainMod.EDB, m.EDB...)
+					mainMod.Exports = append(mainMod.Exports, m.Exports...)
+					mainMod.Imports = append(mainMod.Imports, m.Imports...)
+					mainMod.Procs = append(mainMod.Procs, m.Procs...)
+					mainMod.Rules = append(mainMod.Rules, m.Rules...)
+				}
+				continue
+			}
+			prog.Modules = append(prog.Modules, m)
+		}
+	}
+	if len(prog.Modules) == 0 {
+		prog.Modules = append(prog.Modules, &ast.Module{Name: "main"})
+	}
+	lp, err := modsys.LinkWith(prog, modsys.Options{Known: s.registry.Has})
+	if err != nil {
+		return err
+	}
+	opts := s.cfg.planOpts
+	opts.Builtin = s.registry.Sig
+	compiler := plan.NewCompiler(lp, opts)
+	if err := compiler.CompileAll(); err != nil {
+		return err
+	}
+	s.lp = lp
+	s.compiler = compiler
+	s.machine = vm.New(compiler.Program(), s.edb, s.temp, s.registry)
+	s.machine.Out = s.cfg.out
+	s.machine.In = bufio.NewReader(s.cfg.in)
+	s.machine.Materialized = s.cfg.materialized
+	s.machine.LoopLimit = s.cfg.loopLimit
+	s.machine.Trace = s.cfg.trace
+	s.queries = make(map[string]compiledQuery)
+	s.compiled = true
+	return nil
+}
+
+// toValue converts a Go value to a term value.
+func toValue(v any) (Value, error) {
+	switch v := v.(type) {
+	case Value:
+		return v, nil
+	case int:
+		return term.NewInt(int64(v)), nil
+	case int64:
+		return term.NewInt(v), nil
+	case float64:
+		return term.NewFloat(v), nil
+	case string:
+		return term.NewString(v), nil
+	}
+	return Value{}, fmt.Errorf("gluenail: cannot convert %T to a value", v)
+}
+
+func toTuple(row []any) (term.Tuple, error) {
+	t := make(term.Tuple, len(row))
+	for i, v := range row {
+		val, err := toValue(v)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = val
+	}
+	return t, nil
+}
+
+// Assert inserts facts into an EDB relation, creating it on first use. The
+// relation name may be a simple name ("edge") or a Value for HiLog set
+// relations. If the program is already compiled and declares the relation
+// with a different arity, the mismatch is reported instead of silently
+// creating a parallel relation.
+func (s *System) Assert(relation any, rows ...[]any) error {
+	name, err := toValue(relation)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t, err := toTuple(row)
+		if err != nil {
+			return err
+		}
+		if s.lp != nil && name.Kind() == term.Str {
+			if sym := s.lp.Resolve("main", name.Str()); sym != nil &&
+				sym.Class == modsys.ClassEDB && sym.Arity() != len(t) {
+				return fmt.Errorf("gluenail: %s is declared with arity %d, asserted tuple has %d",
+					name.Str(), sym.Arity(), len(t))
+			}
+		}
+		s.edb.Ensure(name, len(t)).Insert(t)
+	}
+	return nil
+}
+
+// Retract removes facts from an EDB relation.
+func (s *System) Retract(relation any, rows ...[]any) error {
+	name, err := toValue(relation)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t, err := toTuple(row)
+		if err != nil {
+			return err
+		}
+		if rel, ok := s.edb.Get(name, len(t)); ok {
+			rel.Delete(t)
+		}
+	}
+	return nil
+}
+
+// Relation returns the current sorted contents of an EDB relation.
+func (s *System) Relation(relation any, arity int) ([][]Value, error) {
+	name, err := toValue(relation)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := s.edb.Get(name, arity)
+	if !ok {
+		return nil, nil
+	}
+	tuples := storage.Sorted(rel)
+	out := make([][]Value, len(tuples))
+	for i, t := range tuples {
+		out[i] = []Value(t)
+	}
+	return out, nil
+}
+
+// Result holds query answers: one row per solution, columns named by Vars
+// in first-occurrence order, rows sorted.
+type Result struct {
+	Vars []string
+	Rows [][]Value
+}
+
+// Query evaluates a goal conjunction in the main module's scope.
+func (s *System) Query(goals string) (*Result, error) {
+	return s.QueryIn("main", goals)
+}
+
+// QueryIn evaluates a goal conjunction in the named module's scope.
+func (s *System) QueryIn(module, goals string) (*Result, error) {
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	key := module + "\x00" + goals
+	cq, cached := s.queries[key]
+	if !cached {
+		gs, err := parser.ParseGoals(goals)
+		if err != nil {
+			return nil, err
+		}
+		id, vars, err := s.compiler.CompileQuery(module, gs)
+		if err != nil {
+			return nil, err
+		}
+		cq = compiledQuery{id: id, vars: vars}
+		s.queries[key] = cq
+	}
+	id, vars := cq.id, cq.vars
+	tuples, err := s.machine.CallProc(id, []term.Tuple{{}})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Vars: vars}
+	sorted := make([]term.Tuple, len(tuples))
+	copy(sorted, tuples)
+	sortTuples(sorted)
+	for _, t := range sorted {
+		res.Rows = append(res.Rows, []Value(t))
+	}
+	return res, nil
+}
+
+// Call invokes an exported procedure with the given input tuples (nil for
+// a procedure with no bound arguments) and returns its sorted results.
+func (s *System) Call(module, proc string, in ...[]any) ([][]Value, error) {
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	sym := s.lp.Resolve(module, proc)
+	if sym == nil || sym.Class != modsys.ClassProc {
+		return nil, fmt.Errorf("gluenail: no procedure %s.%s", module, proc)
+	}
+	var tuples []term.Tuple
+	if sym.Bound == 0 {
+		tuples = []term.Tuple{{}}
+	}
+	for _, row := range in {
+		t, err := toTuple(row)
+		if err != nil {
+			return nil, err
+		}
+		tuples = append(tuples, t)
+	}
+	results, err := s.machine.CallProc(sym.Module+"."+proc, tuples)
+	if err != nil {
+		return nil, err
+	}
+	sortTuples(results)
+	out := make([][]Value, len(results))
+	for i, t := range results {
+		out[i] = []Value(t)
+	}
+	return out, nil
+}
+
+// ExplainProc returns a textual rendering of a procedure's compiled plan:
+// pipeline segments, break placement, duplicate-elimination and index
+// decisions. Generated NAIL! procedures use IDs like "main.tc@bf".
+func (s *System) ExplainProc(module, proc string) (string, error) {
+	if err := s.ensure(); err != nil {
+		return "", err
+	}
+	id := module + "." + proc
+	p, ok := s.compiler.Program().Procs[id]
+	if !ok {
+		return "", fmt.Errorf("gluenail: no compiled procedure %s", id)
+	}
+	return plan.FormatProc(p), nil
+}
+
+// Procs lists the IDs of all compiled procedures, including generated
+// NAIL! procedures, in sorted order.
+func (s *System) Procs() ([]string, error) {
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	var ids []string
+	for id := range s.compiler.Program().Procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// SaveEDB writes the EDB to a file (§10: EDB relations persist on disk
+// between runs).
+func (s *System) SaveEDB(path string) error { return storage.SaveFile(path, s.edb) }
+
+// LoadEDB reads an EDB image into the store.
+func (s *System) LoadEDB(path string) error { return storage.LoadFile(path, s.edb) }
+
+// Stats exposes executor and back-end counters for the experiments.
+type Stats struct {
+	Exec    vm.ExecStats
+	EDB     storage.Stats
+	Scratch storage.Stats
+}
+
+// Stats returns a snapshot of the current counters.
+func (s *System) Stats() Stats {
+	st := Stats{EDB: *s.edb.Stats(), Scratch: *s.temp.Stats()}
+	if s.machine != nil {
+		st.Exec = s.machine.Stats
+	}
+	return st
+}
+
+func sortTuples(ts []term.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

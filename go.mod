@@ -1,0 +1,3 @@
+module gluenail
+
+go 1.22

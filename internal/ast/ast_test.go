@@ -1,0 +1,186 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"gluenail/internal/term"
+)
+
+func TestPredSigString(t *testing.T) {
+	s := PredSig{Name: "tc", Bound: 1, Free: 2}
+	if s.String() != "tc/1:2" {
+		t.Errorf("String = %q", s.String())
+	}
+	if s.Arity() != 3 {
+		t.Errorf("Arity = %d", s.Arity())
+	}
+	z := PredSig{Name: "p"}
+	if z.String() != "p/0:0" {
+		t.Errorf("zero sig = %q", z.String())
+	}
+	big := PredSig{Name: "q", Bound: 12, Free: 34}
+	if big.String() != "q/12:34" {
+		t.Errorf("big sig = %q", big.String())
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[AssignOp]string{
+		OpAssign: ":=", OpInsert: "+=", OpDelete: "-=", OpModify: "+=[...]",
+		AssignOp(9): "?=",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	cmps := map[CmpOp]string{
+		CmpEq: "=", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+	}
+	for op, want := range cmps {
+		if op.String() != want {
+			t.Errorf("cmp %d = %q, want %q", op, op.String(), want)
+		}
+	}
+	bins := map[BinOp]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "mod",
+	}
+	for op, want := range bins {
+		if op.String() != want {
+			t.Errorf("bin %d = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestPredName(t *testing.T) {
+	a := &AtomTerm{Pred: &Const{Val: term.NewString("foo")}, Args: []Term{&VarTerm{Name: "X"}}}
+	if a.PredName() != "foo" || a.Arity() != 1 {
+		t.Errorf("PredName/Arity = %q/%d", a.PredName(), a.Arity())
+	}
+	v := &AtomTerm{Pred: &VarTerm{Name: "S"}}
+	if v.PredName() != "" {
+		t.Errorf("var pred name = %q", v.PredName())
+	}
+	n := &AtomTerm{Pred: &Const{Val: term.NewInt(3)}}
+	if n.PredName() != "" {
+		t.Errorf("int pred name = %q", n.PredName())
+	}
+}
+
+func TestVarTermIsAnon(t *testing.T) {
+	if !(&VarTerm{Name: "_"}).IsAnon() {
+		t.Error("_ should be anonymous")
+	}
+	if (&VarTerm{Name: "_X"}).IsAnon() {
+		t.Error("_X is a named variable")
+	}
+}
+
+func TestProcSig(t *testing.T) {
+	p := &Proc{Name: "tc", BoundParams: []string{"X"}, FreeParams: []string{"Y", "Z"}}
+	sig := p.Sig()
+	if sig.Name != "tc" || sig.Bound != 1 || sig.Free != 2 {
+		t.Errorf("sig = %+v", sig)
+	}
+}
+
+func TestFormatModuleShapes(t *testing.T) {
+	m := &Module{
+		Name:    "m",
+		Exports: []PredSig{{Name: "p", Bound: 1, Free: 1}},
+		Imports: []Import{{From: "other", Sigs: []PredSig{{Name: "q", Free: 2}}}},
+		EDB:     []PredSig{{Name: "e", Free: 2}},
+		Rules: []*Rule{{
+			Head: &AtomTerm{Pred: &Const{Val: term.NewString("p")},
+				Args: []Term{&VarTerm{Name: "X"}}},
+			Body: []Goal{&AtomGoal{Atom: &AtomTerm{
+				Pred: &Const{Val: term.NewString("e")},
+				Args: []Term{&VarTerm{Name: "X"}, &VarTerm{Name: "_"}},
+			}}},
+		}},
+	}
+	text := FormatModule(m)
+	for _, want := range []string{
+		"module m;", "export p(B1:F1);", "from other import q(:F1,F2);",
+		"edb e(A1,A2);", "p(X) :- e(X,_).", "end",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatModule missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormatGoalKinds(t *testing.T) {
+	x := &VarTerm{Name: "X"}
+	goals := []Goal{
+		&AtomGoal{Atom: &AtomTerm{Pred: &Const{Val: term.NewString("p")}, Args: []Term{x}}, Negated: true},
+		&AtomGoal{Atom: &AtomTerm{Pred: &Const{Val: term.NewString("q")}, Args: []Term{x}}, Update: UpdateInsert},
+		&AtomGoal{Atom: &AtomTerm{Pred: &Const{Val: term.NewString("r")}, Args: []Term{x}}, Update: UpdateDelete},
+		&CmpGoal{Op: CmpLt, L: &TermExpr{T: x}, R: &TermExpr{T: &Const{Val: term.NewInt(3)}}},
+		&AggGoal{Var: "M", Op: "min", Arg: x},
+		&GroupByGoal{Vars: []string{"X", "Y"}},
+		&UnchangedGoal{Atom: &AtomTerm{Pred: &Const{Val: term.NewString("p")}, Args: []Term{x}}},
+		&EmptyGoal{Atom: &AtomTerm{Pred: &Const{Val: term.NewString("p")}, Args: []Term{x}}},
+	}
+	a := &Assign{
+		Op:   OpModify,
+		Key:  []string{"X"},
+		Head: &AtomTerm{Pred: &Const{Val: term.NewString("h")}, Args: []Term{x}},
+		Body: goals,
+	}
+	text := FormatAssign(a)
+	for _, want := range []string{
+		"!p(X)", "++q(X)", "--r(X)", "X < 3", "M = min(X)",
+		"group_by(X,Y)", "unchanged(p(X))", "empty(p(X))", "+=[X]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatAssign missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormatExprs(t *testing.T) {
+	x := &TermExpr{T: &VarTerm{Name: "X"}}
+	e := &BinExpr{Op: OpMul,
+		L: &NegExpr{X: x},
+		R: &CallExpr{Fn: "strlen", Args: []Expr{&TermExpr{T: &Const{Val: term.NewString("ab")}}}},
+	}
+	a := &Assign{
+		Op:   OpAssign,
+		Head: &AtomTerm{Pred: &Const{Val: term.NewString("h")}, Args: []Term{&VarTerm{Name: "Y"}}},
+		Body: []Goal{&CmpGoal{Op: CmpEq, L: &TermExpr{T: &VarTerm{Name: "Y"}}, R: e}},
+	}
+	text := FormatAssign(a)
+	if !strings.Contains(text, "(-(X) * strlen(ab))") {
+		t.Errorf("expr format = %s", text)
+	}
+}
+
+func TestFormatReturnHead(t *testing.T) {
+	a := &Assign{
+		Op:        OpAssign,
+		IsReturn:  true,
+		HeadBound: 1,
+		Head: &AtomTerm{Pred: &Const{Val: term.NewString("return")},
+			Args: []Term{&VarTerm{Name: "X"}, &VarTerm{Name: "Y"}}},
+		Body: []Goal{&AtomGoal{Atom: &AtomTerm{
+			Pred: &Const{Val: term.NewString("p")},
+			Args: []Term{&VarTerm{Name: "X"}, &VarTerm{Name: "Y"}}}}},
+	}
+	if got := FormatAssign(a); !strings.Contains(got, "return(X:Y)") {
+		t.Errorf("return head = %s", got)
+	}
+	// All-bound return.
+	a2 := &Assign{
+		Op: OpAssign, IsReturn: true, HeadBound: 1,
+		Head: &AtomTerm{Pred: &Const{Val: term.NewString("return")},
+			Args: []Term{&VarTerm{Name: "X"}}},
+		Body: []Goal{&AtomGoal{Atom: &AtomTerm{
+			Pred: &Const{Val: term.NewString("p")},
+			Args: []Term{&VarTerm{Name: "X"}}}}},
+	}
+	if got := FormatAssign(a2); !strings.Contains(got, "return(X:)") {
+		t.Errorf("bound-only return head = %s", got)
+	}
+}

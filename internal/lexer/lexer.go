@@ -1,0 +1,419 @@
+// Package lexer tokenizes Glue and NAIL! source text. The concrete syntax
+// follows the paper: Prolog-flavoured terms (lowercase atoms, uppercase
+// variables), '&' conjunction, the four assignment operators, ':-' for NAIL!
+// rules, '%' line comments and '/* */' block comments.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Var // uppercase or '_' start
+	Int
+	Float
+	Str // quoted atom/string
+
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semi
+	Dot
+	Colon
+	Amp
+	Bang
+	Bar
+
+	Assign     // :=
+	PlusEq     // +=
+	MinusEq    // -=
+	PlusPlus   // ++
+	MinusMinus // --
+	Implies    // :-
+	Eq         // =
+	Ne         // !=
+	Lt         // <
+	Le         // <=
+	Gt         // >
+	Ge         // >=
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", Ident: "identifier", Var: "variable",
+	Int: "integer", Float: "float", Str: "string",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semi: "';'",
+	Dot: "'.'", Colon: "':'", Amp: "'&'", Bang: "'!'", Bar: "'|'",
+	Assign: "':='", PlusEq: "'+='", MinusEq: "'-='",
+	PlusPlus: "'++'", MinusMinus: "'--'", Implies: "':-'",
+	Eq: "'='", Ne: "'!='", Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind Kind
+	Text string  // identifier/variable name or string contents
+	I    int64   // Int payload
+	F    float64 // Float payload
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Var:
+		return fmt.Sprintf("%q", t.Text)
+	case Str:
+		return fmt.Sprintf("'%s'", t.Text)
+	case Int:
+		return strconv.FormatInt(t.I, 10)
+	case Float:
+		return strconv.FormatFloat(t.F, 'g', -1, 64)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer scans source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens (excluding EOF).
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLower(c byte) bool { return c >= 'a' && c <= 'z' }
+func isUpper(c byte) bool { return c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentCont(c byte) bool {
+	return isLower(c) || isUpper(c) || isDigit(c) || c == '_'
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isLower(c):
+		tok.Kind = Ident
+		tok.Text = l.scanIdent()
+		return tok, nil
+	case isUpper(c) || c == '_':
+		tok.Kind = Var
+		tok.Text = l.scanIdent()
+		return tok, nil
+	case isDigit(c):
+		return l.scanNumber(tok)
+	case c == '\'' || c == '"':
+		return l.scanString(tok)
+	}
+	l.advance()
+	switch c {
+	case '(':
+		tok.Kind = LParen
+	case ')':
+		tok.Kind = RParen
+	case '{':
+		tok.Kind = LBrace
+	case '}':
+		tok.Kind = RBrace
+	case '[':
+		tok.Kind = LBracket
+	case ']':
+		tok.Kind = RBracket
+	case ',':
+		tok.Kind = Comma
+	case ';':
+		tok.Kind = Semi
+	case '.':
+		tok.Kind = Dot
+	case '&':
+		tok.Kind = Amp
+	case '|':
+		tok.Kind = Bar
+	case '*':
+		tok.Kind = Star
+	case '/':
+		tok.Kind = Slash
+	case '=':
+		tok.Kind = Eq
+	case ':':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			tok.Kind = Assign
+		case '-':
+			l.advance()
+			tok.Kind = Implies
+		default:
+			tok.Kind = Colon
+		}
+	case '+':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			tok.Kind = PlusEq
+		case '+':
+			l.advance()
+			tok.Kind = PlusPlus
+		default:
+			tok.Kind = Plus
+		}
+	case '-':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			tok.Kind = MinusEq
+		case '-':
+			l.advance()
+			tok.Kind = MinusMinus
+		default:
+			tok.Kind = Minus
+		}
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = Ne
+		} else {
+			tok.Kind = Bang
+		}
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = Le
+		} else {
+			tok.Kind = Lt
+		}
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = Ge
+		} else {
+			tok.Kind = Gt
+		}
+	default:
+		return Token{}, &Error{Line: tok.Line, Col: tok.Col,
+			Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+	return tok, nil
+}
+
+func (l *Lexer) scanIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(l.peek()) {
+		l.advance()
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *Lexer) scanNumber(tok Token) (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	// A '.' is part of the number only when followed by a digit, so the
+	// statement terminator after an integer still lexes as Dot.
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := l.pos
+		mark := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			*l = mark
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, &Error{Line: tok.Line, Col: tok.Col, Msg: "bad float literal " + text}
+		}
+		tok.Kind = Float
+		tok.F = f
+		return tok, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, &Error{Line: tok.Line, Col: tok.Col, Msg: "bad integer literal " + text}
+	}
+	tok.Kind = Int
+	tok.I = i
+	return tok, nil
+}
+
+func (l *Lexer) scanString(tok Token) (Token, error) {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, &Error{Line: tok.Line, Col: tok.Col, Msg: "unterminated string"}
+		}
+		c := l.advance()
+		switch {
+		case c == quote:
+			tok.Kind = Str
+			tok.Text = sb.String()
+			return tok, nil
+		case c == '\\':
+			if l.pos >= len(l.src) {
+				return Token{}, &Error{Line: tok.Line, Col: tok.Col, Msg: "unterminated string"}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(e)
+			default:
+				return Token{}, l.errf("bad escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}

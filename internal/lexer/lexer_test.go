@@ -1,0 +1,189 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize(%q) = %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize(%q)[%d] = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestIdentifiersAndVariables(t *testing.T) {
+	toks, err := Tokenize("foo Bar _baz _ x9 aB_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Ident, "foo"}, {Var, "Bar"}, {Var, "_baz"}, {Var, "_"},
+		{Ident, "x9"}, {Ident, "aB_c"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("42 1.5 0 3.25e2 1e3 7.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Int || toks[0].I != 42 {
+		t.Errorf("42: %v %d", toks[0].Kind, toks[0].I)
+	}
+	if toks[1].Kind != Float || toks[1].F != 1.5 {
+		t.Errorf("1.5: %v %g", toks[1].Kind, toks[1].F)
+	}
+	if toks[2].Kind != Int || toks[2].I != 0 {
+		t.Errorf("0: %v", toks[2])
+	}
+	if toks[3].Kind != Float || toks[3].F != 325 {
+		t.Errorf("3.25e2: %v %g", toks[3].Kind, toks[3].F)
+	}
+	if toks[4].Kind != Float || toks[4].F != 1000 {
+		t.Errorf("1e3: %v %g", toks[4].Kind, toks[4].F)
+	}
+	// "7." lexes as Int 7 then Dot — the statement terminator case.
+	if toks[5].Kind != Int || toks[5].I != 7 || toks[6].Kind != Dot {
+		t.Errorf("7.: %v %v", toks[5], toks[6])
+	}
+}
+
+func TestIntDotDigitIsFloat(t *testing.T) {
+	// matrix(X,X, 1.0) from the paper: 1.0 must be one float token.
+	toks, err := Tokenize("1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Kind != Float || toks[0].F != 1.0 {
+		t.Errorf("1.0 lexed as %v", toks)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := Tokenize(`'hello' "world" 'it\'s' 'a\nb' ''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "world", "it's", "a\nb", ""}
+	for i, w := range want {
+		if toks[i].Kind != Str || toks[i].Text != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, ":= += -= ++ -- :- = != < <= > >= + - * / : . & ! | ; ,",
+		Assign, PlusEq, MinusEq, PlusPlus, MinusMinus, Implies,
+		Eq, Ne, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash,
+		Colon, Dot, Amp, Bang, Bar, Semi, Comma)
+	expectKinds(t, "( ) { } [ ]", LParen, RParen, LBrace, RBrace, LBracket, RBracket)
+}
+
+func TestOperatorMaximalMunch(t *testing.T) {
+	// "+=[" must lex as PlusEq LBracket (the modify assignment).
+	expectKinds(t, "+=[X]", PlusEq, LBracket, Var, RBracket)
+	// "X!=Y" vs "!p".
+	expectKinds(t, "X!=Y", Var, Ne, Var)
+	expectKinds(t, "!p(X)", Bang, Ident, LParen, Var, RParen)
+	// "--possible" from Figure 1.
+	expectKinds(t, "--possible(It,D)", MinusMinus, Ident, LParen, Var, Comma, Var, RParen)
+}
+
+func TestComments(t *testing.T) {
+	src := `
+% a line comment
+foo /* block
+comment */ bar % trailing
+`
+	expectKinds(t, src, Ident, Ident)
+}
+
+func TestAssignmentStatement(t *testing.T) {
+	expectKinds(t, "r(X,Y) += s(X,W) & t(f(W,X),Y).",
+		Ident, LParen, Var, Comma, Var, RParen, PlusEq,
+		Ident, LParen, Var, Comma, Var, RParen, Amp,
+		Ident, LParen, Ident, LParen, Var, Comma, Var, RParen, Comma, Var, RParen, Dot)
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  bc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("token a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("token bc at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"'unterminated",
+		"'bad \\q escape'",
+		"/* never closed",
+		"@",
+		"'trailing backslash\\",
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error %q should carry a position", err)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Tokenize("foo X 'a b' 42 2.5 :=")
+	want := []string{`"foo"`, `"X"`, "'a b'", "42", "2.5", "':='"}
+	for i, w := range want {
+		if got := toks[i].String(); got != w {
+			t.Errorf("Token.String[%d] = %q, want %q", i, got, w)
+		}
+	}
+	if EOF.String() != "end of input" {
+		t.Errorf("EOF.String = %q", EOF.String())
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind String = %q", Kind(200).String())
+	}
+}
+
+func TestEOFAfterWhitespace(t *testing.T) {
+	lx := New("  % only a comment\n")
+	tok, err := lx.Next()
+	if err != nil || tok.Kind != EOF {
+		t.Errorf("want EOF, got %v err %v", tok, err)
+	}
+}

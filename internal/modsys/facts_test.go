@@ -1,0 +1,62 @@
+package modsys
+
+import (
+	"testing"
+
+	"gluenail/internal/parser"
+	"gluenail/internal/term"
+)
+
+func TestExtractEDBFacts(t *testing.T) {
+	prog, err := parser.Parse(`
+edb edge(X,Y), tagged(K);
+edge(1,2).
+edge(2,3).
+tagged(f(a,1)).
+derived(X) :- tagged(X).
+edge(X, X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Modules[0]
+	facts := ExtractEDBFacts(m)
+	if len(facts) != 3 {
+		t.Fatalf("facts = %d, want 3 (ground EDB-headed bodyless rules)", len(facts))
+	}
+	if facts[0].Name != "edge" || !facts[0].Tuple.Equal(term.Tuple{term.NewInt(1), term.NewInt(2)}) {
+		t.Errorf("fact 0 = %+v", facts[0])
+	}
+	if facts[2].Name != "tagged" ||
+		!facts[2].Tuple[0].Equal(term.Atom("f", term.NewString("a"), term.NewInt(1))) {
+		t.Errorf("fact 2 = %+v", facts[2])
+	}
+	// Remaining rules: derived/1 and the non-ground edge(X,X).
+	if len(m.Rules) != 2 {
+		t.Fatalf("rules left = %d", len(m.Rules))
+	}
+	// The non-ground edge(X,X) stays a rule, so linking now fails with a
+	// conflict — that is the user's error to fix, reported clearly.
+	if _, err := Link(prog); err == nil {
+		t.Error("non-ground EDB-headed rule should still conflict at link time")
+	}
+}
+
+func TestExtractEDBFactsLeavesNailFacts(t *testing.T) {
+	prog, err := parser.Parse(`
+edb other(X);
+base(1).
+base(2).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Modules[0]
+	facts := ExtractEDBFacts(m)
+	if len(facts) != 0 {
+		t.Errorf("facts for undeclared relation should stay NAIL! fact rules: %v", facts)
+	}
+	if len(m.Rules) != 2 {
+		t.Errorf("rules = %d", len(m.Rules))
+	}
+}

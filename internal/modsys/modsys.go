@@ -1,0 +1,409 @@
+// Package modsys implements the Glue-Nail module system (§6). Modules are a
+// purely compile-time concept: linking resolves imports against exports and
+// produces per-module symbol tables that tell the compiler which predicates
+// a name can refer to — the information that lets predicate dereferencing
+// (including HiLog predicate variables) happen at compile time.
+package modsys
+
+import (
+	"fmt"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/term"
+)
+
+// Class classifies a predicate symbol.
+type Class uint8
+
+const (
+	// ClassEDB is a stored extensional relation.
+	ClassEDB Class = iota
+	// ClassProc is a Glue procedure.
+	ClassProc
+	// ClassNail is a NAIL! predicate defined by rules; families with HiLog
+	// compound names (students(ID)) have NameArity > 0.
+	ClassNail
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassEDB:
+		return "EDB relation"
+	case ClassProc:
+		return "Glue procedure"
+	case ClassNail:
+		return "NAIL! predicate"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Symbol describes one predicate visible in some module.
+type Symbol struct {
+	Name      string
+	Class     Class
+	Module    string // defining module
+	Bound     int    // procs: bound arity
+	Free      int    // procs: free arity; EDB/NAIL!: value arity
+	NameArity int    // NAIL! families: arity of the compound predicate name
+	Exported  bool
+	Proc      *ast.Proc   // ClassProc
+	Rules     []*ast.Rule // ClassNail
+}
+
+// Arity returns the total argument count of the predicate (excluding the
+// name arguments of a family).
+func (s *Symbol) Arity() int { return s.Bound + s.Free }
+
+// Module is a linked module: its AST plus the symbols it defines and sees.
+type Module struct {
+	AST *ast.Module
+	// Defs are the symbols defined in this module, keyed by name.
+	Defs map[string]*Symbol
+	// Visible maps names to symbols usable in this module's code: its own
+	// definitions plus imports.
+	Visible map[string]*Symbol
+}
+
+// Program is a linked program.
+type Program struct {
+	Modules map[string]*Module
+	// Order is the module declaration order, for deterministic iteration.
+	Order []string
+}
+
+// Resolve finds the symbol a name refers to in the given module, or nil.
+func (p *Program) Resolve(module, name string) *Symbol {
+	m := p.Modules[module]
+	if m == nil {
+		return nil
+	}
+	return m.Visible[name]
+}
+
+// Error is a link-time error.
+type Error struct {
+	Module string
+	Pos    ast.Pos
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("module %s: %d:%d: %s", e.Module, e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+func errf(mod string, pos ast.Pos, format string, args ...any) error {
+	return &Error{Module: mod, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Options adjusts linking.
+type Options struct {
+	// Known reports names resolved outside the module system (builtins and
+	// registered foreign procedures); auto-EDB declaration skips them.
+	Known func(name string) bool
+}
+
+// Link resolves a parsed program into symbol tables using default options.
+func Link(prog *ast.Program) (*Program, error) {
+	return LinkWith(prog, Options{})
+}
+
+// LinkWith resolves a parsed program into symbol tables. The implicit
+// "main" module (a bare script) gets two conveniences: every definition is
+// exported, and predicates referenced but never defined are auto-declared
+// as EDB relations.
+func LinkWith(prog *ast.Program, opts Options) (*Program, error) {
+	lp := &Program{Modules: make(map[string]*Module)}
+	// Pass 1: collect definitions per module.
+	for _, m := range prog.Modules {
+		if _, dup := lp.Modules[m.Name]; dup {
+			return nil, errf(m.Name, m.Pos, "duplicate module %s", m.Name)
+		}
+		lm := &Module{
+			AST:     m,
+			Defs:    make(map[string]*Symbol),
+			Visible: make(map[string]*Symbol),
+		}
+		if err := collectDefs(lm); err != nil {
+			return nil, err
+		}
+		lp.Modules[m.Name] = lm
+		lp.Order = append(lp.Order, m.Name)
+	}
+	// Pass 2: mark exports.
+	for _, name := range lp.Order {
+		lm := lp.Modules[name]
+		implicit := lm.AST.Name == "main" && len(lm.AST.Exports) == 0
+		if implicit {
+			for _, sym := range lm.Defs {
+				sym.Exported = true
+			}
+			continue
+		}
+		for _, sig := range lm.AST.Exports {
+			sym, ok := lm.Defs[sig.Name]
+			if !ok {
+				return nil, errf(name, sig.Pos, "exported predicate %s is not defined", sig.Name)
+			}
+			if sym.Class == ClassProc && (sym.Bound != sig.Bound || sym.Free != sig.Free) {
+				return nil, errf(name, sig.Pos,
+					"export %s has arity %d:%d but procedure is %d:%d",
+					sig.Name, sig.Bound, sig.Free, sym.Bound, sym.Free)
+			}
+			sym.Exported = true
+		}
+	}
+	// Pass 3: resolve imports and build visibility.
+	for _, name := range lp.Order {
+		lm := lp.Modules[name]
+		for n, sym := range lm.Defs {
+			lm.Visible[n] = sym
+		}
+		for _, imp := range lm.AST.Imports {
+			src, ok := lp.Modules[imp.From]
+			if !ok {
+				return nil, errf(name, imp.Pos, "imported module %q not found", imp.From)
+			}
+			for _, sig := range imp.Sigs {
+				sym, ok := src.Defs[sig.Name]
+				if !ok {
+					return nil, errf(name, sig.Pos,
+						"module %s does not define %s", imp.From, sig.Name)
+				}
+				if !sym.Exported {
+					return nil, errf(name, sig.Pos,
+						"module %s does not export %s", imp.From, sig.Name)
+				}
+				if sym.Arity() != sig.Arity() {
+					return nil, errf(name, sig.Pos,
+						"import %s has arity %d but %s exports arity %d",
+						sig.Name, sig.Arity(), imp.From, sym.Arity())
+				}
+				if prev, dup := lm.Visible[sig.Name]; dup {
+					return nil, errf(name, sig.Pos,
+						"import %s collides with %s from module %s",
+						sig.Name, prev.Class, prev.Module)
+				}
+				lm.Visible[sig.Name] = sym
+			}
+		}
+	}
+	// Pass 4: implicit-EDB convenience for the script module.
+	if lm, ok := lp.Modules["main"]; ok {
+		autoDeclareEDB(lm, opts.Known)
+	}
+	return lp, nil
+}
+
+func collectDefs(lm *Module) error {
+	m := lm.AST
+	define := func(sym *Symbol, pos ast.Pos) error {
+		if prev, dup := lm.Defs[sym.Name]; dup {
+			if prev.Class == ClassNail && sym.Class == ClassNail {
+				return nil // rules accumulate
+			}
+			return errf(m.Name, pos, "%s redefines %s (%s)", sym.Name, prev.Name, prev.Class)
+		}
+		lm.Defs[sym.Name] = sym
+		return nil
+	}
+	for _, sig := range m.EDB {
+		if err := define(&Symbol{
+			Name: sig.Name, Class: ClassEDB, Module: m.Name, Free: sig.Free,
+		}, sig.Pos); err != nil {
+			return err
+		}
+	}
+	for _, proc := range m.Procs {
+		if err := define(&Symbol{
+			Name: proc.Name, Class: ClassProc, Module: m.Name,
+			Bound: len(proc.BoundParams), Free: len(proc.FreeParams), Proc: proc,
+		}, proc.Pos); err != nil {
+			return err
+		}
+	}
+	for _, rule := range m.Rules {
+		name, nameArity, err := headShape(m.Name, rule)
+		if err != nil {
+			return err
+		}
+		if sym, ok := lm.Defs[name]; ok {
+			if sym.Class != ClassNail {
+				return errf(m.Name, rule.Pos, "rule head %s conflicts with %s", name, sym.Class)
+			}
+			if sym.NameArity != nameArity || sym.Free != len(rule.Head.Args) {
+				return errf(m.Name, rule.Pos,
+					"rule head %s has inconsistent shape (name arity %d/%d, arity %d/%d)",
+					name, nameArity, sym.NameArity, len(rule.Head.Args), sym.Free)
+			}
+			sym.Rules = append(sym.Rules, rule)
+			continue
+		}
+		sym := &Symbol{
+			Name: name, Class: ClassNail, Module: m.Name,
+			Free: len(rule.Head.Args), NameArity: nameArity,
+			Rules: []*ast.Rule{rule},
+		}
+		if err := define(sym, rule.Pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// headShape extracts the base name and name-arity of a rule head, e.g.
+// tc(X,Y) -> ("tc", 0) and students(ID)(N) -> ("students", 1).
+func headShape(mod string, rule *ast.Rule) (string, int, error) {
+	switch pred := rule.Head.Pred.(type) {
+	case *ast.Const:
+		if name := rule.Head.PredName(); name != "" {
+			return name, 0, nil
+		}
+	case *ast.CompTerm:
+		if fn, ok := pred.Fn.(*ast.Const); ok {
+			return fn.Val.Str(), len(pred.Args), nil
+		}
+		return "", 0, errf(mod, rule.Pos, "rule head predicate name must start with an atom")
+	case *ast.VarTerm:
+		return "", 0, errf(mod, rule.Pos, "rule head predicate cannot be a variable")
+	}
+	return "", 0, errf(mod, rule.Pos, "bad rule head")
+}
+
+// Fact is one EDB tuple extracted from source by ExtractEDBFacts.
+type Fact struct {
+	Name  string
+	Tuple term.Tuple
+}
+
+// ExtractEDBFacts removes ground, bodyless rules whose head names a
+// relation declared edb in the same module and returns them as data, so
+// sources can carry facts next to their declarations:
+//
+//	edb edge(X,Y);
+//	edge(1,2). edge(2,3).
+//
+// Callers that only need the code (e.g. cmd/nailc) may discard the result;
+// the System loads them into the store.
+func ExtractEDBFacts(m *ast.Module) []Fact {
+	edb := map[string]int{}
+	for _, sig := range m.EDB {
+		edb[sig.Name] = sig.Arity()
+	}
+	var facts []Fact
+	var rules []*ast.Rule
+	for _, r := range m.Rules {
+		name := r.Head.PredName()
+		if len(r.Body) != 0 || name == "" || edb[name] != len(r.Head.Args) {
+			rules = append(rules, r)
+			continue
+		}
+		tup := make(term.Tuple, len(r.Head.Args))
+		ground := true
+		for i, a := range r.Head.Args {
+			v, ok := groundTermValue(a)
+			if !ok {
+				ground = false
+				break
+			}
+			tup[i] = v
+		}
+		if !ground {
+			rules = append(rules, r)
+			continue
+		}
+		facts = append(facts, Fact{Name: name, Tuple: tup})
+	}
+	m.Rules = rules
+	return facts
+}
+
+func groundTermValue(t ast.Term) (term.Value, bool) {
+	switch t := t.(type) {
+	case *ast.Const:
+		return t.Val, true
+	case *ast.CompTerm:
+		fn, ok := groundTermValue(t.Fn)
+		if !ok {
+			return term.Value{}, false
+		}
+		args := make([]term.Value, len(t.Args))
+		for i, a := range t.Args {
+			v, ok := groundTermValue(a)
+			if !ok {
+				return term.Value{}, false
+			}
+			args[i] = v
+		}
+		return term.NewCompound(fn, args...), true
+	}
+	return term.Value{}, false
+}
+
+// autoDeclareEDB scans the script module for predicate atoms that resolve to
+// nothing and declares them as EDB relations, so quick scripts need no edb
+// declarations.
+func autoDeclareEDB(lm *Module, known func(string) bool) {
+	seen := func(name string, arity int) {
+		if name == "" || name == "in" || name == "return" {
+			return
+		}
+		if known != nil && known(name) {
+			return
+		}
+		if _, ok := lm.Visible[name]; ok {
+			return
+		}
+		sym := &Symbol{Name: name, Class: ClassEDB, Module: lm.AST.Name, Free: arity, Exported: true}
+		lm.Defs[name] = sym
+		lm.Visible[name] = sym
+	}
+	var scanGoals func(goals []ast.Goal, locals map[string]bool)
+	scanAtom := func(a *ast.AtomTerm, locals map[string]bool) {
+		name := a.PredName()
+		if name == "" || locals[name] {
+			return
+		}
+		seen(name, len(a.Args))
+	}
+	scanGoals = func(goals []ast.Goal, locals map[string]bool) {
+		for _, g := range goals {
+			switch g := g.(type) {
+			case *ast.AtomGoal:
+				scanAtom(g.Atom, locals)
+			case *ast.UnchangedGoal:
+				scanAtom(g.Atom, locals)
+			case *ast.EmptyGoal:
+				scanAtom(g.Atom, locals)
+			}
+		}
+	}
+	for _, rule := range lm.AST.Rules {
+		scanGoals(rule.Body, nil)
+	}
+	for _, proc := range lm.AST.Procs {
+		locals := map[string]bool{}
+		for _, l := range proc.Locals {
+			locals[l.Name] = true
+		}
+		var scanStmts func(stmts []ast.Stmt)
+		scanStmts = func(stmts []ast.Stmt) {
+			for _, st := range stmts {
+				switch st := st.(type) {
+				case *ast.Assign:
+					// Assigned-to relations materialize as EDB too.
+					if !st.IsReturn {
+						scanAtom(st.Head, locals)
+					}
+					scanGoals(st.Body, locals)
+				case *ast.Repeat:
+					scanStmts(st.Body)
+					for _, alt := range st.Until {
+						scanGoals(alt, locals)
+					}
+				}
+			}
+		}
+		scanStmts(proc.Body)
+	}
+}

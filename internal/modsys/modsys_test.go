@@ -1,0 +1,231 @@
+package modsys
+
+import (
+	"strings"
+	"testing"
+
+	"gluenail/internal/parser"
+)
+
+func link(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lp, err := Link(prog)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return lp
+}
+
+func linkErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Link(prog)
+	if err == nil {
+		t.Fatalf("link should fail for:\n%s", src)
+	}
+	return err
+}
+
+func TestLinkBasicModule(t *testing.T) {
+	lp := link(t, `
+module m;
+export tc(X:Y);
+edb e(X,Y);
+p(X,Y) :- e(X,Y).
+proc tc(X:Y)
+  return(X:Y) := e(X,Y).
+end
+end
+`)
+	m := lp.Modules["m"]
+	if m == nil {
+		t.Fatal("module m missing")
+	}
+	e := m.Defs["e"]
+	if e == nil || e.Class != ClassEDB || e.Arity() != 2 {
+		t.Errorf("e = %+v", e)
+	}
+	p := m.Defs["p"]
+	if p == nil || p.Class != ClassNail || len(p.Rules) != 1 {
+		t.Errorf("p = %+v", p)
+	}
+	tc := m.Defs["tc"]
+	if tc == nil || tc.Class != ClassProc || tc.Bound != 1 || tc.Free != 1 {
+		t.Errorf("tc = %+v", tc)
+	}
+	if !tc.Exported || e.Exported {
+		t.Errorf("export flags: tc=%v e=%v", tc.Exported, e.Exported)
+	}
+	if lp.Resolve("m", "tc") != tc {
+		t.Error("Resolve failed")
+	}
+	if lp.Resolve("m", "nothing") != nil || lp.Resolve("zzz", "tc") != nil {
+		t.Error("Resolve should miss")
+	}
+}
+
+func TestImportsResolve(t *testing.T) {
+	lp := link(t, `
+module base;
+export reach(X:Y);
+edb edge(X,Y);
+proc reach(X:Y)
+  return(X:Y) := edge(X,Y).
+end
+end
+module client;
+from base import reach(X:Y);
+proc go(:Y)
+  return(:Y) := reach(1,Y).
+end
+end
+`)
+	c := lp.Modules["client"]
+	sym := c.Visible["reach"]
+	if sym == nil || sym.Module != "base" || sym.Class != ClassProc {
+		t.Errorf("imported reach = %+v", sym)
+	}
+	// edge is not visible in client.
+	if c.Visible["edge"] != nil {
+		t.Error("edge should not be visible in client")
+	}
+}
+
+func TestHiLogFamilyShape(t *testing.T) {
+	lp := link(t, `
+module sets;
+edb attends(N, ID);
+students(ID)(N) :- attends(N, ID).
+end
+`)
+	sym := lp.Modules["sets"].Defs["students"]
+	if sym == nil || sym.Class != ClassNail {
+		t.Fatalf("students = %+v", sym)
+	}
+	if sym.NameArity != 1 || sym.Free != 1 {
+		t.Errorf("family shape: nameArity=%d free=%d", sym.NameArity, sym.Free)
+	}
+}
+
+func TestRulesAccumulate(t *testing.T) {
+	lp := link(t, `
+module m;
+edb e(X,Y);
+tc(X,Y) :- e(X,Y).
+tc(X,Z) :- tc(X,Y) & e(Y,Z).
+end
+`)
+	sym := lp.Modules["m"].Defs["tc"]
+	if len(sym.Rules) != 2 {
+		t.Errorf("rules = %d", len(sym.Rules))
+	}
+}
+
+func TestImplicitMainAutoEDB(t *testing.T) {
+	lp := link(t, `
+tc(X,Y) :- edge(X,Y).
+tc(X,Z) :- tc(X,Y) & edge(Y,Z).
+proc build(:)
+  marked(X) := edge(X,_).
+  return(:) := marked(1).
+end
+`)
+	m := lp.Modules["main"]
+	edge := m.Defs["edge"]
+	if edge == nil || edge.Class != ClassEDB || edge.Arity() != 2 {
+		t.Errorf("auto-declared edge = %+v", edge)
+	}
+	marked := m.Defs["marked"]
+	if marked == nil || marked.Class != ClassEDB || marked.Arity() != 1 {
+		t.Errorf("auto-declared head relation marked = %+v", marked)
+	}
+	if !m.Defs["tc"].Exported {
+		t.Error("implicit module should export everything")
+	}
+}
+
+func TestKnownNamesNotAutoDeclared(t *testing.T) {
+	prog, err := parser.Parse(`
+proc hello(:)
+  done() := greet('world').
+  return(:) := done().
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := LinkWith(prog, Options{Known: func(name string) bool { return name == "greet" }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lp.Modules["main"]
+	if m.Defs["greet"] != nil {
+		t.Error("known name greet should not be auto-declared")
+	}
+	if m.Defs["done"] == nil {
+		t.Error("done should be auto-declared")
+	}
+}
+
+func TestLocalsNotAutoDeclared(t *testing.T) {
+	lp := link(t, `
+proc p(:)
+rels tmp(X);
+  tmp(X) := base(X).
+  return(:) := tmp(1).
+end
+`)
+	m := lp.Modules["main"]
+	if m.Defs["tmp"] != nil {
+		t.Error("proc local should not be auto-declared as EDB")
+	}
+	if m.Defs["base"] == nil {
+		t.Error("base should be auto-declared")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{`module m; edb p(X); end module m; edb q(X); end`, "duplicate module"},
+		{`module m; edb p(X), p(X,Y); end`, "redefines"},
+		{`module m; edb p(X); proc p(:) return(:) := q(1). end end`, "redefines"},
+		{`module m; edb p(X); p(X) :- p(X). end`, "conflicts"},
+		{`module m; export nothere(:X); end`, "not defined"},
+		{`module m; export p(X,Y:); edb pp(X); proc p(X:Y) return(X:Y):= pp(X). end end`, "arity"},
+		{`module m; from missing import p(:X); end`, "not found"},
+		{`module a; edb p(X); end module b; from a import q(:X); end`, "does not define"},
+		{`module a; edb p(X); end module b; from a import p(X); end`, "does not export"},
+		{`module a; export p(X:); proc p(X:) return(X:):= x(X). end edb x(X); end
+		  module b; from a import p(X,Y:); end`, "arity"},
+		{`module a; export p(X:); proc p(X:) return(X:):= x(X). end edb x(X); end
+		  module b; edb p(X); from a import p(X:); end`, "collides"},
+		{`module m; tc(X) :- e(X). tc(X,Y) :- e(X) & e(Y). edb e(X); end`, "inconsistent"},
+		{`module m; edb e(X); X(Y) :- e(Y). end`, "variable"},
+	}
+	for _, c := range cases {
+		err := linkErr(t, c.src)
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("error %q should contain %q", err, c.wantMsg)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassEDB.String() != "EDB relation" || ClassProc.String() != "Glue procedure" ||
+		ClassNail.String() != "NAIL! predicate" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class name wrong")
+	}
+}

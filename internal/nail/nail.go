@@ -1,0 +1,405 @@
+// Package nail compiles NAIL! rule sets into Glue procedures, the central
+// system-design simplification of the paper ("NAIL! code is compiled into
+// Glue code"). For a queried predicate and binding pattern (adornment) it
+// generates a procedure that evaluates the reachable rules bottom-up,
+// stratum by stratum, with:
+//
+//   - semi-naive recursion driven by delta relations — the pattern the
+//     back end's uniondiff operator exists to support (§10) — or naive
+//     re-derivation as the measured baseline,
+//   - magic-set rewriting when the call binds arguments, so that only the
+//     relevant part of the IDB is computed (§8.2's magic templates,
+//     restricted to ground matching), and
+//   - HiLog family flattening: a predicate with a compound name,
+//     students(ID)(N), becomes a flat relation over (ID, N) (§5).
+//
+// Generated procedures use only local relations, EDB relations, imported
+// predicates, and the implicit in/return relations, so the ordinary Glue
+// compiler and executor run them unchanged.
+package nail
+
+import (
+	"fmt"
+	"strings"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/modsys"
+	"gluenail/internal/term"
+)
+
+// Options selects the generation strategy.
+type Options struct {
+	// Magic enables magic-set rewriting for adornments with bound
+	// arguments.
+	Magic bool
+	// SemiNaive enables delta-driven recursion; false regenerates the full
+	// relations every iteration (the E5 baseline).
+	SemiNaive bool
+}
+
+// Error is a rule-compilation error.
+type Error struct {
+	Module string
+	Pred   string
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("NAIL! %s.%s: %s", e.Module, e.Pred, e.Msg)
+}
+
+func errf(module, pred, format string, args ...any) error {
+	return &Error{Module: module, Pred: pred, Msg: fmt.Sprintf(format, args...)}
+}
+
+// latom is an atom over a generated local relation.
+type latom struct {
+	name string
+	args []ast.Term
+}
+
+// dgoal is one body goal of a flattened rule: either a local atom or a
+// passthrough goal (EDB atoms, comparisons, imported predicates, ...).
+type dgoal struct {
+	local *latom
+	neg   bool
+	g     ast.Goal // passthrough when local == nil
+}
+
+// drule is a flattened rule over local relation names.
+type drule struct {
+	head latom
+	body []dgoal
+	agg  bool // body contains aggregation or group_by goals
+}
+
+// universe is the set of same-module NAIL! predicates reachable from the
+// target, keyed by base name.
+type universe struct {
+	lp     *modsys.Program
+	module string
+	syms   map[string]*modsys.Symbol
+}
+
+// flatArity returns the arity of the flattened relation for a predicate.
+func flatArity(sym *modsys.Symbol) int { return sym.NameArity + sym.Free }
+
+func allFree(sym *modsys.Symbol) string {
+	return strings.Repeat("f", flatArity(sym))
+}
+
+// Generate compiles the rules reachable from sym into a Glue procedure for
+// the given adornment ('b'/'f' per flattened argument).
+func Generate(lp *modsys.Program, sym *modsys.Symbol, adorn string, opts Options) (*ast.Proc, error) {
+	if len(adorn) != flatArity(sym) {
+		return nil, errf(sym.Module, sym.Name,
+			"adornment %q does not match arity %d", adorn, flatArity(sym))
+	}
+	u := collectUniverse(lp, sym)
+	g := &generator{u: u, opts: opts, target: sym, adorn: adorn,
+		arities: map[string]int{}}
+	var err error
+	if opts.Magic && strings.ContainsRune(adorn, 'b') {
+		err = g.buildMagic()
+	} else {
+		err = g.buildPlain()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g.emitProc()
+}
+
+func collectUniverse(lp *modsys.Program, root *modsys.Symbol) *universe {
+	u := &universe{lp: lp, module: root.Module, syms: map[string]*modsys.Symbol{}}
+	work := []*modsys.Symbol{root}
+	for len(work) > 0 {
+		sym := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, done := u.syms[sym.Name]; done {
+			continue
+		}
+		u.syms[sym.Name] = sym
+		for _, rule := range sym.Rules {
+			for _, goal := range rule.Body {
+				ag, ok := goal.(*ast.AtomGoal)
+				if !ok {
+					continue
+				}
+				base := atomBase(ag.Atom)
+				if base == "" {
+					continue
+				}
+				ref := lp.Resolve(u.module, base)
+				if ref != nil && ref.Class == modsys.ClassNail && ref.Module == u.module {
+					work = append(work, ref)
+				}
+			}
+		}
+	}
+	return u
+}
+
+// atomBase returns the base functor name of an atom's predicate term, or ""
+// when the predicate is (or starts with) a variable.
+func atomBase(a *ast.AtomTerm) string {
+	switch pred := a.Pred.(type) {
+	case *ast.Const:
+		if pred.Val.Kind() == term.Str {
+			return pred.Val.Str()
+		}
+	case *ast.CompTerm:
+		if fn, ok := pred.Fn.(*ast.Const); ok && fn.Val.Kind() == term.Str {
+			return fn.Val.Str()
+		}
+	}
+	return ""
+}
+
+// universeSym resolves an atom to a universe predicate with a matching
+// shape.
+func (u *universe) universeSym(a *ast.AtomTerm) (*modsys.Symbol, bool) {
+	base := atomBase(a)
+	if base == "" {
+		return nil, false
+	}
+	sym, ok := u.syms[base]
+	if !ok {
+		return nil, false
+	}
+	switch pred := a.Pred.(type) {
+	case *ast.Const:
+		return sym, sym.NameArity == 0 && len(a.Args) == sym.Free
+	case *ast.CompTerm:
+		return sym, sym.NameArity == len(pred.Args) && len(a.Args) == sym.Free
+	}
+	return nil, false
+}
+
+// flatten returns the flattened argument list of a universe atom: name
+// arguments (for families) followed by value arguments.
+func flatten(a *ast.AtomTerm) []ast.Term {
+	if comp, ok := a.Pred.(*ast.CompTerm); ok {
+		out := make([]ast.Term, 0, len(comp.Args)+len(a.Args))
+		out = append(out, comp.Args...)
+		return append(out, a.Args...)
+	}
+	return a.Args
+}
+
+type generator struct {
+	u       *universe
+	opts    Options
+	target  *modsys.Symbol
+	adorn   string
+	rules   []drule
+	arities map[string]int // local relation name -> arity
+	// targetLocal is the local relation holding the answer.
+	targetLocal string
+	// seeds are statements emitted before the strata (magic seeding).
+	seeds []ast.Stmt
+	// magicMode is set during magic-set generation; negated predicates
+	// then evaluate through a disconnected "plain" sub-program (see
+	// ensurePlain) so the rewritten program stays stratified.
+	magicMode bool
+	plainDone map[string]bool
+}
+
+func (g *generator) declare(name string, arity int) {
+	g.arities[name] = arity
+}
+
+// localName mangles a predicate + adornment into a local relation name.
+func localName(pred, adorn string) string { return pred + "|" + adorn }
+
+// buildPlain flattens every universe rule, computing complete extensions.
+func (g *generator) buildPlain() error {
+	for _, sym := range g.u.syms {
+		name := localName(sym.Name, allFree(sym))
+		g.declare(name, flatArity(sym))
+		for _, rule := range sym.Rules {
+			dr, err := g.flattenRule(sym, rule)
+			if err != nil {
+				return err
+			}
+			g.rules = append(g.rules, dr)
+		}
+	}
+	g.targetLocal = localName(g.target.Name, allFree(g.target))
+	return nil
+}
+
+// ensurePlain adds an unadorned evaluation of the predicates reachable
+// from root, under "|plain" local names: every universe atom (positive or
+// negated) maps to its plain local. The sub-program has no magic
+// predicates, so nothing in it can depend on adorned predicates — it is a
+// self-contained lower stratum for negation under magic rewriting.
+func (g *generator) ensurePlain(root *modsys.Symbol) {
+	if g.plainDone == nil {
+		g.plainDone = map[string]bool{}
+	}
+	work := []*modsys.Symbol{root}
+	for len(work) > 0 {
+		sym := work[len(work)-1]
+		work = work[:len(work)-1]
+		if g.plainDone[sym.Name] {
+			continue
+		}
+		g.plainDone[sym.Name] = true
+		g.declare(localName(sym.Name, "plain"), flatArity(sym))
+		for _, rule := range sym.Rules {
+			dr := drule{head: latom{
+				name: localName(sym.Name, "plain"),
+				args: flatten(rule.Head),
+			}}
+			bad := false
+			for _, goal := range rule.Body {
+				if ag, ok := goal.(*ast.AtomGoal); ok {
+					if bsym, isU := g.u.universeSym(ag.Atom); isU && ag.Update == ast.UpdateNone {
+						dr.body = append(dr.body, dgoal{
+							local: &latom{
+								name: localName(bsym.Name, "plain"),
+								args: flatten(ag.Atom),
+							},
+							neg: ag.Negated,
+						})
+						work = append(work, bsym)
+						continue
+					}
+				}
+				dg, isAgg, err := g.flattenPassthrough(sym, goal)
+				if err != nil {
+					bad = true
+					break
+				}
+				dr.agg = dr.agg || isAgg
+				dr.body = append(dr.body, dg)
+			}
+			if !bad {
+				g.rules = append(g.rules, dr)
+			}
+		}
+	}
+}
+
+// flattenPassthrough handles the non-universe goals of a rule (EDB atoms,
+// comparisons, aggregation) identically to flattenGoal's fallthrough.
+func (g *generator) flattenPassthrough(sym *modsys.Symbol, goal ast.Goal) (dgoal, bool, error) {
+	switch goal := goal.(type) {
+	case *ast.AtomGoal:
+		if goal.Update != ast.UpdateNone {
+			return dgoal{}, false, errf(sym.Module, sym.Name,
+				"NAIL! rules cannot contain update subgoals")
+		}
+		return dgoal{g: goal}, false, nil
+	case *ast.AggGoal, *ast.GroupByGoal:
+		return dgoal{g: goal}, true, nil
+	case *ast.CmpGoal:
+		return dgoal{g: goal}, false, nil
+	}
+	return dgoal{}, false, errf(sym.Module, sym.Name, "goal not allowed in a NAIL! rule")
+}
+
+// flattenRule rewrites one rule for plain generation: universe body atoms
+// become all-free local atoms.
+func (g *generator) flattenRule(sym *modsys.Symbol, rule *ast.Rule) (drule, error) {
+	dr := drule{head: latom{
+		name: localName(sym.Name, allFree(sym)),
+		args: flatten(rule.Head),
+	}}
+	for _, goal := range rule.Body {
+		dg, isAgg, err := g.flattenGoal(sym, goal, nil)
+		if err != nil {
+			return dr, err
+		}
+		dr.agg = dr.agg || isAgg
+		dr.body = append(dr.body, dg)
+	}
+	return dr, nil
+}
+
+// flattenGoal rewrites one body goal; adornFor (nil in plain mode) chooses
+// the adorned local for positive universe atoms.
+func (g *generator) flattenGoal(sym *modsys.Symbol, goal ast.Goal,
+	adornFor func(bsym *modsys.Symbol, a *ast.AtomTerm) string) (dgoal, bool, error) {
+	switch goal := goal.(type) {
+	case *ast.AtomGoal:
+		if goal.Update != ast.UpdateNone {
+			return dgoal{}, false, errf(sym.Module, sym.Name,
+				"NAIL! rules cannot contain update subgoals")
+		}
+		if bsym, ok := g.u.universeSym(goal.Atom); ok {
+			var name string
+			switch {
+			case goal.Negated && g.magicMode:
+				// Negated predicates need their complete extension. Under
+				// magic rewriting they evaluate through a disconnected
+				// unadorned sub-program: sharing adorned locals would let
+				// the negated predicate's magic rules depend on the
+				// negating rule's prefix, creating a negative cycle in an
+				// otherwise stratified program.
+				name = localName(bsym.Name, "plain")
+				g.ensurePlain(bsym)
+			case goal.Negated:
+				name = localName(bsym.Name, allFree(bsym))
+			case adornFor != nil:
+				name = localName(bsym.Name, adornFor(bsym, goal.Atom))
+			default:
+				name = localName(bsym.Name, allFree(bsym))
+			}
+			return dgoal{
+				local: &latom{name: name, args: flatten(goal.Atom)},
+				neg:   goal.Negated,
+			}, false, nil
+		}
+		return dgoal{g: goal}, false, nil
+	case *ast.AggGoal, *ast.GroupByGoal:
+		return dgoal{g: goal}, true, nil
+	case *ast.CmpGoal:
+		return dgoal{g: goal}, false, nil
+	}
+	return dgoal{}, false, errf(sym.Module, sym.Name, "goal not allowed in a NAIL! rule")
+}
+
+func markTermVars(ts []ast.Term, bound map[string]bool) {
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch t := t.(type) {
+		case *ast.VarTerm:
+			if !t.IsAnon() {
+				bound[t.Name] = true
+			}
+		case *ast.CompTerm:
+			walk(t.Fn)
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, t := range ts {
+		walk(t)
+	}
+}
+
+func termVarsBound(t ast.Term, bound map[string]bool) bool {
+	switch t := t.(type) {
+	case *ast.Const:
+		return true
+	case *ast.VarTerm:
+		if t.IsAnon() {
+			return false
+		}
+		return bound[t.Name]
+	case *ast.CompTerm:
+		if !termVarsBound(t.Fn, bound) {
+			return false
+		}
+		for _, a := range t.Args {
+			if !termVarsBound(a, bound) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package parser
+
+import "testing"
+
+const benchSrc = `
+module sample;
+export reach(X:Y);
+edb edge(A,B), weight(A,B,W);
+reach(X,Y) :- edge(X,Y).
+reach(X,Z) :- reach(X,Y) & edge(Y,Z).
+heavy(X,Y) :- weight(X,Y,W) & W > 100.
+proc scan(X:Y)
+rels seen(A);
+  seen(Y) := in(X) & edge(X,Y).
+  repeat
+    seen(Z) += seen(Y) & edge(Y,Z) & Z != X.
+  until unchanged(seen(_));
+  return(X:Y) := seen(Y).
+end
+end
+`
+
+func BenchmarkParseModule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseGoals(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseGoals("reach(X,Y) & weight(X,Y,W) & W > 10 & M = max(W)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,954 @@
+// Package parser builds the AST for Glue and NAIL! source. A file contains
+// either explicit modules (`module m; ... end`) or, as a convenience for
+// scripts and the REPL, bare items that are wrapped in an implicit module
+// named "main" with everything exported.
+package parser
+
+import (
+	"fmt"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/lexer"
+	"gluenail/internal/term"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	if p.peekIdent("module") {
+		for !p.atEOF() {
+			m, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			prog.Modules = append(prog.Modules, m)
+		}
+		return prog, nil
+	}
+	// Implicit script module.
+	m := &ast.Module{Name: "main", Pos: p.posHere()}
+	for !p.atEOF() {
+		if err := p.parseItem(m); err != nil {
+			return nil, err
+		}
+	}
+	prog.Modules = append(prog.Modules, m)
+	return prog, nil
+}
+
+// ParseGoals parses a conjunction of goals, as typed at the query prompt;
+// a trailing '.' is optional.
+func ParseGoals(src string) ([]ast.Goal, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	goals, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKind(lexer.Dot) {
+		p.next()
+	}
+	if !p.atEOF() {
+		return nil, p.errHere("unexpected %s after query", p.cur())
+	}
+	return goals, nil
+}
+
+func (p *parser) cur() lexer.Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	if len(p.toks) == 0 {
+		return lexer.Token{Kind: lexer.EOF, Line: 1, Col: 1}
+	}
+	last := p.toks[len(p.toks)-1]
+	return lexer.Token{Kind: lexer.EOF, Line: last.Line, Col: last.Col + 1}
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.cur().Kind == lexer.EOF }
+
+func (p *parser) peekKind(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) peekIdent(name string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Ident && t.Text == name
+}
+
+func (p *parser) posHere() ast.Pos {
+	t := p.cur()
+	return ast.Pos{Line: t.Line, Col: t.Col}
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if !p.peekKind(k) {
+		return lexer.Token{}, p.errHere("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent(name string) error {
+	if !p.peekIdent(name) {
+		return p.errHere("expected %q, found %s", name, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseModule() (*ast.Module, error) {
+	m := &ast.Module{Pos: p.posHere()}
+	if err := p.expectIdent("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name.Text
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	for {
+		if p.peekIdent("end") {
+			p.next()
+			// Optional trailing semicolon or dot after module end.
+			if p.peekKind(lexer.Semi) || p.peekKind(lexer.Dot) {
+				p.next()
+			}
+			return m, nil
+		}
+		if p.atEOF() {
+			return nil, p.errHere("unexpected end of input in module %s", m.Name)
+		}
+		if err := p.parseItem(m); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseItem(m *ast.Module) error {
+	t := p.cur()
+	if t.Kind == lexer.Ident {
+		switch t.Text {
+		case "export":
+			return p.parseExport(m)
+		case "from":
+			return p.parseImport(m)
+		case "edb":
+			return p.parseEDB(m)
+		case "proc", "procedure":
+			proc, err := p.parseProc()
+			if err != nil {
+				return err
+			}
+			m.Procs = append(m.Procs, proc)
+			return nil
+		}
+	}
+	// Otherwise it must be a NAIL! rule.
+	r, err := p.parseRule()
+	if err != nil {
+		return err
+	}
+	m.Rules = append(m.Rules, r)
+	return nil
+}
+
+// parseSig parses name(B1,..:F1,..) or name(A1,..) (all free).
+func (p *parser) parseSig() (ast.PredSig, error) {
+	sig := ast.PredSig{Pos: p.posHere()}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return sig, err
+	}
+	sig.Name = name.Text
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return sig, err
+	}
+	bound, sawColon, err := p.parseSigVars()
+	if err != nil {
+		return sig, err
+	}
+	if sawColon {
+		free, sawColon2, err := p.parseSigVars()
+		if err != nil {
+			return sig, err
+		}
+		if sawColon2 {
+			return sig, p.errHere("unexpected second ':' in signature")
+		}
+		sig.Bound, sig.Free = bound, free
+	} else {
+		sig.Free = bound
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return sig, err
+	}
+	return sig, nil
+}
+
+// parseSigVars counts variables up to ':' or ')'.
+func (p *parser) parseSigVars() (n int, sawColon bool, err error) {
+	for {
+		switch {
+		case p.peekKind(lexer.RParen):
+			return n, false, nil
+		case p.peekKind(lexer.Colon):
+			p.next()
+			return n, true, nil
+		case p.peekKind(lexer.Var), p.peekKind(lexer.Ident):
+			p.next()
+			n++
+			if p.peekKind(lexer.Comma) {
+				p.next()
+			}
+		default:
+			return 0, false, p.errHere("expected argument name, found %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseExport(m *ast.Module) error {
+	p.next() // export
+	for {
+		sig, err := p.parseSig()
+		if err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, sig)
+		if p.peekKind(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(lexer.Semi)
+	return err
+}
+
+func (p *parser) parseImport(m *ast.Module) error {
+	pos := p.posHere()
+	p.next() // from
+	from, err := p.expect(lexer.Ident)
+	if err != nil {
+		return err
+	}
+	if err := p.expectIdent("import"); err != nil {
+		return err
+	}
+	imp := ast.Import{From: from.Text, Pos: pos}
+	for {
+		sig, err := p.parseSig()
+		if err != nil {
+			return err
+		}
+		imp.Sigs = append(imp.Sigs, sig)
+		if p.peekKind(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return err
+	}
+	m.Imports = append(m.Imports, imp)
+	return nil
+}
+
+func (p *parser) parseEDB(m *ast.Module) error {
+	p.next() // edb
+	for {
+		sig, err := p.parseSig()
+		if err != nil {
+			return err
+		}
+		if sig.Bound != 0 {
+			return p.errHere("EDB relation %s cannot have bound arguments", sig.Name)
+		}
+		m.EDB = append(m.EDB, sig)
+		if p.peekKind(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(lexer.Semi)
+	return err
+}
+
+func (p *parser) parseProc() (*ast.Proc, error) {
+	proc := &ast.Proc{Pos: p.posHere()}
+	p.next() // proc / procedure
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	proc.Name = name.Text
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	proc.BoundParams, err = p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Colon); err != nil {
+		return nil, err
+	}
+	proc.FreeParams, err = p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	if p.peekIdent("rels") {
+		p.next()
+		for {
+			sig, err := p.parseSig()
+			if err != nil {
+				return nil, err
+			}
+			if sig.Bound != 0 {
+				return nil, p.errHere("local relation %s cannot have bound arguments", sig.Name)
+			}
+			proc.Locals = append(proc.Locals, sig)
+			if p.peekKind(lexer.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+	}
+	proc.Body, err = p.parseStmtsUntil("end")
+	if err != nil {
+		return nil, err
+	}
+	p.next() // end
+	return proc, nil
+}
+
+func (p *parser) parseParamList() ([]string, error) {
+	var out []string
+	for p.peekKind(lexer.Var) {
+		out = append(out, p.next().Text)
+		if p.peekKind(lexer.Comma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	return out, nil
+}
+
+// parseStmtsUntil parses statements until the terminator identifier.
+func (p *parser) parseStmtsUntil(terms ...string) ([]ast.Stmt, error) {
+	var out []ast.Stmt
+	for {
+		for _, t := range terms {
+			if p.peekIdent(t) {
+				return out, nil
+			}
+		}
+		if p.atEOF() {
+			return nil, p.errHere("unexpected end of input, expected %q", terms[0])
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	if p.peekIdent("repeat") {
+		return p.parseRepeat()
+	}
+	return p.parseAssign()
+}
+
+func (p *parser) parseRepeat() (ast.Stmt, error) {
+	rep := &ast.Repeat{Pos: p.posHere()}
+	p.next() // repeat
+	body, err := p.parseStmtsUntil("until")
+	if err != nil {
+		return nil, err
+	}
+	rep.Body = body
+	p.next() // until
+	if p.peekKind(lexer.LBrace) {
+		p.next()
+		for {
+			conj, err := p.parseConj()
+			if err != nil {
+				return nil, err
+			}
+			rep.Until = append(rep.Until, conj)
+			if p.peekKind(lexer.Bar) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(lexer.RBrace); err != nil {
+			return nil, err
+		}
+	} else {
+		conj, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		rep.Until = [][]ast.Goal{conj}
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (p *parser) parseAssign() (ast.Stmt, error) {
+	a := &ast.Assign{Pos: p.posHere()}
+	// Head: return(B..:F..) or atom.
+	if p.peekIdent("return") {
+		pos := p.posHere()
+		p.next()
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		a.IsReturn = true
+		var args []ast.Term
+		sawColon := false
+		for !p.peekKind(lexer.RParen) {
+			if p.peekKind(lexer.Colon) {
+				if sawColon {
+					return nil, p.errHere("second ':' in return head")
+				}
+				sawColon = true
+				a.HeadBound = len(args)
+				p.next()
+				continue
+			}
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.peekKind(lexer.Comma) {
+				p.next()
+			}
+		}
+		p.next() // )
+		if !sawColon {
+			a.HeadBound = 0
+		}
+		a.Head = &ast.AtomTerm{
+			Pred: &ast.Const{Val: term.NewString("return"), Pos: pos},
+			Args: args, Pos: pos,
+		}
+	} else {
+		head, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		a.Head = head
+	}
+	// Operator.
+	switch p.cur().Kind {
+	case lexer.Assign:
+		a.Op = ast.OpAssign
+		p.next()
+	case lexer.PlusEq:
+		a.Op = ast.OpInsert
+		p.next()
+		if p.peekKind(lexer.LBracket) {
+			a.Op = ast.OpModify
+			p.next()
+			for p.peekKind(lexer.Var) {
+				a.Key = append(a.Key, p.next().Text)
+				if p.peekKind(lexer.Comma) {
+					p.next()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+			if len(a.Key) == 0 {
+				return nil, p.errHere("modify assignment needs at least one key variable")
+			}
+		}
+	case lexer.MinusEq:
+		a.Op = ast.OpDelete
+		p.next()
+	default:
+		return nil, p.errHere("expected assignment operator, found %s", p.cur())
+	}
+	body, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	if _, err := p.expect(lexer.Dot); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseRule() (*ast.Rule, error) {
+	r := &ast.Rule{Pos: p.posHere()}
+	head, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	r.Head = head
+	if p.peekKind(lexer.Implies) {
+		p.next()
+		body, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = body
+	}
+	if _, err := p.expect(lexer.Dot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseConj() ([]ast.Goal, error) {
+	var goals []ast.Goal
+	for {
+		g, err := p.parseGoal()
+		if err != nil {
+			return nil, err
+		}
+		goals = append(goals, g)
+		if p.peekKind(lexer.Amp) {
+			p.next()
+			continue
+		}
+		return goals, nil
+	}
+}
+
+func (p *parser) parseGoal() (ast.Goal, error) {
+	pos := p.posHere()
+	switch p.cur().Kind {
+	case lexer.Bang:
+		p.next()
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AtomGoal{Atom: atom, Negated: true, Pos: pos}, nil
+	case lexer.PlusPlus:
+		p.next()
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AtomGoal{Atom: atom, Update: ast.UpdateInsert, Pos: pos}, nil
+	case lexer.MinusMinus:
+		p.next()
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AtomGoal{Atom: atom, Update: ast.UpdateDelete, Pos: pos}, nil
+	}
+	// Special builtins with goal arguments.
+	if p.cur().Kind == lexer.Ident {
+		switch p.cur().Text {
+		case "group_by":
+			p.next()
+			if _, err := p.expect(lexer.LParen); err != nil {
+				return nil, err
+			}
+			var vars []string
+			for {
+				v, err := p.expect(lexer.Var)
+				if err != nil {
+					return nil, err
+				}
+				vars = append(vars, v.Text)
+				if p.peekKind(lexer.Comma) {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			return &ast.GroupByGoal{Vars: vars, Pos: pos}, nil
+		case "unchanged", "empty":
+			kind := p.next().Text
+			if _, err := p.expect(lexer.LParen); err != nil {
+				return nil, err
+			}
+			atom, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			if kind == "unchanged" {
+				return &ast.UnchangedGoal{Atom: atom, Pos: pos}, nil
+			}
+			return &ast.EmptyGoal{Atom: atom, Pos: pos}, nil
+		}
+	}
+	// General case: parse an expression; a following comparison operator
+	// makes this a comparison/aggregation goal, otherwise it must be a
+	// predicate atom.
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOpFor(p.cur().Kind); ok {
+		p.next()
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// V = agg(T) is an aggregation goal (§3.3).
+		if op == ast.CmpEq {
+			if g := asAggGoal(left, right, pos); g != nil {
+				return g, nil
+			}
+			if g := asAggGoal(right, left, pos); g != nil {
+				return g, nil
+			}
+		}
+		return &ast.CmpGoal{Op: op, L: left, R: right, Pos: pos}, nil
+	}
+	atom, err := exprToAtom(left)
+	if err != nil {
+		return nil, &Error{Line: pos.Line, Col: pos.Col, Msg: err.Error()}
+	}
+	return &ast.AtomGoal{Atom: atom, Pos: pos}, nil
+}
+
+// asAggGoal recognizes Var = aggop(Term).
+func asAggGoal(varSide, aggSide ast.Expr, pos ast.Pos) ast.Goal {
+	vt, ok := varSide.(*ast.TermExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := vt.T.(*ast.VarTerm)
+	if !ok {
+		return nil
+	}
+	at, ok := aggSide.(*ast.TermExpr)
+	if !ok {
+		return nil
+	}
+	c, ok := at.T.(*ast.CompTerm)
+	if !ok || len(c.Args) != 1 {
+		return nil
+	}
+	fn, ok := c.Fn.(*ast.Const)
+	if !ok || fn.Val.Kind() != term.Str || !ast.AggOps[fn.Val.Str()] {
+		return nil
+	}
+	return &ast.AggGoal{Var: v.Name, Op: fn.Val.Str(), Arg: c.Args[0], Pos: pos}
+}
+
+func cmpOpFor(k lexer.Kind) (ast.CmpOp, bool) {
+	switch k {
+	case lexer.Eq:
+		return ast.CmpEq, true
+	case lexer.Ne:
+		return ast.CmpNe, true
+	case lexer.Lt:
+		return ast.CmpLt, true
+	case lexer.Le:
+		return ast.CmpLe, true
+	case lexer.Gt:
+		return ast.CmpGt, true
+	case lexer.Ge:
+		return ast.CmpGe, true
+	}
+	return 0, false
+}
+
+// exprToAtom reinterprets a parsed expression as a predicate atom.
+func exprToAtom(e ast.Expr) (*ast.AtomTerm, error) {
+	te, ok := e.(*ast.TermExpr)
+	if !ok {
+		return nil, fmt.Errorf("expected a predicate subgoal, found an arithmetic expression")
+	}
+	switch t := te.T.(type) {
+	case *ast.CompTerm:
+		return &ast.AtomTerm{Pred: t.Fn, Args: t.Args, Pos: t.Pos}, nil
+	case *ast.Const:
+		if t.Val.Kind() == term.Str {
+			// Bare arity-0 predicate, e.g. `until done`.
+			return &ast.AtomTerm{Pred: t, Pos: t.Pos}, nil
+		}
+	}
+	return nil, fmt.Errorf("expected a predicate subgoal")
+}
+
+// parseAtom parses pred(args...) where pred may be an atom, a variable, or
+// a compound term (HiLog).
+func (p *parser) parseAtom() (*ast.AtomTerm, error) {
+	pos := p.posHere()
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	switch t := t.(type) {
+	case *ast.CompTerm:
+		return &ast.AtomTerm{Pred: t.Fn, Args: t.Args, Pos: pos}, nil
+	case *ast.Const:
+		if t.Val.Kind() == term.Str {
+			return &ast.AtomTerm{Pred: t, Pos: pos}, nil
+		}
+	case *ast.VarTerm:
+		return nil, p.errHere("predicate variable %s must be applied to arguments", t.Name)
+	}
+	return nil, p.errHere("expected a predicate atom")
+}
+
+// parseTerm parses a term: constant, variable, or compound with HiLog
+// application chains.
+func (p *parser) parseTerm() (ast.Term, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	t, err := exprToTerm(e)
+	if err != nil {
+		return nil, p.errHere("%v", err)
+	}
+	return t, nil
+}
+
+// exprToTerm converts an expression to a pure term, rejecting arithmetic.
+func exprToTerm(e ast.Expr) (ast.Term, error) {
+	switch e := e.(type) {
+	case *ast.TermExpr:
+		return e.T, nil
+	case *ast.NegExpr:
+		if te, ok := e.X.(*ast.TermExpr); ok {
+			if c, ok := te.T.(*ast.Const); ok {
+				switch c.Val.Kind() {
+				case term.Int:
+					return &ast.Const{Val: term.NewInt(-c.Val.Int()), Pos: c.Pos}, nil
+				case term.Float:
+					return &ast.Const{Val: term.NewFloat(-c.Val.Float()), Pos: c.Pos}, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("arithmetic is not allowed inside term arguments; bind it with '=' first")
+}
+
+// Expression grammar with precedence: add < mul < unary < postfix.
+func (p *parser) parseExpr() (ast.Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinOp
+		switch p.cur().Kind {
+		case lexer.Plus:
+			op = ast.OpAdd
+		case lexer.Minus:
+			op = ast.OpSub
+		default:
+			return left, nil
+		}
+		pos := p.posHere()
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinOp
+		switch {
+		case p.peekKind(lexer.Star):
+			op = ast.OpMul
+		case p.peekKind(lexer.Slash):
+			op = ast.OpDiv
+		case p.peekIdent("mod"):
+			op = ast.OpMod
+		default:
+			return left, nil
+		}
+		pos := p.posHere()
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.peekKind(lexer.Minus) {
+		pos := p.posHere()
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately.
+		if te, ok := x.(*ast.TermExpr); ok {
+			if c, ok := te.T.(*ast.Const); ok {
+				switch c.Val.Kind() {
+				case term.Int:
+					return &ast.TermExpr{T: &ast.Const{Val: term.NewInt(-c.Val.Int()), Pos: c.Pos}}, nil
+				case term.Float:
+					return &ast.TermExpr{T: &ast.Const{Val: term.NewFloat(-c.Val.Float()), Pos: c.Pos}}, nil
+				}
+			}
+		}
+		return &ast.NegExpr{X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	pos := p.posHere()
+	t := p.cur()
+	switch t.Kind {
+	case lexer.Int:
+		p.next()
+		return &ast.TermExpr{T: &ast.Const{Val: term.NewInt(t.I), Pos: pos}}, nil
+	case lexer.Float:
+		p.next()
+		return &ast.TermExpr{T: &ast.Const{Val: term.NewFloat(t.F), Pos: pos}}, nil
+	case lexer.Str:
+		p.next()
+		e := ast.Expr(&ast.TermExpr{T: &ast.Const{Val: term.NewString(t.Text), Pos: pos}})
+		return p.parseApplications(e)
+	case lexer.Ident:
+		p.next()
+		e := ast.Expr(&ast.TermExpr{T: &ast.Const{Val: term.NewString(t.Text), Pos: pos}})
+		return p.parseApplications(e)
+	case lexer.Var:
+		p.next()
+		e := ast.Expr(&ast.TermExpr{T: &ast.VarTerm{Name: t.Text, Pos: pos}})
+		return p.parseApplications(e)
+	case lexer.LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errHere("expected a term, found %s", p.cur())
+}
+
+// parseApplications parses zero or more HiLog application suffixes
+// "(args...)" and builtin-function calls.
+func (p *parser) parseApplications(e ast.Expr) (ast.Expr, error) {
+	for p.peekKind(lexer.LParen) {
+		pos := p.posHere()
+		p.next()
+		var args []ast.Expr
+		for !p.peekKind(lexer.RParen) {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peekKind(lexer.Comma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		// A builtin expression function (strcat etc.) stays a CallExpr;
+		// anything else must have pure-term arguments and becomes a
+		// compound term.
+		if te, ok := e.(*ast.TermExpr); ok {
+			if c, ok := te.T.(*ast.Const); ok && c.Val.Kind() == term.Str {
+				if want, isFn := ast.ExprFns[c.Val.Str()]; isFn {
+					if len(args) != want {
+						return nil, &Error{Line: pos.Line, Col: pos.Col,
+							Msg: fmt.Sprintf("%s expects %d arguments, got %d", c.Val.Str(), want, len(args))}
+					}
+					e = &ast.CallExpr{Fn: c.Val.Str(), Args: args, Pos: pos}
+					continue
+				}
+			}
+		}
+		fnTerm, err := exprToTerm(e)
+		if err != nil {
+			return nil, &Error{Line: pos.Line, Col: pos.Col, Msg: err.Error()}
+		}
+		termArgs := make([]ast.Term, len(args))
+		for i, a := range args {
+			ta, err := exprToTerm(a)
+			if err != nil {
+				return nil, &Error{Line: pos.Line, Col: pos.Col, Msg: err.Error()}
+			}
+			termArgs[i] = ta
+		}
+		e = &ast.TermExpr{T: &ast.CompTerm{Fn: fnTerm, Args: termArgs, Pos: pos}}
+	}
+	return e, nil
+}

@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatProcShowsStructure(t *testing.T) {
+	c := compileSrc(t, `
+edb a(X,Y), big(X,Y,V), out(X);
+proc helper(X:Y)
+  return(X:Y) := a(X,Y).
+end
+proc go(:)
+rels tmp(X);
+  tmp(X) := a(X,Y) & helper(Y, Z) & Z != X.
+  repeat
+    tmp(X) += a(X,_) & ++out(X).
+  until { unchanged(tmp(_)) | empty(a(_,_)) };
+  big(X, Y, M) := a(X,Y) & group_by(X) & M = count(Y).
+  return(:) := tmp(_).
+end
+`, Options{})
+	text := FormatProc(c.Program().Procs["main.go"])
+	for _, want := range []string{
+		"proc main.go (0:0) fixed",
+		"locals: tmp/1",
+		"match edb:a/2",
+		"call main.helper",
+		"compare",
+		"loop {",
+		"} until any of:",
+		"unchanged site=",
+		"empty edb:a/2",
+		"update insert edb:out/1",
+		"group-by",
+		"aggregate",
+		"dedup",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatProc missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormatProcDynamicOps(t *testing.T) {
+	c := compileSrc(t, `
+edb holder(S), s1(X), out(X), attends(N, ID);
+students(ID)(N) :- attends(N, ID).
+proc go(:)
+  out(X) := holder(S) & S(X).
+  return(:) := out(_).
+end
+`, Options{})
+	text := FormatProc(c.Program().Procs["main.go"])
+	if !strings.Contains(text, "dyn-call") {
+		t.Errorf("missing dyn-call:\n%s", text)
+	}
+	fam := FormatProc(c.Program().Procs["main.students@ff"])
+	if !strings.Contains(fam, "proc main.students@ff (0:2)") {
+		t.Errorf("family proc header wrong:\n%s", fam)
+	}
+}
+
+func TestFormatExprAndHeadKinds(t *testing.T) {
+	c := compileSrc(t, `
+edb src(X), tgt(K, V);
+proc go(:)
+  tgt(X, Y) +=[X] src(X) & Y = strcat('a', 'b') & wrap(X)(Y) = wrap(X)(Y).
+  return(:) := src(_).
+end
+`, Options{})
+	text := FormatProc(c.Program().Procs["main.go"])
+	for _, want := range []string{"key=", "strcat("} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q:\n%s", want, text)
+		}
+	}
+}

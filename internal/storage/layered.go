@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"sync"
+
+	"gluenail/internal/term"
+)
+
+// LayeredStore simulates building the deductive system on top of an existing
+// protected relational DBMS, the design §10 of the paper calls a mistake:
+// "in a traditional relational database there are few relations, they live
+// for a long time ... [deductive] relations do not need the level of
+// protection that a relational database provides, and in fact the system
+// wastes much of its time performing such tasks."
+//
+// Every operation pays for the protections a general-purpose DBMS imposes:
+//
+//   - a catalog probe (name resolution through a second hash table),
+//   - a latch acquire/release (even though the workload is single-user),
+//   - write-ahead logging of every mutation (encoded tuple appended to an
+//     in-memory log, counted in Stats.LogBytes), and
+//   - logged relation creation/destruction, making short-lived temporaries
+//     expensive.
+//
+// It is functionally identical to MemStore and exists as the measured
+// baseline for experiment E8.
+type LayeredStore struct {
+	inner   *MemStore
+	catalog map[string]RelName
+	mu      sync.Mutex
+	log     []byte
+}
+
+// NewLayeredStore returns a layered baseline store with the given index
+// policy for its underlying relations.
+func NewLayeredStore(policy IndexPolicy) *LayeredStore {
+	return &LayeredStore{
+		inner:   NewMemStore(policy),
+		catalog: make(map[string]RelName),
+	}
+}
+
+// latch charges the cost of a latch acquire/release at operation entry.
+// The workload is single-user (§10), so the latch is not held across scan
+// callbacks — nested scans would self-deadlock — but every operation still
+// pays for an uncontended lock/unlock pair, which is the cost being
+// simulated.
+func (s *LayeredStore) latch() func() {
+	s.mu.Lock()
+	s.inner.stats.LatchAcquires++
+	s.mu.Unlock()
+	return func() {}
+}
+
+func (s *LayeredStore) catalogLookup(name term.Value, arity int) string {
+	k := relKey(name, arity)
+	s.inner.stats.CatalogProbes++
+	if _, ok := s.catalog[k]; !ok {
+		s.catalog[k] = RelName{Name: name, Arity: arity}
+	}
+	return k
+}
+
+func (s *LayeredStore) appendLog(op byte, name term.Value, t term.Tuple) {
+	s.log = append(s.log, op)
+	s.log = term.AppendValue(s.log, name)
+	for i := range t {
+		s.log = term.AppendValue(s.log, t[i])
+	}
+	s.inner.stats.LogBytes = int64(len(s.log))
+}
+
+// Ensure implements Store; creation is logged.
+func (s *LayeredStore) Ensure(name term.Value, arity int) Rel {
+	defer s.latch()()
+	s.catalogLookup(name, arity)
+	if r, ok := s.inner.Get(name, arity); ok {
+		return &layeredRel{store: s, inner: r.(*Relation)}
+	}
+	s.appendLog('C', name, nil)
+	return &layeredRel{store: s, inner: s.inner.ensure(name, arity)}
+}
+
+// Get implements Store.
+func (s *LayeredStore) Get(name term.Value, arity int) (Rel, bool) {
+	defer s.latch()()
+	s.catalogLookup(name, arity)
+	r, ok := s.inner.Get(name, arity)
+	if !ok {
+		return nil, false
+	}
+	return &layeredRel{store: s, inner: r.(*Relation)}, true
+}
+
+// Drop implements Store; destruction is logged.
+func (s *LayeredStore) Drop(name term.Value, arity int) {
+	defer s.latch()()
+	s.catalogLookup(name, arity)
+	s.appendLog('D', name, nil)
+	s.inner.Drop(name, arity)
+}
+
+// Names implements Store.
+func (s *LayeredStore) Names() []RelName {
+	defer s.latch()()
+	return s.inner.Names()
+}
+
+// Stats implements Store.
+func (s *LayeredStore) Stats() *Stats { return s.inner.Stats() }
+
+// layeredRel wraps a Relation, charging the DBMS toll on every operation.
+type layeredRel struct {
+	store *LayeredStore
+	inner *Relation
+}
+
+func (r *layeredRel) Name() term.Value { return r.inner.Name() }
+func (r *layeredRel) Arity() int       { return r.inner.Arity() }
+
+func (r *layeredRel) Len() int {
+	defer r.store.latch()()
+	return r.inner.Len()
+}
+
+func (r *layeredRel) Version() uint64 {
+	defer r.store.latch()()
+	return r.inner.Version()
+}
+
+func (r *layeredRel) Insert(t term.Tuple) bool {
+	defer r.store.latch()()
+	r.store.catalogLookup(r.inner.name, r.inner.arity)
+	if r.inner.Insert(t) {
+		r.store.appendLog('I', r.inner.name, t)
+		return true
+	}
+	return false
+}
+
+func (r *layeredRel) Delete(t term.Tuple) bool {
+	defer r.store.latch()()
+	r.store.catalogLookup(r.inner.name, r.inner.arity)
+	if r.inner.Delete(t) {
+		r.store.appendLog('X', r.inner.name, t)
+		return true
+	}
+	return false
+}
+
+func (r *layeredRel) Contains(t term.Tuple) bool {
+	defer r.store.latch()()
+	r.store.catalogLookup(r.inner.name, r.inner.arity)
+	return r.inner.Contains(t)
+}
+
+func (r *layeredRel) Clear() {
+	defer r.store.latch()()
+	r.store.appendLog('D', r.inner.name, nil)
+	r.inner.Clear()
+}
+
+func (r *layeredRel) Scan(yield func(term.Tuple) bool) {
+	defer r.store.latch()()
+	r.store.catalogLookup(r.inner.name, r.inner.arity)
+	r.inner.Scan(yield)
+}
+
+func (r *layeredRel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
+	defer r.store.latch()()
+	r.store.catalogLookup(r.inner.name, r.inner.arity)
+	r.inner.Lookup(mask, key, yield)
+}
+
+func (r *layeredRel) UnionDiff(batch []term.Tuple) []term.Tuple {
+	var delta []term.Tuple
+	for _, t := range batch {
+		if r.Insert(t) {
+			delta = append(delta, t)
+		}
+	}
+	return delta
+}
+
+func (r *layeredRel) ModifyByKey(mask uint32, rows []term.Tuple) {
+	for _, row := range rows {
+		var victims []term.Tuple
+		r.Lookup(mask, row, func(t term.Tuple) bool {
+			victims = append(victims, t)
+			return true
+		})
+		for _, v := range victims {
+			r.Delete(v)
+		}
+		r.Insert(row)
+	}
+}
+
+func (r *layeredRel) All() []term.Tuple {
+	defer r.store.latch()()
+	return r.inner.All()
+}

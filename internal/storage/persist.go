@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gluenail/internal/term"
+)
+
+// EDB persistence (§10: the back end manages "relations in main memory as
+// much as possible, storing EDB relations on disk between runs").
+
+// magic identifies a Glue-Nail EDB image; the trailing digit is the format
+// version.
+var magic = []byte("GLUENAIL-EDB1\n")
+
+// Save writes every relation of the store to w in a deterministic order.
+func Save(w io.Writer, s Store) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	names := s.Names()
+	sort.Slice(names, func(i, j int) bool {
+		if c := names[i].Name.Compare(names[j].Name); c != 0 {
+			return c < 0
+		}
+		return names[i].Arity < names[j].Arity
+	})
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, rn := range names {
+		rel, _ := s.Get(rn.Name, rn.Arity)
+		buf = buf[:0]
+		buf = term.AppendValue(buf, rn.Name)
+		buf = binary.AppendUvarint(buf, uint64(rn.Arity))
+		buf = binary.AppendUvarint(buf, uint64(rel.Len()))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		tuples := Sorted(rel)
+		for _, t := range tuples {
+			if err := term.WriteTuple(bw, t); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an EDB image from r into the store, adding to any existing
+// contents.
+func Load(r io.Reader, s Store) error {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("storage: reading EDB header: %w", err)
+	}
+	if string(head) != string(magic) {
+		return fmt.Errorf("storage: not a Glue-Nail EDB image")
+	}
+	nRels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("storage: reading relation count: %w", err)
+	}
+	for i := uint64(0); i < nRels; i++ {
+		name, err := term.ReadValue(br)
+		if err != nil {
+			return fmt.Errorf("storage: reading relation name: %w", err)
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("storage: reading arity of %v: %w", name, err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("storage: reading tuple count of %v: %w", name, err)
+		}
+		rel := s.Ensure(name, int(arity))
+		for j := uint64(0); j < n; j++ {
+			t, err := term.ReadTuple(br)
+			if err != nil {
+				return fmt.Errorf("storage: reading tuple %d of %v: %w", j, name, err)
+			}
+			if len(t) != int(arity) {
+				return fmt.Errorf("storage: tuple arity %d != %d in %v", len(t), arity, name)
+			}
+			rel.Insert(t)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the store to path atomically (write temp file, rename).
+func SaveFile(path string, s Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads an EDB image from path into the store.
+func LoadFile(path string, s Store) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, s)
+}

@@ -1,0 +1,373 @@
+// Package storage implements the Glue-Nail relational back end described in
+// §10 of the paper: a main-memory relation manager tailored to deductive
+// database workloads. Relations are duplicate-free sets of ground tuples
+// with hash-bucket storage, adaptive run-time index creation, a uniondiff
+// operator supporting compiled recursive NAIL! queries, and disk persistence
+// for EDB relations between runs.
+//
+// The package also provides a deliberately pessimized LayeredStore that
+// simulates building the system on top of a protected relational DBMS
+// (write-ahead logging, latching, catalog indirection per operation), the
+// design the paper argues is a mistake for the hundreds of small short-lived
+// temporaries a deductive program creates.
+package storage
+
+import (
+	"sort"
+
+	"gluenail/internal/term"
+)
+
+// IndexPolicy controls when a relation builds hash indexes for repeated
+// column-subset lookups.
+type IndexPolicy uint8
+
+const (
+	// IndexAdaptive builds an index on a column subset once the cumulative
+	// cost of scanning for that subset reaches the cost of building the
+	// index (§10: "an index could be created for a relation after the
+	// cumulative cost of selection by scanning the relation reaches the
+	// cost of creating the index").
+	IndexAdaptive IndexPolicy = iota
+	// IndexNever answers every lookup by scanning.
+	IndexNever
+	// IndexAlways builds an index on the first lookup for a column subset.
+	IndexAlways
+)
+
+// adaptiveFactor scales the index build-cost estimate: with factor f, an
+// index over a relation of n rows is built once roughly f*n rows have been
+// scanned on its behalf.
+const adaptiveFactor = 2
+
+// Stats accumulates back-end counters; a Store shares one Stats across its
+// relations so benchmarks can attribute work.
+type Stats struct {
+	RowsScanned   int64 // tuples visited by full scans
+	RowsProbed    int64 // tuples returned through an index
+	IndexBuilds   int64
+	Inserts       int64
+	Deletes       int64
+	RelsCreated   int64
+	RelsDropped   int64
+	LogBytes      int64 // layered backend only
+	LatchAcquires int64 // layered backend only
+	CatalogProbes int64 // layered backend only
+}
+
+// Rel is the interface the executor uses to talk to a relation, satisfied by
+// both the tailored main-memory implementation and the layered baseline.
+type Rel interface {
+	// Name returns the HiLog predicate name of the relation.
+	Name() term.Value
+	// Arity returns the number of columns.
+	Arity() int
+	// Len returns the number of tuples.
+	Len() int
+	// Version returns a counter bumped by every successful mutation; the
+	// unchanged(P) builtin compares versions across loop iterations.
+	Version() uint64
+	// Insert adds t, reporting whether it was not already present. The
+	// tuple is stored as given and must not be mutated afterwards.
+	Insert(t term.Tuple) bool
+	// Delete removes t, reporting whether it was present.
+	Delete(t term.Tuple) bool
+	// Contains reports membership.
+	Contains(t term.Tuple) bool
+	// Clear removes all tuples.
+	Clear()
+	// Scan visits every tuple until yield returns false. The relation must
+	// not be mutated during the scan.
+	Scan(yield func(term.Tuple) bool)
+	// Lookup visits the tuples whose columns selected by mask equal the
+	// corresponding columns of key. A zero mask degenerates to Scan.
+	Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool)
+	// UnionDiff inserts every tuple of batch and returns the sub-batch of
+	// tuples that were genuinely new — the delta needed by semi-naive
+	// evaluation (§10's uniondiff operator).
+	UnionDiff(batch []term.Tuple) []term.Tuple
+	// ModifyByKey implements the +=[key] assignment: for each row, tuples
+	// agreeing with it on the key columns (mask) are replaced by the row.
+	ModifyByKey(mask uint32, rows []term.Tuple)
+	// All returns a snapshot slice of the tuples in unspecified order.
+	All() []term.Tuple
+}
+
+// Relation is the tailored main-memory implementation of Rel.
+type Relation struct {
+	name    term.Value
+	arity   int
+	buckets map[uint64][]term.Tuple
+	n       int
+	version uint64
+
+	policy     IndexPolicy
+	indexes    map[uint32]*hashIndex
+	scanCredit map[uint32]int64
+	stats      *Stats
+}
+
+type hashIndex struct {
+	mask    uint32
+	buckets map[uint64][]term.Tuple
+}
+
+// NewRelation creates an empty relation. stats may be nil.
+func NewRelation(name term.Value, arity int, policy IndexPolicy, stats *Stats) *Relation {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Relation{
+		name:    name,
+		arity:   arity,
+		buckets: make(map[uint64][]term.Tuple),
+		policy:  policy,
+		stats:   stats,
+	}
+}
+
+// Name implements Rel.
+func (r *Relation) Name() term.Value { return r.name }
+
+// Arity implements Rel.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len implements Rel.
+func (r *Relation) Len() int { return r.n }
+
+// Version implements Rel.
+func (r *Relation) Version() uint64 { return r.version }
+
+// Insert implements Rel.
+func (r *Relation) Insert(t term.Tuple) bool {
+	h := t.Hash()
+	bucket := r.buckets[h]
+	for _, u := range bucket {
+		if u.Equal(t) {
+			return false
+		}
+	}
+	r.buckets[h] = append(bucket, t)
+	r.n++
+	r.version++
+	r.stats.Inserts++
+	for _, ix := range r.indexes {
+		ix.add(t)
+	}
+	return true
+}
+
+// Delete implements Rel.
+func (r *Relation) Delete(t term.Tuple) bool {
+	h := t.Hash()
+	bucket := r.buckets[h]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket = bucket[:last]
+			if len(bucket) == 0 {
+				delete(r.buckets, h)
+			} else {
+				r.buckets[h] = bucket
+			}
+			r.n--
+			r.version++
+			r.stats.Deletes++
+			for _, ix := range r.indexes {
+				ix.remove(t)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains implements Rel.
+func (r *Relation) Contains(t term.Tuple) bool {
+	for _, u := range r.buckets[t.Hash()] {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear implements Rel.
+func (r *Relation) Clear() {
+	if r.n == 0 {
+		return
+	}
+	r.buckets = make(map[uint64][]term.Tuple)
+	r.n = 0
+	r.version++
+	r.indexes = nil
+	r.scanCredit = nil
+}
+
+// Scan implements Rel.
+func (r *Relation) Scan(yield func(term.Tuple) bool) {
+	r.stats.RowsScanned += int64(r.n)
+	for _, bucket := range r.buckets {
+		for _, t := range bucket {
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+// fullMask returns the bitmask selecting every column of the relation.
+func (r *Relation) fullMask() uint32 { return (uint32(1) << uint(r.arity)) - 1 }
+
+// Lookup implements Rel. Depending on the index policy, a lookup is answered
+// by an existing index, triggers index construction, or falls back to a
+// scan while accruing scan credit toward adaptive construction.
+func (r *Relation) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
+	if mask == 0 || r.n == 0 {
+		r.Scan(yield)
+		return
+	}
+	if mask == r.fullMask() {
+		// Whole-tuple lookup: answer from the primary hash directly.
+		r.stats.RowsProbed++
+		for _, u := range r.buckets[key.Hash()] {
+			if u.Equal(key) {
+				if !yield(u) {
+					return
+				}
+			}
+		}
+		return
+	}
+	if ix, ok := r.indexes[mask]; ok {
+		r.probe(ix, mask, key, yield)
+		return
+	}
+	build := false
+	switch r.policy {
+	case IndexAlways:
+		build = true
+	case IndexAdaptive:
+		if r.scanCredit == nil {
+			r.scanCredit = make(map[uint32]int64)
+		}
+		r.scanCredit[mask] += int64(r.n)
+		build = r.scanCredit[mask] >= adaptiveFactor*int64(r.n)
+	}
+	if build {
+		ix := r.buildIndex(mask)
+		r.probe(ix, mask, key, yield)
+		return
+	}
+	// Scan fallback with on-the-fly filtering.
+	r.stats.RowsScanned += int64(r.n)
+	for _, bucket := range r.buckets {
+		for _, t := range bucket {
+			if t.EqualCols(key, mask) {
+				if !yield(t) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (r *Relation) probe(ix *hashIndex, mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
+	for _, t := range ix.buckets[key.HashCols(mask)] {
+		if t.EqualCols(key, mask) {
+			r.stats.RowsProbed++
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+func (r *Relation) buildIndex(mask uint32) *hashIndex {
+	ix := &hashIndex{mask: mask, buckets: make(map[uint64][]term.Tuple)}
+	for _, bucket := range r.buckets {
+		for _, t := range bucket {
+			ix.add(t)
+		}
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[uint32]*hashIndex)
+	}
+	r.indexes[mask] = ix
+	r.stats.IndexBuilds++
+	delete(r.scanCredit, mask)
+	return ix
+}
+
+// HasIndex reports whether an index exists for the column mask; exported for
+// tests and the adaptive-indexing experiment.
+func (r *Relation) HasIndex(mask uint32) bool {
+	_, ok := r.indexes[mask]
+	return ok
+}
+
+func (ix *hashIndex) add(t term.Tuple) {
+	h := t.HashCols(ix.mask)
+	ix.buckets[h] = append(ix.buckets[h], t)
+}
+
+func (ix *hashIndex) remove(t term.Tuple) {
+	h := t.HashCols(ix.mask)
+	bucket := ix.buckets[h]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket = bucket[:last]
+			if len(bucket) == 0 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = bucket
+			}
+			return
+		}
+	}
+}
+
+// UnionDiff implements Rel.
+func (r *Relation) UnionDiff(batch []term.Tuple) []term.Tuple {
+	var delta []term.Tuple
+	for _, t := range batch {
+		if r.Insert(t) {
+			delta = append(delta, t)
+		}
+	}
+	return delta
+}
+
+// ModifyByKey implements Rel.
+func (r *Relation) ModifyByKey(mask uint32, rows []term.Tuple) {
+	for _, row := range rows {
+		var victims []term.Tuple
+		r.Lookup(mask, row, func(t term.Tuple) bool {
+			victims = append(victims, t)
+			return true
+		})
+		for _, v := range victims {
+			r.Delete(v)
+		}
+		r.Insert(row)
+	}
+}
+
+// All implements Rel.
+func (r *Relation) All() []term.Tuple {
+	out := make([]term.Tuple, 0, r.n)
+	for _, bucket := range r.buckets {
+		out = append(out, bucket...)
+	}
+	return out
+}
+
+// Sorted returns the tuples of rel in total order, for deterministic output.
+func Sorted(rel Rel) []term.Tuple {
+	out := rel.All()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

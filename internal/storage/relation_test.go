@@ -1,0 +1,368 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gluenail/internal/term"
+)
+
+func it(vals ...int64) term.Tuple {
+	t := make(term.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = term.NewInt(v)
+	}
+	return t
+}
+
+func newRel(t *testing.T, arity int, policy IndexPolicy) *Relation {
+	t.Helper()
+	return NewRelation(term.NewString("r"), arity, policy, nil)
+}
+
+func TestInsertDeleteContains(t *testing.T) {
+	r := newRel(t, 2, IndexNever)
+	if !r.Insert(it(1, 2)) {
+		t.Error("first insert should report new")
+	}
+	if r.Insert(it(1, 2)) {
+		t.Error("duplicate insert should report existing")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if !r.Contains(it(1, 2)) || r.Contains(it(2, 1)) {
+		t.Error("Contains wrong")
+	}
+	if !r.Delete(it(1, 2)) {
+		t.Error("delete of present tuple should succeed")
+	}
+	if r.Delete(it(1, 2)) {
+		t.Error("delete of absent tuple should fail")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after delete = %d", r.Len())
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	r := newRel(t, 1, IndexNever)
+	v0 := r.Version()
+	r.Insert(it(1))
+	v1 := r.Version()
+	if v1 == v0 {
+		t.Error("insert should bump version")
+	}
+	r.Insert(it(1)) // duplicate: no change
+	if r.Version() != v1 {
+		t.Error("duplicate insert should not bump version")
+	}
+	r.Delete(it(2)) // absent: no change
+	if r.Version() != v1 {
+		t.Error("failed delete should not bump version")
+	}
+	r.Delete(it(1))
+	if r.Version() == v1 {
+		t.Error("delete should bump version")
+	}
+	r.Insert(it(3))
+	v3 := r.Version()
+	r.Clear()
+	if r.Version() == v3 {
+		t.Error("clear should bump version")
+	}
+	v4 := r.Version()
+	r.Clear() // already empty
+	if r.Version() != v4 {
+		t.Error("clear of empty relation should not bump version")
+	}
+}
+
+func TestScanVisitsAll(t *testing.T) {
+	r := newRel(t, 1, IndexNever)
+	for i := int64(0); i < 100; i++ {
+		r.Insert(it(i))
+	}
+	seen := map[int64]bool{}
+	r.Scan(func(tp term.Tuple) bool {
+		seen[tp[0].Int()] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Errorf("scan saw %d tuples, want 100", len(seen))
+	}
+	// Early termination.
+	count := 0
+	r.Scan(func(term.Tuple) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early-terminated scan visited %d", count)
+	}
+}
+
+func TestLookupFullMask(t *testing.T) {
+	r := newRel(t, 2, IndexNever)
+	r.Insert(it(1, 2))
+	r.Insert(it(1, 3))
+	var got []term.Tuple
+	r.Lookup(0b11, it(1, 2), func(tp term.Tuple) bool {
+		got = append(got, tp)
+		return true
+	})
+	if len(got) != 1 || !got[0].Equal(it(1, 2)) {
+		t.Errorf("full-mask lookup = %v", got)
+	}
+}
+
+func TestLookupPartialMask(t *testing.T) {
+	for _, policy := range []IndexPolicy{IndexNever, IndexAdaptive, IndexAlways} {
+		r := newRel(t, 2, policy)
+		for i := int64(0); i < 50; i++ {
+			r.Insert(it(i%5, i))
+		}
+		for rep := 0; rep < 5; rep++ { // repeated lookups exercise adaptive build
+			n := 0
+			r.Lookup(0b01, it(3, 0), func(tp term.Tuple) bool {
+				if tp[0].Int() != 3 {
+					t.Errorf("policy %d: lookup returned non-matching %v", policy, tp)
+				}
+				n++
+				return true
+			})
+			if n != 10 {
+				t.Errorf("policy %d rep %d: lookup returned %d rows, want 10", policy, rep, n)
+			}
+		}
+	}
+}
+
+func TestLookupZeroMaskScans(t *testing.T) {
+	r := newRel(t, 2, IndexAlways)
+	r.Insert(it(1, 2))
+	r.Insert(it(3, 4))
+	n := 0
+	r.Lookup(0, nil, func(term.Tuple) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("zero-mask lookup visited %d", n)
+	}
+}
+
+func TestAdaptiveIndexCrossover(t *testing.T) {
+	// With the adaptive policy, an index appears only after the cumulative
+	// scan cost reaches the build-cost threshold (§10).
+	stats := &Stats{}
+	r := NewRelation(term.NewString("r"), 2, IndexAdaptive, stats)
+	for i := int64(0); i < 100; i++ {
+		r.Insert(it(i, i*2))
+	}
+	if r.HasIndex(0b01) {
+		t.Fatal("index should not exist before any lookups")
+	}
+	r.Lookup(0b01, it(7, 0), func(term.Tuple) bool { return true })
+	if r.HasIndex(0b01) {
+		t.Error("one lookup should not build the index (factor 2)")
+	}
+	r.Lookup(0b01, it(7, 0), func(term.Tuple) bool { return true })
+	if !r.HasIndex(0b01) {
+		t.Error("second lookup should cross the build threshold")
+	}
+	if stats.IndexBuilds != 1 {
+		t.Errorf("IndexBuilds = %d, want 1", stats.IndexBuilds)
+	}
+	// Index stays correct under subsequent mutation.
+	r.Insert(it(7, 999))
+	r.Delete(it(7, 14))
+	var got []int64
+	r.Lookup(0b01, it(7, 0), func(tp term.Tuple) bool {
+		got = append(got, tp[1].Int())
+		return true
+	})
+	if len(got) != 1 || got[0] != 999 {
+		t.Errorf("post-mutation indexed lookup = %v, want [999]", got)
+	}
+}
+
+func TestIndexNeverNeverBuilds(t *testing.T) {
+	stats := &Stats{}
+	r := NewRelation(term.NewString("r"), 2, IndexNever, stats)
+	for i := int64(0); i < 20; i++ {
+		r.Insert(it(i, i))
+	}
+	for rep := 0; rep < 10; rep++ {
+		r.Lookup(0b01, it(3, 0), func(term.Tuple) bool { return true })
+	}
+	if stats.IndexBuilds != 0 {
+		t.Errorf("IndexNever built %d indexes", stats.IndexBuilds)
+	}
+}
+
+func TestIndexAlwaysBuildsOnFirstLookup(t *testing.T) {
+	stats := &Stats{}
+	r := NewRelation(term.NewString("r"), 2, IndexAlways, stats)
+	for i := int64(0); i < 20; i++ {
+		r.Insert(it(i%4, i))
+	}
+	r.Lookup(0b01, it(1, 0), func(term.Tuple) bool { return true })
+	if stats.IndexBuilds != 1 || !r.HasIndex(0b01) {
+		t.Errorf("IndexAlways should build on first lookup (builds=%d)", stats.IndexBuilds)
+	}
+}
+
+func TestClearDropsIndexes(t *testing.T) {
+	r := newRel(t, 2, IndexAlways)
+	r.Insert(it(1, 2))
+	r.Lookup(0b01, it(1, 0), func(term.Tuple) bool { return true })
+	if !r.HasIndex(0b01) {
+		t.Fatal("setup: index missing")
+	}
+	r.Clear()
+	if r.HasIndex(0b01) {
+		t.Error("Clear should drop indexes")
+	}
+	if r.Len() != 0 {
+		t.Error("Clear should empty the relation")
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	r := newRel(t, 1, IndexNever)
+	r.Insert(it(1))
+	r.Insert(it(2))
+	delta := r.UnionDiff([]term.Tuple{it(2), it(3), it(3), it(4)})
+	if len(delta) != 2 {
+		t.Fatalf("delta = %v, want 2 new tuples", delta)
+	}
+	want := map[int64]bool{3: true, 4: true}
+	for _, d := range delta {
+		if !want[d[0].Int()] {
+			t.Errorf("unexpected delta tuple %v", d)
+		}
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len after uniondiff = %d, want 4", r.Len())
+	}
+	if d := r.UnionDiff([]term.Tuple{it(1), it(4)}); len(d) != 0 {
+		t.Errorf("second uniondiff delta = %v, want empty", d)
+	}
+}
+
+func TestModifyByKey(t *testing.T) {
+	// matrix(Row, Col, Val) updated by key (Row, Col), like SQL UPDATE.
+	r := newRel(t, 3, IndexNever)
+	r.Insert(it(1, 1, 10))
+	r.Insert(it(1, 2, 20))
+	r.Insert(it(2, 1, 30))
+	r.ModifyByKey(0b011, []term.Tuple{it(1, 1, 99), it(3, 3, 7)})
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if !r.Contains(it(1, 1, 99)) || r.Contains(it(1, 1, 10)) {
+		t.Error("ModifyByKey should replace matching-key tuple")
+	}
+	if !r.Contains(it(3, 3, 7)) {
+		t.Error("ModifyByKey should insert tuple with fresh key")
+	}
+	if !r.Contains(it(1, 2, 20)) || !r.Contains(it(2, 1, 30)) {
+		t.Error("ModifyByKey should leave other tuples alone")
+	}
+}
+
+func TestAllAndSorted(t *testing.T) {
+	r := newRel(t, 1, IndexNever)
+	for _, v := range []int64{5, 1, 3} {
+		r.Insert(it(v))
+	}
+	all := r.All()
+	if len(all) != 3 {
+		t.Errorf("All returned %d tuples", len(all))
+	}
+	sorted := Sorted(r)
+	for i, want := range []int64{1, 3, 5} {
+		if sorted[i][0].Int() != want {
+			t.Errorf("Sorted[%d] = %v, want %d", i, sorted[i], want)
+		}
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	// Property: a relation behaves as a set under any insert/delete
+	// sequence, agreeing with a reference map implementation.
+	type op struct {
+		Insert bool
+		A, B   int8
+	}
+	f := func(ops []op) bool {
+		r := NewRelation(term.NewString("q"), 2, IndexAdaptive, nil)
+		ref := map[[2]int8]bool{}
+		for _, o := range ops {
+			tp := it(int64(o.A), int64(o.B))
+			k := [2]int8{o.A, o.B}
+			if o.Insert {
+				added := r.Insert(tp)
+				if added == ref[k] {
+					return false
+				}
+				ref[k] = true
+			} else {
+				removed := r.Delete(tp)
+				if removed != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if r.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !r.Contains(it(int64(k[0]), int64(k[1]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexedLookupMatchesScan(t *testing.T) {
+	// Property: for random data, an indexed lookup returns exactly the
+	// tuples a filtered scan returns.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		indexed := NewRelation(term.NewString("a"), 2, IndexAlways, nil)
+		plain := NewRelation(term.NewString("b"), 2, IndexNever, nil)
+		for i := 0; i < 200; i++ {
+			tp := it(int64(rng.Intn(10)), int64(rng.Intn(50)))
+			indexed.Insert(tp)
+			plain.Insert(tp.Clone())
+		}
+		for key := int64(0); key < 10; key++ {
+			gather := func(r *Relation) map[int64]bool {
+				out := map[int64]bool{}
+				r.Lookup(0b01, it(key, 0), func(tp term.Tuple) bool {
+					out[tp[1].Int()] = true
+					return true
+				})
+				return out
+			}
+			a, b := gather(indexed), gather(plain)
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+
+	"gluenail/internal/term"
+)
+
+// Store manages a namespace of relations keyed by HiLog name and arity. The
+// executor uses one store for the persistent EDB and creates short-lived
+// relations in it for procedure locals and supplementary materialization.
+type Store interface {
+	// Ensure returns the relation for (name, arity), creating it if absent.
+	Ensure(name term.Value, arity int) Rel
+	// Get returns the relation if it exists.
+	Get(name term.Value, arity int) (Rel, bool)
+	// Drop removes the relation; dropping a missing relation is a no-op.
+	Drop(name term.Value, arity int)
+	// Names returns the (name, arity) pairs of all live relations.
+	Names() []RelName
+	// Stats returns the shared back-end counters.
+	Stats() *Stats
+}
+
+// RelName identifies a relation in a store.
+type RelName struct {
+	Name  term.Value
+	Arity int
+}
+
+// String renders "name/arity".
+func (rn RelName) String() string {
+	return rn.Name.String() + "/" + strconv.Itoa(rn.Arity)
+}
+
+func relKey(name term.Value, arity int) string {
+	return term.Key(name) + "/" + strconv.Itoa(arity)
+}
+
+// MemStore is the tailored main-memory store (§10): no locking, no logging,
+// relations are created and dropped in constant time.
+type MemStore struct {
+	rels   map[string]*Relation
+	policy IndexPolicy
+	stats  Stats
+}
+
+// NewMemStore returns an empty store whose relations follow the given index
+// policy.
+func NewMemStore(policy IndexPolicy) *MemStore {
+	return &MemStore{rels: make(map[string]*Relation), policy: policy}
+}
+
+// Ensure implements Store.
+func (s *MemStore) Ensure(name term.Value, arity int) Rel {
+	return s.ensure(name, arity)
+}
+
+func (s *MemStore) ensure(name term.Value, arity int) *Relation {
+	k := relKey(name, arity)
+	if r, ok := s.rels[k]; ok {
+		return r
+	}
+	r := NewRelation(name, arity, s.policy, &s.stats)
+	s.rels[k] = r
+	s.stats.RelsCreated++
+	return r
+}
+
+// Get implements Store.
+func (s *MemStore) Get(name term.Value, arity int) (Rel, bool) {
+	r, ok := s.rels[relKey(name, arity)]
+	if !ok {
+		return nil, false
+	}
+	return r, true
+}
+
+// Drop implements Store.
+func (s *MemStore) Drop(name term.Value, arity int) {
+	k := relKey(name, arity)
+	if _, ok := s.rels[k]; ok {
+		delete(s.rels, k)
+		s.stats.RelsDropped++
+	}
+}
+
+// Names implements Store.
+func (s *MemStore) Names() []RelName {
+	out := make([]RelName, 0, len(s.rels))
+	for _, r := range s.rels {
+		out = append(out, RelName{Name: r.name, Arity: r.arity})
+	}
+	return out
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() *Stats { return &s.stats }
+
+// String summarizes the store for diagnostics.
+func (s *MemStore) String() string {
+	return fmt.Sprintf("MemStore(%d relations)", len(s.rels))
+}

@@ -1,0 +1,39 @@
+package term
+
+import "testing"
+
+func BenchmarkValueHash(b *testing.B) {
+	v := Atom("f", NewInt(42), NewString("hello"), Atom("g", NewFloat(1.5)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.Hash()
+	}
+}
+
+func BenchmarkTupleHash(b *testing.B) {
+	t := Tuple{NewInt(1), NewString("abc"), NewInt(99)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Hash()
+	}
+}
+
+func BenchmarkPatternMatch(b *testing.B) {
+	p := CompAtom("f", Var(0), CompAtom("g", Var(1), Ground(NewInt(1))))
+	v := Atom("f", NewString("a"), Atom("g", NewString("b"), NewInt(1)))
+	regs := make([]Value, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Match(v, regs)
+		regs[0] = Value{}
+		regs[1] = Value{}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	v := Atom("f", NewInt(42), NewString("hello"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = AppendValue(nil, v)
+	}
+}

@@ -1,0 +1,129 @@
+package term
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for values and tuples. Used for EDB persistence (§10: "storing
+// EDB relations on disk between runs") and for canonical relation-name keys.
+
+const (
+	tagInt      = 1
+	tagFloat    = 2
+	tagStr      = 3
+	tagCompound = 4
+)
+
+// AppendValue appends a canonical binary encoding of v to dst. Equal values
+// have equal encodings, so the encoding doubles as a map key.
+func AppendValue(dst []byte, v Value) []byte {
+	switch v.kind {
+	case Int:
+		dst = append(dst, tagInt)
+		dst = binary.AppendVarint(dst, v.i)
+	case Float:
+		dst = append(dst, tagFloat)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case Str:
+		dst = append(dst, tagStr)
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case Compound:
+		dst = append(dst, tagCompound)
+		dst = AppendValue(dst, *v.fn)
+		dst = binary.AppendUvarint(dst, uint64(len(v.args)))
+		for i := range v.args {
+			dst = AppendValue(dst, v.args[i])
+		}
+	default:
+		panic("term: encoding invalid value")
+	}
+	return dst
+}
+
+// Key returns the canonical encoding of v as a string, suitable as a map key.
+func Key(v Value) string { return string(AppendValue(nil, v)) }
+
+// WriteValue writes the binary encoding of v to w.
+func WriteValue(w io.Writer, v Value) error {
+	_, err := w.Write(AppendValue(nil, v))
+	return err
+}
+
+// ReadValue decodes one value from r.
+func ReadValue(r *bufio.Reader) (Value, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch tag {
+	case tagInt:
+		i, err := binary.ReadVarint(r)
+		if err != nil {
+			return Value{}, err
+		}
+		return NewInt(i), nil
+	case tagFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return NewFloat(math.Float64frombits(binary.BigEndian.Uint64(buf[:]))), nil
+	case tagStr:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Value{}, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		return NewString(string(buf)), nil
+	case tagCompound:
+		fn, err := ReadValue(r)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Value{}, err
+		}
+		args := make([]Value, n)
+		for i := range args {
+			if args[i], err = ReadValue(r); err != nil {
+				return Value{}, err
+			}
+		}
+		return NewCompound(fn, args...), nil
+	}
+	return Value{}, fmt.Errorf("term: bad value tag %d", tag)
+}
+
+// WriteTuple writes the length-prefixed encoding of t to w.
+func WriteTuple(w io.Writer, t Tuple) error {
+	buf := binary.AppendUvarint(nil, uint64(len(t)))
+	for i := range t {
+		buf = AppendValue(buf, t[i])
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadTuple decodes one length-prefixed tuple from r.
+func ReadTuple(r *bufio.Reader) (Tuple, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	t := make(Tuple, n)
+	for i := range t {
+		if t[i], err = ReadValue(r); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

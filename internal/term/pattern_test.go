@@ -1,0 +1,168 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchGround(t *testing.T) {
+	regs := make([]Value, 4)
+	if !Ground(NewInt(3)).Match(NewInt(3), regs) {
+		t.Error("ground match failed")
+	}
+	if Ground(NewInt(3)).Match(NewInt(4), regs) {
+		t.Error("ground mismatch succeeded")
+	}
+}
+
+func TestMatchVarBindAndCompare(t *testing.T) {
+	regs := make([]Value, 4)
+	p := Var(0)
+	if !p.Match(NewString("a"), regs) {
+		t.Fatal("unbound var should match")
+	}
+	if !regs[0].Equal(NewString("a")) {
+		t.Fatalf("var not bound: %v", regs[0])
+	}
+	if !p.Match(NewString("a"), regs) {
+		t.Error("bound var should match same value")
+	}
+	if p.Match(NewString("b"), regs) {
+		t.Error("bound var should reject different value")
+	}
+}
+
+func TestMatchWild(t *testing.T) {
+	regs := make([]Value, 1)
+	if !Wild().Match(NewInt(7), regs) {
+		t.Error("wildcard should always match")
+	}
+	if !regs[0].IsZero() {
+		t.Error("wildcard must not bind registers")
+	}
+}
+
+func TestMatchCompound(t *testing.T) {
+	// Pattern f(X, g(X, 1)) against f(a, g(a, 1)) binds X=a; against
+	// f(a, g(b, 1)) fails on the repeated variable.
+	p := CompAtom("f", Var(0), CompAtom("g", Var(0), Ground(NewInt(1))))
+	regs := make([]Value, 1)
+	ok := p.Match(Atom("f", NewString("a"), Atom("g", NewString("a"), NewInt(1))), regs)
+	if !ok || !regs[0].Equal(NewString("a")) {
+		t.Fatalf("match failed, regs=%v", regs)
+	}
+	regs = make([]Value, 1)
+	if p.Match(Atom("f", NewString("a"), Atom("g", NewString("b"), NewInt(1))), regs) {
+		t.Error("repeated variable mismatch should fail")
+	}
+	regs = make([]Value, 1)
+	if p.Match(NewInt(3), regs) {
+		t.Error("compound pattern should not match atom")
+	}
+	if p.Match(Atom("f", NewInt(1)), regs) {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestMatchHiLogFunctorVar(t *testing.T) {
+	// Pattern S(X) where S is a variable over predicate names (§5): the
+	// functor position is a variable pattern.
+	p := Comp(Var(0), Var(1))
+	regs := make([]Value, 2)
+	v := NewCompound(Atom("students", NewString("cs99")), NewString("wilson"))
+	if !p.Match(v, regs) {
+		t.Fatal("HiLog functor-variable match failed")
+	}
+	if !regs[0].Equal(Atom("students", NewString("cs99"))) {
+		t.Errorf("functor bound to %v", regs[0])
+	}
+	if !regs[1].Equal(NewString("wilson")) {
+		t.Errorf("arg bound to %v", regs[1])
+	}
+}
+
+func TestBuild(t *testing.T) {
+	regs := []Value{NewInt(5), NewString("a")}
+	p := CompAtom("f", Var(0), Var(1), Ground(NewFloat(0.5)))
+	v, err := p.Build(regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Atom("f", NewInt(5), NewString("a"), NewFloat(0.5))
+	if !v.Equal(want) {
+		t.Errorf("Build = %v, want %v", v, want)
+	}
+	if _, err := Var(0).Build(make([]Value, 1)); err == nil {
+		t.Error("Build with unbound register should fail")
+	}
+	if _, err := Wild().Build(nil); err == nil {
+		t.Error("Build of wildcard should fail")
+	}
+	if _, err := CompAtom("f", Wild()).Build(nil); err == nil {
+		t.Error("Build of compound containing wildcard should fail")
+	}
+	if _, err := Comp(Var(0), Ground(NewInt(1))).Build(make([]Value, 1)); err == nil {
+		t.Error("Build with unbound functor register should fail")
+	}
+}
+
+func TestIsGroundAndRegs(t *testing.T) {
+	g := CompAtom("f", Ground(NewInt(1)))
+	if !g.IsGround() {
+		t.Error("ground pattern reported non-ground")
+	}
+	cases := []Pattern{
+		Var(0),
+		Wild(),
+		CompAtom("f", Var(0)),
+		Comp(Var(0), Ground(NewInt(1))),
+	}
+	for _, p := range cases {
+		if p.IsGround() {
+			t.Errorf("%v reported ground", p)
+		}
+	}
+	p := CompAtom("f", Var(2), CompAtom("g", Var(0), Var(2)), Var(1))
+	regs := p.Regs(nil)
+	want := []int{2, 0, 1}
+	if len(regs) != len(want) {
+		t.Fatalf("Regs = %v, want %v", regs, want)
+	}
+	for i := range want {
+		if regs[i] != want[i] {
+			t.Fatalf("Regs = %v, want %v", regs, want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := CompAtom("f", Var(0), Wild(), Ground(NewInt(3)))
+	if got := p.String(); got != "f($0,_,3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestQuickMatchBuildRoundTrip(t *testing.T) {
+	// Property: for any ground value v, matching Var(0) binds it and Build
+	// reproduces it exactly.
+	f := func(v Value) bool {
+		regs := make([]Value, 1)
+		if !Var(0).Match(v, regs) {
+			return false
+		}
+		got, err := Var(0).Build(regs)
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGroundPatternMatchesSelf(t *testing.T) {
+	f := func(v Value) bool {
+		return Ground(v).Match(v, nil) && Ground(v).IsGround()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

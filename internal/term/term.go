@@ -1,0 +1,350 @@
+// Package term implements the Glue-Nail data model: ground values
+// (integers, floats, strings, and HiLog compound terms), tuples of ground
+// values, and one-way pattern matching.
+//
+// Following the paper (§2), relations may contain only completely ground
+// tuples, so the package provides matching rather than full unification:
+// a pattern containing variables is matched against a ground value, binding
+// variables as it goes. Atoms and strings are the same type (§2: "In Glue
+// there is no difference between atoms and strings").
+//
+// HiLog support (§5): a compound term's functor is itself an arbitrary
+// term, not just an atom, so predicate names like students(cs99) are
+// ordinary values and can be stored in tuples as set-valued attributes.
+package term
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the representation of a Value. The zero Kind is Invalid
+// so that the zero Value is usable as an "unbound" marker in register files.
+type Kind uint8
+
+const (
+	// Invalid is the kind of the zero Value; it never appears in relations.
+	Invalid Kind = iota
+	// Int is a 64-bit signed integer.
+	Int
+	// Float is a 64-bit IEEE float.
+	Float
+	// Str is an atom or string; Glue does not distinguish the two.
+	Str
+	// Compound is a HiLog compound term: functor term applied to arguments.
+	Compound
+)
+
+// String returns the kind name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Invalid:
+		return "invalid"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Str:
+		return "string"
+	case Compound:
+		return "compound"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is an immutable ground term. Values are small and intended to be
+// passed by value; compound structure is shared.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	fn   *Value
+	args []Value
+}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: Int, i: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Value{kind: Float, f: f} }
+
+// NewString returns an atom/string value.
+func NewString(s string) Value { return Value{kind: Str, s: s} }
+
+// NewCompound returns a compound term with the given functor term and
+// arguments. The functor may be any ground term (HiLog); the argument slice
+// is not copied and must not be mutated afterwards.
+func NewCompound(functor Value, args ...Value) Value {
+	f := functor
+	return Value{kind: Compound, fn: &f, args: args}
+}
+
+// Atom is shorthand for NewCompound(NewString(name), args...), the common
+// first-order case.
+func Atom(name string, args ...Value) Value {
+	return NewCompound(NewString(name), args...)
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsZero reports whether v is the zero (unbound/invalid) Value.
+func (v Value) IsZero() bool { return v.kind == Invalid }
+
+// Int returns the integer payload; it panics if the kind is not Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic("term: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float payload; it panics if the kind is not Float.
+func (v Value) Float() float64 {
+	if v.kind != Float {
+		panic("term: Float() on " + v.kind.String())
+	}
+	return v.f
+}
+
+// Num returns the value as a float64 for arithmetic; ok is false when the
+// value is not numeric.
+func (v Value) Num() (f float64, ok bool) {
+	switch v.kind {
+	case Int:
+		return float64(v.i), true
+	case Float:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// Str returns the string payload; it panics if the kind is not Str.
+func (v Value) Str() string {
+	if v.kind != Str {
+		panic("term: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Functor returns the functor term of a compound value; it panics for
+// non-compound values.
+func (v Value) Functor() Value {
+	if v.kind != Compound {
+		panic("term: Functor() on " + v.kind.String())
+	}
+	return *v.fn
+}
+
+// NumArgs returns the number of arguments of a compound value and 0 for
+// all other kinds.
+func (v Value) NumArgs() int {
+	if v.kind != Compound {
+		return 0
+	}
+	return len(v.args)
+}
+
+// Arg returns the i'th argument of a compound value.
+func (v Value) Arg(i int) Value { return v.args[i] }
+
+// Args returns the argument slice of a compound value; the caller must not
+// mutate it.
+func (v Value) Args() []Value {
+	if v.kind != Compound {
+		return nil
+	}
+	return v.args
+}
+
+// Equal reports structural equality. Int and Float values are distinct even
+// when numerically equal (1 != 1.0), mirroring matching on stored ground
+// tuples.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case Invalid:
+		return true
+	case Int:
+		return v.i == w.i
+	case Float:
+		return v.f == w.f
+	case Str:
+		return v.s == w.s
+	case Compound:
+		if len(v.args) != len(w.args) || !v.fn.Equal(*w.fn) {
+			return false
+		}
+		for i := range v.args {
+			if !v.args[i].Equal(w.args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare imposes a total order over ground values: by kind
+// (Int < Float < Str < Compound), then by payload; compounds order by
+// arity, then functor, then arguments left to right.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case Int:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case Float:
+		switch {
+		case v.f < w.f:
+			return -1
+		case v.f > w.f:
+			return 1
+		}
+		return 0
+	case Str:
+		return strings.Compare(v.s, w.s)
+	case Compound:
+		if d := len(v.args) - len(w.args); d != 0 {
+			if d < 0 {
+				return -1
+			}
+			return 1
+		}
+		if c := v.fn.Compare(*w.fn); c != 0 {
+			return c
+		}
+		for i := range v.args {
+			if c := v.args[i].Compare(w.args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func (v Value) hashInto(h uint64) uint64 {
+	h = hashUint64(h, uint64(v.kind))
+	switch v.kind {
+	case Int:
+		h = hashUint64(h, uint64(v.i))
+	case Float:
+		h = hashUint64(h, math.Float64bits(v.f))
+	case Str:
+		h = hashString(h, v.s)
+	case Compound:
+		h = v.fn.hashInto(h)
+		h = hashUint64(h, uint64(len(v.args)))
+		for i := range v.args {
+			h = v.args[i].hashInto(h)
+		}
+	}
+	return h
+}
+
+// Hash returns a 64-bit FNV-1a hash of the value; equal values hash equal.
+func (v Value) Hash() uint64 { return v.hashInto(fnvOffset) }
+
+// needsQuote reports whether an atom requires single quotes when printed.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	c := s[0]
+	if c < 'a' || c > 'z' {
+		return true
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func (v Value) appendTo(sb *strings.Builder) {
+	switch v.kind {
+	case Invalid:
+		sb.WriteString("<unbound>")
+	case Int:
+		sb.WriteString(strconv.FormatInt(v.i, 10))
+	case Float:
+		s := strconv.FormatFloat(v.f, 'g', -1, 64)
+		sb.WriteString(s)
+		if !strings.ContainsAny(s, ".eE") {
+			sb.WriteString(".0")
+		}
+	case Str:
+		if needsQuote(v.s) {
+			sb.WriteByte('\'')
+			for _, r := range v.s {
+				if r == '\'' || r == '\\' {
+					sb.WriteByte('\\')
+				}
+				sb.WriteRune(r)
+			}
+			sb.WriteByte('\'')
+		} else {
+			sb.WriteString(v.s)
+		}
+	case Compound:
+		v.fn.appendTo(sb)
+		sb.WriteByte('(')
+		for i, a := range v.args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			a.appendTo(sb)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// String renders the value in Glue source syntax; atoms that need quoting
+// are single-quoted.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.appendTo(&sb)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package term
+
+import "strings"
+
+// Tuple is an ordered list of ground values, the unit stored in relations.
+type Tuple []Value
+
+// Equal reports element-wise equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples by length, then lexicographically by element.
+func (t Tuple) Compare(u Tuple) int {
+	if d := len(t) - len(u); d != 0 {
+		if d < 0 {
+			return -1
+		}
+		return 1
+	}
+	for i := range t {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Hash returns a hash over all elements; equal tuples hash equal.
+func (t Tuple) Hash() uint64 {
+	h := uint64(fnvOffset)
+	h = hashUint64(h, uint64(len(t)))
+	for i := range t {
+		h = t[i].hashInto(h)
+	}
+	return h
+}
+
+// HashCols hashes only the elements selected by the column bitmask; used by
+// hash indexes over column subsets.
+func (t Tuple) HashCols(mask uint32) uint64 {
+	h := uint64(fnvOffset)
+	for i := range t {
+		if mask&(1<<uint(i)) != 0 {
+			h = t[i].hashInto(h)
+		}
+	}
+	return h
+}
+
+// EqualCols reports equality restricted to the columns in mask.
+func (t Tuple) EqualCols(u Tuple, mask uint32) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if mask&(1<<uint(i)) != 0 && !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple with a fresh backing array.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// String renders the tuple as "(v1,v2,...)".
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v.appendTo(&sb)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tup(vs ...Value) Tuple { return Tuple(vs) }
+
+func TestTupleEqual(t *testing.T) {
+	a := tup(NewInt(1), NewString("x"))
+	b := tup(NewInt(1), NewString("x"))
+	c := tup(NewInt(1), NewString("y"))
+	d := tup(NewInt(1))
+	if !a.Equal(b) {
+		t.Error("equal tuples not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal tuples reported Equal")
+	}
+	if !Tuple(nil).Equal(Tuple{}) {
+		t.Error("nil and empty tuple should be equal")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	a := tup(NewInt(1), NewInt(2))
+	b := tup(NewInt(1), NewInt(3))
+	c := tup(NewInt(1))
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("element compare wrong")
+	}
+	if c.Compare(a) != -1 || a.Compare(c) != 1 {
+		t.Error("shorter tuple should order first")
+	}
+}
+
+func TestTupleHashCols(t *testing.T) {
+	a := tup(NewInt(1), NewString("x"), NewInt(9))
+	b := tup(NewInt(1), NewString("y"), NewInt(9))
+	const mask = 0b101 // columns 0 and 2
+	if a.HashCols(mask) != b.HashCols(mask) {
+		t.Error("HashCols should ignore unmasked columns")
+	}
+	if !a.EqualCols(b, mask) {
+		t.Error("EqualCols should ignore unmasked columns")
+	}
+	if a.EqualCols(b, 0b111) {
+		t.Error("EqualCols full mask should detect difference")
+	}
+	if a.EqualCols(tup(NewInt(1)), mask) {
+		t.Error("EqualCols with different lengths should be false")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := tup(NewInt(1), NewInt(2))
+	b := a.Clone()
+	b[0] = NewInt(99)
+	if a[0].Int() != 1 {
+		t.Error("Clone should not share backing array")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := tup(NewInt(1), NewString("hello world")).String()
+	if got != "(1,'hello world')" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Tuple{}).String(); got != "()" {
+		t.Errorf("empty tuple String = %q", got)
+	}
+}
+
+func TestQuickTupleHashEqual(t *testing.T) {
+	f := func(a, b Value, c, d Value) bool {
+		t1, t2 := tup(a, c), tup(b, d)
+		if t1.Equal(t2) && t1.Hash() != t2.Hash() {
+			return false
+		}
+		return t1.Equal(t2) == (t1.Compare(t2) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashColsConsistent(t *testing.T) {
+	// Property: if tuples agree on masked columns, masked hashes agree.
+	f := func(a, b, c Value) bool {
+		t1 := tup(a, b)
+		t2 := tup(a, c)
+		return t1.HashCols(0b01) == t2.HashCols(0b01) && t1.EqualCols(t2, 0b01)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

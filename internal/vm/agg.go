@@ -1,0 +1,156 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/plan"
+	"gluenail/internal/term"
+)
+
+// applyAggregate computes the aggregate over the supplementary tuples —
+// per §3.3, over every tuple, not over the projection, so duplicates count
+// — partitioned by the group_by registers in effect. A bound destination
+// register selects tuples whose aggregate equals it; an unbound one is
+// extended onto every tuple of the group.
+func (f *frame) applyAggregate(b *plan.Aggregate, rows [][]term.Value,
+	state *stmtState) ([][]term.Value, error) {
+	groups := map[string][]int{}
+	var order []string
+	var buf []byte
+	for ri, row := range rows {
+		buf = buf[:0]
+		for _, r := range state.groupRegs {
+			buf = term.AppendValue(buf, row[r])
+		}
+		k := string(buf)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], ri)
+	}
+	var out [][]term.Value
+	for _, k := range order {
+		idxs := groups[k]
+		vals := make([]term.Value, len(idxs))
+		for i, ri := range idxs {
+			v, err := evalExpr(b.Arg, rows[ri])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		agg, err := aggregate(b.Op, vals)
+		if err != nil {
+			return nil, err
+		}
+		for _, ri := range idxs {
+			row := rows[ri]
+			if b.DestBound {
+				ok, err := compareValues(ast.CmpEq, row[b.Dest], agg)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, row)
+				}
+			} else {
+				cp := cloneRow(row)
+				cp[b.Dest] = agg
+				out = append(out, cp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// aggregate computes one aggregate operator over the value list (§3.3).
+// The arbitrary operator deterministically returns the smallest value.
+func aggregate(op string, vals []term.Value) (term.Value, error) {
+	if len(vals) == 0 {
+		return term.Value{}, fmt.Errorf("aggregate %s over empty set", op)
+	}
+	switch op {
+	case "count":
+		return term.NewInt(int64(len(vals))), nil
+	case "min", "arbitrary":
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if less, _ := numericLess(v, best); less {
+				best = v
+			}
+		}
+		return best, nil
+	case "max":
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if less, _ := numericLess(best, v); less {
+				best = v
+			}
+		}
+		return best, nil
+	case "sum", "product", "mean", "std_dev":
+		fs := make([]float64, len(vals))
+		allInt := true
+		for i, v := range vals {
+			x, ok := v.Num()
+			if !ok {
+				return term.Value{}, fmt.Errorf("%s over non-numeric value %v", op, v)
+			}
+			fs[i] = x
+			if v.Kind() != term.Int {
+				allInt = false
+			}
+		}
+		switch op {
+		case "sum":
+			s := 0.0
+			for _, x := range fs {
+				s += x
+			}
+			if allInt {
+				return term.NewInt(int64(s)), nil
+			}
+			return term.NewFloat(s), nil
+		case "product":
+			p := 1.0
+			for _, x := range fs {
+				p *= x
+			}
+			if allInt {
+				return term.NewInt(int64(p)), nil
+			}
+			return term.NewFloat(p), nil
+		case "mean":
+			s := 0.0
+			for _, x := range fs {
+				s += x
+			}
+			return term.NewFloat(s / float64(len(fs))), nil
+		default: // std_dev (population)
+			s := 0.0
+			for _, x := range fs {
+				s += x
+			}
+			mu := s / float64(len(fs))
+			ss := 0.0
+			for _, x := range fs {
+				ss += (x - mu) * (x - mu)
+			}
+			return term.NewFloat(math.Sqrt(ss / float64(len(fs)))), nil
+		}
+	}
+	return term.Value{}, fmt.Errorf("unknown aggregate operator %q", op)
+}
+
+// numericLess orders values: numerics numerically, anything else by the
+// term order.
+func numericLess(a, b term.Value) (bool, error) {
+	af, aok := a.Num()
+	bf, bok := b.Num()
+	if aok && bok {
+		return af < bf, nil
+	}
+	return a.Compare(b) < 0, nil
+}

@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"gluenail/internal/plan"
+	"gluenail/internal/term"
+)
+
+// BuiltinFunc implements a builtin or foreign procedure: it receives the
+// distinct input tuples (the procedure's in relation) and returns full
+// result tuples (bound arguments followed by free arguments). This is the
+// foreign-language interface §10 lists as required for a complete
+// application language.
+type BuiltinFunc func(m *Machine, in []term.Tuple) ([]term.Tuple, error)
+
+// Registry holds builtin and foreign procedure signatures and
+// implementations. Signatures feed the compiler (fixedness, binding
+// checks); implementations run in the executor.
+type Registry struct {
+	sigs  map[string]plan.BuiltinSig
+	impls map[string]BuiltinFunc
+}
+
+// NewRegistry returns a registry with the standard I/O builtins: write
+// (variadic, prints each input tuple), nl, and read_line.
+func NewRegistry() *Registry {
+	r := &Registry{
+		sigs:  map[string]plan.BuiltinSig{},
+		impls: map[string]BuiltinFunc{},
+	}
+	r.mustRegister("write", plan.BuiltinSig{Variadic: true, Fixed: true}, builtinWrite)
+	r.mustRegister("writeln", plan.BuiltinSig{Variadic: true, Fixed: true}, builtinWrite)
+	r.mustRegister("nl", plan.BuiltinSig{Fixed: true}, builtinNl)
+	r.mustRegister("read_line", plan.BuiltinSig{Free: 1, Fixed: true}, builtinReadLine)
+	return r
+}
+
+// Register adds a procedure; registering an existing name fails.
+func (r *Registry) Register(name string, sig plan.BuiltinSig, fn BuiltinFunc) error {
+	if _, dup := r.sigs[name]; dup {
+		return fmt.Errorf("vm: builtin %q already registered", name)
+	}
+	r.sigs[name] = sig
+	r.impls[name] = fn
+	return nil
+}
+
+func (r *Registry) mustRegister(name string, sig plan.BuiltinSig, fn BuiltinFunc) {
+	if err := r.Register(name, sig, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Sig reports a procedure's signature; it has the shape plan.Options.Builtin
+// expects.
+func (r *Registry) Sig(name string) (plan.BuiltinSig, bool) {
+	sig, ok := r.sigs[name]
+	return sig, ok
+}
+
+// Has reports whether the name is registered (modsys auto-EDB exclusion).
+func (r *Registry) Has(name string) bool {
+	_, ok := r.sigs[name]
+	return ok
+}
+
+func (r *Registry) impl(name string) (BuiltinFunc, bool) {
+	fn, ok := r.impls[name]
+	return fn, ok
+}
+
+// builtinWrite prints each input tuple on its own line, values separated by
+// spaces, strings unquoted. It passes its inputs through, so the subgoal
+// succeeds for every supplementary tuple.
+func builtinWrite(m *Machine, in []term.Tuple) ([]term.Tuple, error) {
+	for _, t := range in {
+		if _, err := io.WriteString(m.Out, tupleText(t)+"\n"); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+func builtinNl(m *Machine, in []term.Tuple) ([]term.Tuple, error) {
+	if len(in) > 0 {
+		if _, err := io.WriteString(m.Out, "\n"); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// builtinReadLine reads one line from the machine's input; at end of input
+// it returns no tuples, so the enclosing statement stops.
+func builtinReadLine(m *Machine, in []term.Tuple) ([]term.Tuple, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	line, err := m.In.ReadString('\n')
+	if err != nil && line == "" {
+		return nil, nil
+	}
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	return []term.Tuple{{term.NewString(line)}}, nil
+}

@@ -1,0 +1,450 @@
+package vm
+
+import (
+	"fmt"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/plan"
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+// stmtState carries per-statement-execution state: the grouping registers
+// accumulated by group_by barriers (§3.3.1).
+type stmtState struct {
+	groupRegs []int
+}
+
+func (f *frame) execStmt(st *plan.Stmt) error {
+	f.m.Stats.StmtsExecuted++
+	rows, err := f.runSteps(st.NRegs, st.Steps)
+	if err != nil {
+		return err
+	}
+	if f.m.Trace != nil {
+		f.m.tracef("  [%s] %s -> %d row(s)", f.proc.ID, st.Label, len(rows))
+	}
+	return f.applyHead(st, rows)
+}
+
+func (f *frame) evalCond(c *plan.Cond) (bool, error) {
+	rows, err := f.runSteps(c.NRegs, c.Steps)
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// runSteps executes the pipeline segments over the supplementary relation,
+// starting from sup_0 = {ε}. Execution stops early when a supplementary
+// relation becomes empty (§3.2), skipping any remaining side effects.
+func (f *frame) runSteps(nregs int, steps []plan.Step) ([][]term.Value, error) {
+	rows := [][]term.Value{make([]term.Value, nregs)}
+	state := &stmtState{}
+	for i := range steps {
+		step := &steps[i]
+		var err error
+		rows, err = f.runPipe(step.Pipe, rows, nregs)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		if step.Dedup {
+			rows = f.dedupRows(rows, step.LiveRegs)
+		}
+		if step.Barrier != nil {
+			f.m.Stats.PipelineBreaks++
+			rows, err = f.applyBarrier(step.Barrier, rows, state)
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) == 0 {
+				return nil, nil
+			}
+		}
+	}
+	return rows, nil
+}
+
+func cloneRow(row []term.Value) []term.Value {
+	cp := make([]term.Value, len(row))
+	copy(cp, row)
+	return cp
+}
+
+// runPipe streams rows through the segment's operators. The pipelined
+// strategy nests the operators per row and copies only at the segment end;
+// the materialized baseline stores the full row set after every operator
+// (the extra load and store per tuple of §9). Statically named relations
+// are resolved once per segment, not per row — relations only change at
+// barriers and heads, never inside a segment.
+func (f *frame) runPipe(ops []plan.PipeOp, rows [][]term.Value, nregs int) ([][]term.Value, error) {
+	if len(ops) == 0 {
+		return rows, nil
+	}
+	rels := make([]storage.Rel, len(ops))
+	have := make([]bool, len(ops))
+	for i, op := range ops {
+		if m, ok := op.(*plan.Match); ok && m.Rel.Name.IsGround() {
+			rel, err := f.resolveRead(m.Rel, nil)
+			if err != nil {
+				return nil, err
+			}
+			rels[i], have[i] = rel, true
+		}
+	}
+	if f.m.Materialized {
+		cur := rows
+		for i, op := range ops {
+			var out [][]term.Value
+			for _, row := range cur {
+				err := f.applyPipeOp(op, rels[i], have[i], row, func() error {
+					out = append(out, cloneRow(row))
+					f.m.Stats.TuplesMaterialized++
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			cur = out
+			if len(cur) == 0 {
+				return nil, nil
+			}
+		}
+		return cur, nil
+	}
+	var out [][]term.Value
+	var rec func(i int, row []term.Value) error
+	rec = func(i int, row []term.Value) error {
+		if i == len(ops) {
+			out = append(out, cloneRow(row))
+			f.m.Stats.TuplesMaterialized++
+			return nil
+		}
+		return f.applyPipeOp(ops[i], rels[i], have[i], row, func() error { return rec(i+1, row) })
+	}
+	for _, row := range rows {
+		if err := rec(0, row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// unbind zeroes the registers an op bound; the compiler guarantees they
+// were unbound before the op ran, so zeroing restores the pre-op state
+// without a snapshot.
+func unbind(regs []term.Value, bind []int) {
+	for _, r := range bind {
+		regs[r] = term.Value{}
+	}
+}
+
+// buildKey constructs the index-lookup key for the bound argument
+// positions.
+func buildKey(mask uint32, args []term.Pattern, regs []term.Value, arity int) (term.Tuple, error) {
+	if mask == 0 {
+		return nil, nil
+	}
+	key := make(term.Tuple, arity)
+	for i := range args {
+		if mask&(1<<uint(i)) != 0 {
+			v, err := args[i].Build(regs)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+	}
+	return key, nil
+}
+
+// matchArgs matches every pattern against the tuple, binding registers.
+func matchArgs(args []term.Pattern, t term.Tuple, regs []term.Value) bool {
+	for i := range args {
+		if !args[i].Match(t[i], regs) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRel iterates matching tuples of rel, calling emit with the op's
+// registers bound per tuple; the op's bind set is zeroed between tuples
+// and before returning.
+func (f *frame) scanRel(rel storage.Rel, bind []int, mask uint32, args []term.Pattern,
+	regs []term.Value, emit func() error) error {
+	if rel == nil {
+		return nil
+	}
+	key, err := buildKey(mask, args, regs, rel.Arity())
+	if err != nil {
+		return err
+	}
+	var emitErr error
+	rel.Lookup(mask, key, func(t term.Tuple) bool {
+		if matchArgs(args, t, regs) {
+			if err := emit(); err != nil {
+				emitErr = err
+				unbind(regs, bind)
+				return false
+			}
+		}
+		unbind(regs, bind)
+		return true
+	})
+	return emitErr
+}
+
+// existsIn reports whether any tuple of rel matches the (fully bound or
+// wildcarded) patterns; negated ops have no unbound registers, so there is
+// nothing to restore.
+func (f *frame) existsIn(rel storage.Rel, mask uint32, args []term.Pattern,
+	regs []term.Value) (bool, error) {
+	if rel == nil {
+		return false, nil
+	}
+	key, err := buildKey(mask, args, regs, rel.Arity())
+	if err != nil {
+		return false, err
+	}
+	found := false
+	rel.Lookup(mask, key, func(t term.Tuple) bool {
+		if matchArgs(args, t, regs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, nil
+}
+
+// applyPipeOp runs one streaming operator on one row. rel/haveRel carry a
+// segment-level pre-resolved relation for statically named matches.
+func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
+	regs []term.Value, emit func() error) error {
+	switch op := op.(type) {
+	case *plan.Match:
+		if !haveRel {
+			var err error
+			rel, err = f.resolveRead(op.Rel, regs)
+			if err != nil {
+				return err
+			}
+		}
+		if op.Negated {
+			found, err := f.existsIn(rel, op.BoundMask, op.Args, regs)
+			if err != nil {
+				return err
+			}
+			if !found {
+				return emit()
+			}
+			return nil
+		}
+		return f.scanRel(rel, op.Bind, op.BoundMask, op.Args, regs, emit)
+	case *plan.DynMatch:
+		name, err := op.Pred.Build(regs)
+		if err != nil {
+			return err
+		}
+		rel := f.dynResolve(name, op.Arity, op.Narrowed, op.Candidates)
+		if op.Negated {
+			found, err := f.existsIn(rel, op.BoundMask, op.Args, regs)
+			if err != nil {
+				return err
+			}
+			if !found {
+				return emit()
+			}
+			return nil
+		}
+		return f.scanRel(rel, op.Bind, op.BoundMask, op.Args, regs, emit)
+	case *plan.Compare:
+		l, err := evalExpr(op.L, regs)
+		if err != nil {
+			return err
+		}
+		r, err := evalExpr(op.R, regs)
+		if err != nil {
+			return err
+		}
+		ok, err := compareValues(op.Op, l, r)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return emit()
+		}
+		return nil
+	case *plan.MatchBind:
+		v, err := evalExpr(op.E, regs)
+		if err != nil {
+			return err
+		}
+		if op.Pat.Match(v, regs) {
+			if err := emit(); err != nil {
+				unbind(regs, op.Bind)
+				return err
+			}
+		}
+		unbind(regs, op.Bind)
+		return nil
+	}
+	return fmt.Errorf("vm: unknown pipe op %T", op)
+}
+
+// dynResolve finds the relation a HiLog predicate name denotes. With
+// compile-time narrowing, simple names outside the candidate set are
+// rejected immediately and the store is probed directly; the baseline
+// searches every class linearly, the work the paper's compiler exists to
+// avoid (§9).
+func (f *frame) dynResolve(name term.Value, arity int, narrowed bool,
+	cands map[string]bool) storage.Rel {
+	f.m.Stats.DynDispatches++
+	if narrowed {
+		if name.Kind() == term.Str {
+			n := name.Str()
+			if !cands[n] {
+				return nil
+			}
+			if n == "in" && f.inRel.Arity() == arity {
+				return f.inRel
+			}
+			if r, ok := f.locals[n]; ok && r.Arity() == arity {
+				return r
+			}
+		}
+		rel, ok := f.m.EDB.Get(name, arity)
+		if !ok {
+			return nil
+		}
+		return rel
+	}
+	// Baseline: runtime dereferencing checks each class in turn.
+	if name.Kind() == term.Str {
+		n := name.Str()
+		if n == "in" && f.inRel.Arity() == arity {
+			return f.inRel
+		}
+		for lname, r := range f.locals {
+			if lname == n && r.Arity() == arity {
+				return r
+			}
+		}
+	}
+	for _, rn := range f.m.EDB.Names() {
+		if rn.Arity == arity && rn.Name.Equal(name) {
+			rel, _ := f.m.EDB.Get(name, arity)
+			return rel
+		}
+	}
+	return nil
+}
+
+// dedupRows removes rows that agree on the live registers (§9: duplicate
+// elimination at pipeline breaks).
+func (f *frame) dedupRows(rows [][]term.Value, live []int) [][]term.Value {
+	if len(rows) < 2 {
+		return rows
+	}
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var buf []byte
+	for _, row := range rows {
+		buf = buf[:0]
+		for _, r := range live {
+			if row[r].IsZero() {
+				buf = append(buf, 0)
+				continue
+			}
+			buf = term.AppendValue(buf, row[r])
+		}
+		k := string(buf)
+		if seen[k] {
+			f.m.Stats.RowsDeduped++
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// applyHead applies the statement's assignment operator to the target
+// relation(s). HiLog heads may address several relations in one statement;
+// rows are grouped by computed relation name.
+func (f *frame) applyHead(st *plan.Stmt, rows [][]term.Value) error {
+	type target struct {
+		rel    storage.Rel
+		tuples []term.Tuple
+	}
+	groups := map[string]*target{}
+	order := []string{}
+	ensure := func(regs []term.Value) (*target, error) {
+		name, err := st.Head.Ref.Name.Build(regs)
+		if err != nil {
+			return nil, err
+		}
+		k := term.Key(name)
+		if g, ok := groups[k]; ok {
+			return g, nil
+		}
+		rel, err := f.resolveWrite(st.Head.Ref, regs)
+		if err != nil {
+			return nil, err
+		}
+		groups[k] = &target{rel: rel}
+		order = append(order, k)
+		return groups[k], nil
+	}
+	// A statically named target participates even with an empty body
+	// (":=" clears it); a computed name cannot be known without rows.
+	if st.Head.Ref.Name.IsGround() {
+		if _, err := ensure(nil); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		g, err := ensure(row)
+		if err != nil {
+			return err
+		}
+		tup := make(term.Tuple, len(st.Head.Args))
+		for i := range st.Head.Args {
+			v, err := st.Head.Args[i].Build(row)
+			if err != nil {
+				return err
+			}
+			tup[i] = v
+		}
+		g.tuples = append(g.tuples, tup)
+	}
+	for _, k := range order {
+		g := groups[k]
+		switch st.Op {
+		case ast.OpAssign:
+			g.rel.Clear()
+			for _, t := range g.tuples {
+				g.rel.Insert(t)
+			}
+		case ast.OpInsert:
+			for _, t := range g.tuples {
+				g.rel.Insert(t)
+			}
+		case ast.OpDelete:
+			for _, t := range g.tuples {
+				g.rel.Delete(t)
+			}
+		case ast.OpModify:
+			g.rel.ModifyByKey(st.KeyMask, g.tuples)
+		}
+	}
+	if st.Head.IsReturn {
+		f.returned = true
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/plan"
+	"gluenail/internal/term"
+)
+
+// evalExpr evaluates a compiled expression over bound registers.
+func evalExpr(e plan.Expr, regs []term.Value) (term.Value, error) {
+	switch e := e.(type) {
+	case plan.ConstE:
+		return e.V, nil
+	case plan.RegE:
+		v := regs[e.Reg]
+		if v.IsZero() {
+			return term.Value{}, fmt.Errorf("unbound variable in expression")
+		}
+		return v, nil
+	case plan.PatE:
+		return e.P.Build(regs)
+	case plan.BinE:
+		l, err := evalExpr(e.L, regs)
+		if err != nil {
+			return term.Value{}, err
+		}
+		r, err := evalExpr(e.R, regs)
+		if err != nil {
+			return term.Value{}, err
+		}
+		return evalArith(e.Op, l, r)
+	case plan.CallE:
+		args := make([]term.Value, len(e.Args))
+		for i := range e.Args {
+			v, err := evalExpr(e.Args[i], regs)
+			if err != nil {
+				return term.Value{}, err
+			}
+			args[i] = v
+		}
+		return evalFn(e.Fn, args)
+	}
+	return term.Value{}, fmt.Errorf("vm: unknown expression %T", e)
+}
+
+func evalArith(op ast.BinOp, l, r term.Value) (term.Value, error) {
+	lf, lok := l.Num()
+	rf, rok := r.Num()
+	if !lok || !rok {
+		return term.Value{}, fmt.Errorf("arithmetic on non-numeric values %v %s %v", l, op, r)
+	}
+	bothInt := l.Kind() == term.Int && r.Kind() == term.Int
+	switch op {
+	case ast.OpAdd:
+		if bothInt {
+			return term.NewInt(l.Int() + r.Int()), nil
+		}
+		return term.NewFloat(lf + rf), nil
+	case ast.OpSub:
+		if bothInt {
+			return term.NewInt(l.Int() - r.Int()), nil
+		}
+		return term.NewFloat(lf - rf), nil
+	case ast.OpMul:
+		if bothInt {
+			return term.NewInt(l.Int() * r.Int()), nil
+		}
+		return term.NewFloat(lf * rf), nil
+	case ast.OpDiv:
+		if rf == 0 {
+			return term.Value{}, fmt.Errorf("division by zero")
+		}
+		if bothInt && l.Int()%r.Int() == 0 {
+			return term.NewInt(l.Int() / r.Int()), nil
+		}
+		return term.NewFloat(lf / rf), nil
+	case ast.OpMod:
+		if !bothInt {
+			return term.Value{}, fmt.Errorf("mod requires integers")
+		}
+		if r.Int() == 0 {
+			return term.Value{}, fmt.Errorf("mod by zero")
+		}
+		return term.NewInt(l.Int() % r.Int()), nil
+	}
+	return term.Value{}, fmt.Errorf("vm: unknown arithmetic op %v", op)
+}
+
+// evalFn evaluates the builtin string/number functions (§2: built-in
+// operators for concatenation, length, and substring).
+func evalFn(fn string, args []term.Value) (term.Value, error) {
+	switch fn {
+	case "strcat":
+		if args[0].Kind() != term.Str || args[1].Kind() != term.Str {
+			return term.Value{}, fmt.Errorf("strcat requires strings")
+		}
+		return term.NewString(args[0].Str() + args[1].Str()), nil
+	case "strlen":
+		if args[0].Kind() != term.Str {
+			return term.Value{}, fmt.Errorf("strlen requires a string")
+		}
+		return term.NewInt(int64(len(args[0].Str()))), nil
+	case "substr":
+		if args[0].Kind() != term.Str || args[1].Kind() != term.Int || args[2].Kind() != term.Int {
+			return term.Value{}, fmt.Errorf("substr requires (string, int, int)")
+		}
+		s := args[0].Str()
+		start := args[1].Int() - 1 // 1-based
+		length := args[2].Int()
+		if start < 0 || length < 0 || start > int64(len(s)) {
+			return term.Value{}, fmt.Errorf("substr(%q, %d, %d) out of range", s, args[1].Int(), length)
+		}
+		end := start + length
+		if end > int64(len(s)) {
+			end = int64(len(s))
+		}
+		return term.NewString(s[start:end]), nil
+	case "abs":
+		switch args[0].Kind() {
+		case term.Int:
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return term.NewInt(v), nil
+		case term.Float:
+			return term.NewFloat(math.Abs(args[0].Float())), nil
+		}
+		return term.Value{}, fmt.Errorf("abs requires a number")
+	}
+	return term.Value{}, fmt.Errorf("vm: unknown function %q", fn)
+}
+
+// compareValues evaluates a comparison. Mixed int/float operands compare
+// numerically; otherwise both sides must have the same kind and compare by
+// the term order (strings lexicographically).
+func compareValues(op ast.CmpOp, l, r term.Value) (bool, error) {
+	var c int
+	lf, lok := l.Num()
+	rf, rok := r.Num()
+	switch {
+	case lok && rok:
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	case l.Kind() == r.Kind():
+		c = l.Compare(r)
+	default:
+		// Cross-kind: only (in)equality is meaningful.
+		switch op {
+		case ast.CmpEq:
+			return false, nil
+		case ast.CmpNe:
+			return true, nil
+		}
+		return false, fmt.Errorf("cannot order %v and %v", l, r)
+	}
+	switch op {
+	case ast.CmpEq:
+		return c == 0, nil
+	case ast.CmpNe:
+		return c != 0, nil
+	case ast.CmpLt:
+		return c < 0, nil
+	case ast.CmpLe:
+		return c <= 0, nil
+	case ast.CmpGt:
+		return c > 0, nil
+	case ast.CmpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("vm: unknown comparison %v", op)
+}
+
+// valueText renders a value for I/O builtins: strings print raw, everything
+// else in source syntax.
+func valueText(v term.Value) string {
+	if v.Kind() == term.Str {
+		return v.Str()
+	}
+	return v.String()
+}
+
+func tupleText(t term.Tuple) string {
+	parts := make([]string, len(t))
+	for i := range t {
+		parts[i] = valueText(t[i])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,286 @@
+package vm
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gluenail/internal/ast"
+	"gluenail/internal/plan"
+	"gluenail/internal/term"
+)
+
+func bufioReader(s string) *bufio.Reader {
+	return bufio.NewReader(strings.NewReader(s))
+}
+
+func TestEvalArith(t *testing.T) {
+	i := func(v int64) term.Value { return term.NewInt(v) }
+	f := func(v float64) term.Value { return term.NewFloat(v) }
+	cases := []struct {
+		op   ast.BinOp
+		l, r term.Value
+		want term.Value
+	}{
+		{ast.OpAdd, i(2), i(3), i(5)},
+		{ast.OpAdd, i(2), f(0.5), f(2.5)},
+		{ast.OpSub, i(2), i(5), i(-3)},
+		{ast.OpMul, f(1.5), i(2), f(3)},
+		{ast.OpDiv, i(6), i(3), i(2)},
+		{ast.OpDiv, i(7), i(2), f(3.5)},
+		{ast.OpDiv, f(1), f(4), f(0.25)},
+		{ast.OpMod, i(7), i(3), i(1)},
+	}
+	for _, c := range cases {
+		got, err := evalArith(c.op, c.l, c.r)
+		if err != nil {
+			t.Errorf("%v %v %v: %v", c.l, c.op, c.r, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+	bad := []struct {
+		op   ast.BinOp
+		l, r term.Value
+	}{
+		{ast.OpAdd, term.NewString("a"), i(1)},
+		{ast.OpDiv, i(1), i(0)},
+		{ast.OpMod, f(1), i(2)},
+		{ast.OpMod, i(1), i(0)},
+	}
+	for _, c := range bad {
+		if _, err := evalArith(c.op, c.l, c.r); err == nil {
+			t.Errorf("%v %v %v should fail", c.l, c.op, c.r)
+		}
+	}
+}
+
+func TestEvalFn(t *testing.T) {
+	s := term.NewString
+	got, err := evalFn("strcat", []term.Value{s("ab"), s("cd")})
+	if err != nil || got.Str() != "abcd" {
+		t.Errorf("strcat = %v, %v", got, err)
+	}
+	got, err = evalFn("strlen", []term.Value{s("abc")})
+	if err != nil || got.Int() != 3 {
+		t.Errorf("strlen = %v, %v", got, err)
+	}
+	got, err = evalFn("substr", []term.Value{s("hello"), term.NewInt(2), term.NewInt(3)})
+	if err != nil || got.Str() != "ell" {
+		t.Errorf("substr = %v, %v", got, err)
+	}
+	// Clamped end.
+	got, err = evalFn("substr", []term.Value{s("hi"), term.NewInt(1), term.NewInt(10)})
+	if err != nil || got.Str() != "hi" {
+		t.Errorf("substr clamp = %v, %v", got, err)
+	}
+	got, err = evalFn("abs", []term.Value{term.NewInt(-4)})
+	if err != nil || got.Int() != 4 {
+		t.Errorf("abs = %v, %v", got, err)
+	}
+	got, err = evalFn("abs", []term.Value{term.NewFloat(-1.5)})
+	if err != nil || got.Float() != 1.5 {
+		t.Errorf("abs float = %v, %v", got, err)
+	}
+	bad := [][]term.Value{
+		{term.NewInt(1), s("x")},
+	}
+	if _, err := evalFn("strcat", bad[0]); err == nil {
+		t.Error("strcat on int should fail")
+	}
+	if _, err := evalFn("strlen", []term.Value{term.NewInt(1)}); err == nil {
+		t.Error("strlen on int should fail")
+	}
+	if _, err := evalFn("substr", []term.Value{s("x"), term.NewInt(9), term.NewInt(1)}); err == nil {
+		t.Error("substr out of range should fail")
+	}
+	if _, err := evalFn("abs", []term.Value{s("x")}); err == nil {
+		t.Error("abs on string should fail")
+	}
+	if _, err := evalFn("nope", nil); err == nil {
+		t.Error("unknown fn should fail")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	i, f, s := term.NewInt, term.NewFloat, term.NewString
+	type c struct {
+		op   ast.CmpOp
+		l, r term.Value
+		want bool
+	}
+	cases := []c{
+		{ast.CmpEq, i(1), i(1), true},
+		{ast.CmpEq, i(1), f(1), true}, // numeric equality across kinds
+		{ast.CmpNe, i(1), f(1.5), true},
+		{ast.CmpLt, i(1), f(1.5), true},
+		{ast.CmpGe, f(2), i(2), true},
+		{ast.CmpLt, s("abc"), s("abd"), true},
+		{ast.CmpEq, s("x"), s("x"), true},
+		{ast.CmpEq, s("x"), i(1), false}, // cross-kind equality is false
+		{ast.CmpNe, s("x"), i(1), true},
+		{ast.CmpEq, term.Atom("f", i(1)), term.Atom("f", i(1)), true},
+	}
+	for _, cse := range cases {
+		got, err := compareValues(cse.op, cse.l, cse.r)
+		if err != nil {
+			t.Errorf("%v %v %v: %v", cse.l, cse.op, cse.r, err)
+			continue
+		}
+		if got != cse.want {
+			t.Errorf("%v %v %v = %v, want %v", cse.l, cse.op, cse.r, got, cse.want)
+		}
+	}
+	if _, err := compareValues(ast.CmpLt, s("x"), i(1)); err == nil {
+		t.Error("ordering across kinds should fail")
+	}
+}
+
+func TestAggregateOps(t *testing.T) {
+	i, f := term.NewInt, term.NewFloat
+	vals := []term.Value{i(4), i(1), i(4), i(7)}
+	check := func(op string, want term.Value) {
+		t.Helper()
+		got, err := aggregate(op, vals)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s = %v, want %v", op, got, want)
+		}
+	}
+	check("min", i(1))
+	check("max", i(7))
+	check("sum", i(16))
+	check("product", i(112))
+	check("count", i(4))
+	check("mean", f(4))
+	check("arbitrary", i(1)) // deterministic: smallest
+	sd, err := aggregate("std_dev", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd.Float()-2.1213) > 1e-3 {
+		t.Errorf("std_dev = %v", sd)
+	}
+	// Mixed numeric kinds promote to float.
+	mixed := []term.Value{i(1), f(2.5)}
+	got, _ := aggregate("sum", mixed)
+	if got.Kind() != term.Float || got.Float() != 3.5 {
+		t.Errorf("mixed sum = %v", got)
+	}
+	// min/max over strings use term order.
+	ss := []term.Value{term.NewString("b"), term.NewString("a")}
+	got, _ = aggregate("min", ss)
+	if got.Str() != "a" {
+		t.Errorf("string min = %v", got)
+	}
+	// Errors.
+	if _, err := aggregate("sum", ss); err == nil {
+		t.Error("sum of strings should fail")
+	}
+	if _, err := aggregate("min", nil); err == nil {
+		t.Error("aggregate over empty set should fail")
+	}
+	if _, err := aggregate("nope", vals); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+}
+
+func TestQuickSumMatchesReference(t *testing.T) {
+	prop := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		vals := make([]term.Value, len(xs))
+		var want int64
+		for i, x := range xs {
+			vals[i] = term.NewInt(int64(x))
+			want += int64(x)
+		}
+		got, err := aggregate("sum", vals)
+		return err == nil && got.Int() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxAreMembers(t *testing.T) {
+	prop := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		vals := make([]term.Value, len(xs))
+		for i, x := range xs {
+			vals[i] = term.NewInt(int64(x))
+		}
+		mn, err1 := aggregate("min", vals)
+		mx, err2 := aggregate("max", vals)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		foundMin, foundMax := false, false
+		for _, v := range vals {
+			if v.Equal(mn) {
+				foundMin = true
+			}
+			if v.Equal(mx) {
+				foundMax = true
+			}
+			if v.Int() < mn.Int() || v.Int() > mx.Int() {
+				return false
+			}
+		}
+		return foundMin && foundMax
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"write", "writeln", "nl", "read_line"} {
+		if !r.Has(name) {
+			t.Errorf("standard builtin %s missing", name)
+		}
+	}
+	if err := r.Register("write", plan.BuiltinSig{}, nil); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := r.Register("custom", plan.BuiltinSig{Bound: 1}, nil); err != nil {
+		t.Error(err)
+	}
+	sig, ok := r.Sig("custom")
+	if !ok || sig.Bound != 1 {
+		t.Errorf("sig = %+v, %v", sig, ok)
+	}
+	if _, ok := r.Sig("nothere"); ok {
+		t.Error("Sig should miss unknown names")
+	}
+}
+
+func TestEvalExprUnboundRegister(t *testing.T) {
+	regs := make([]term.Value, 1)
+	if _, err := evalExpr(plan.RegE{Reg: 0}, regs); err == nil {
+		t.Error("unbound register should fail")
+	}
+}
+
+func TestValueText(t *testing.T) {
+	if valueText(term.NewString("hello world")) != "hello world" {
+		t.Error("strings should print raw")
+	}
+	if valueText(term.NewInt(3)) != "3" {
+		t.Error("ints print numerically")
+	}
+	got := tupleText(term.Tuple{term.NewString("a"), term.NewInt(1)})
+	if got != "a 1" {
+		t.Errorf("tupleText = %q", got)
+	}
+}

@@ -1,0 +1,249 @@
+// Package vm executes compiled Glue programs. It implements both execution
+// strategies discussed in §9: the default pipelined (nested-join) strategy,
+// which streams each supplementary row through a segment's operators and
+// materializes only at pipeline breaks, and a fully materialized baseline
+// that stores the supplementary relation after every operator. Procedure
+// frames hold per-invocation local relations (§4), created in the temp
+// store so back-end experiments see the cost of short-lived temporaries.
+package vm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gluenail/internal/plan"
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+// ExecStats counts executor work for the experiments.
+type ExecStats struct {
+	StmtsExecuted  int64
+	LoopIterations int64
+	PipelineBreaks int64
+	// TuplesMaterialized counts rows copied into materialized supplementary
+	// relations (every op under the materialized strategy; only barriers
+	// under the pipelined strategy).
+	TuplesMaterialized int64
+	RowsDeduped        int64
+	ProcCalls          int64
+	DynDispatches      int64
+}
+
+// Machine executes a compiled program against an EDB store.
+type Machine struct {
+	Prog     *plan.Program
+	EDB      storage.Store
+	Temp     storage.Store
+	Builtins *Registry
+	Out      io.Writer
+	In       *bufio.Reader
+	// Materialized selects the fully materialized execution strategy
+	// (the E2 baseline); the default is pipelined.
+	Materialized bool
+	// LoopLimit bounds repeat-loop iterations (0 = unlimited); exceeded
+	// loops return an error rather than hanging.
+	LoopLimit int
+	// Trace, when non-nil, receives one line per statement execution and
+	// procedure call — the executor's narration of §3.2's evaluation.
+	Trace io.Writer
+	Stats ExecStats
+
+	frameID uint64
+}
+
+// New returns a machine over the program and EDB store, with frame-local
+// relations allocated from temp. A nil temp uses a private MemStore; a nil
+// registry uses the standard builtins.
+func New(prog *plan.Program, edb, temp storage.Store, reg *Registry) *Machine {
+	if temp == nil {
+		temp = storage.NewMemStore(storage.IndexAdaptive)
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Machine{
+		Prog:     prog,
+		EDB:      edb,
+		Temp:     temp,
+		Builtins: reg,
+		Out:      os.Stdout,
+		In:       bufio.NewReader(strings.NewReader("")),
+	}
+}
+
+// RuntimeError wraps an execution failure with procedure context.
+type RuntimeError struct {
+	ProcID string
+	Err    error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("in %s: %v", e.ProcID, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// tracef writes one trace line when tracing is enabled.
+func (m *Machine) tracef(format string, args ...any) {
+	if m.Trace != nil {
+		fmt.Fprintf(m.Trace, format+"\n", args...)
+	}
+}
+
+// CallProc invokes a compiled procedure set-at-a-time: in holds the tuples
+// of the procedure's in relation (for a 0-bound procedure pass a single
+// empty tuple). It returns the tuples assigned to return.
+func (m *Machine) CallProc(id string, in []term.Tuple) ([]term.Tuple, error) {
+	proc, ok := m.Prog.Procs[id]
+	if !ok {
+		return nil, fmt.Errorf("vm: no procedure %q", id)
+	}
+	m.tracef("call %s with %d input tuple(s)", id, len(in))
+	m.Stats.ProcCalls++
+	m.frameID++
+	f := &frame{m: m, proc: proc, id: m.frameID}
+	defer f.drop()
+	f.inRel = m.Temp.Ensure(f.relName("in"), proc.Bound)
+	f.retRel = m.Temp.Ensure(f.relName("return"), proc.Bound+proc.Free)
+	for _, t := range in {
+		if len(t) != proc.Bound {
+			return nil, &RuntimeError{ProcID: id, Err: fmt.Errorf(
+				"input tuple arity %d, procedure expects %d", len(t), proc.Bound)}
+		}
+		f.inRel.Insert(t)
+	}
+	f.locals = make(map[string]storage.Rel, len(proc.Locals))
+	for _, l := range proc.Locals {
+		f.locals[l.Name] = m.Temp.Ensure(f.relName(l.Name), l.Arity)
+	}
+	if err := f.execInstrs(proc.Body); err != nil {
+		return nil, &RuntimeError{ProcID: id, Err: err}
+	}
+	out := f.retRel.All()
+	m.tracef("return from %s: %d tuple(s)", id, len(out))
+	return out, nil
+}
+
+// frame is one procedure invocation.
+type frame struct {
+	m      *Machine
+	proc   *plan.Proc
+	id     uint64
+	locals map[string]storage.Rel
+	inRel  storage.Rel
+	retRel storage.Rel
+	// unchanged holds per-site version memory for the unchanged builtin.
+	unchanged map[int]uint64
+	returned  bool
+}
+
+// relName builds the unique temp-store name for a frame-local relation.
+func (f *frame) relName(local string) term.Value {
+	return term.Atom("$frame", term.NewInt(int64(f.id)), term.NewString(local))
+}
+
+func (f *frame) drop() {
+	f.m.Temp.Drop(f.relName("in"), f.inRel.Arity())
+	f.m.Temp.Drop(f.relName("return"), f.retRel.Arity())
+	for _, l := range f.proc.Locals {
+		f.m.Temp.Drop(f.relName(l.Name), l.Arity)
+	}
+}
+
+func (f *frame) execInstrs(instrs []plan.Instr) error {
+	for _, in := range instrs {
+		if f.returned {
+			return nil
+		}
+		switch in := in.(type) {
+		case *plan.ExecStmt:
+			if err := f.execStmt(in.S); err != nil {
+				return err
+			}
+		case *plan.Loop:
+			iters := 0
+			for {
+				f.m.Stats.LoopIterations++
+				iters++
+				if f.m.LoopLimit > 0 && iters > f.m.LoopLimit {
+					return fmt.Errorf("repeat loop exceeded %d iterations", f.m.LoopLimit)
+				}
+				if err := f.execInstrs(in.Body); err != nil {
+					return err
+				}
+				if f.returned {
+					return nil
+				}
+				done := false
+				for _, cond := range in.Until {
+					ok, err := f.evalCond(cond)
+					if err != nil {
+						return err
+					}
+					if ok {
+						done = true
+						break
+					}
+				}
+				if done {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// localRel resolves a frame-local relation by source name.
+func (f *frame) localRel(name string) (storage.Rel, error) {
+	switch name {
+	case "in":
+		return f.inRel, nil
+	case "return":
+		return f.retRel, nil
+	}
+	if r, ok := f.locals[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("no local relation %q", name)
+}
+
+// resolveRead resolves a relation reference for reading; a missing EDB
+// relation reads as empty (nil Rel).
+func (f *frame) resolveRead(ref plan.RelRef, regs []term.Value) (storage.Rel, error) {
+	name, err := ref.Name.Build(regs)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Space == plan.SpaceLocal {
+		return f.localRel(name.Str())
+	}
+	rel, ok := f.m.EDB.Get(name, ref.Arity)
+	if !ok {
+		return nil, nil
+	}
+	return rel, nil
+}
+
+// resolveWrite resolves a relation reference for writing, creating EDB
+// relations on demand.
+func (f *frame) resolveWrite(ref plan.RelRef, regs []term.Value) (storage.Rel, error) {
+	name, err := ref.Name.Build(regs)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Space == plan.SpaceLocal {
+		return f.localRel(name.Str())
+	}
+	return f.m.EDB.Ensure(name, ref.Arity), nil
+}
+
+// sortTuples orders tuples deterministically (builtin calls, output).
+func sortTuples(ts []term.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

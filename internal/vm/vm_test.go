@@ -1,0 +1,353 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gluenail/internal/modsys"
+	"gluenail/internal/parser"
+	"gluenail/internal/plan"
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+// compileMachine builds a machine from source with the standard builtins.
+func compileMachine(t *testing.T, src string, popts plan.Options) *Machine {
+	t.Helper()
+	reg := NewRegistry()
+	popts.Builtin = reg.Sig
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lp, err := modsys.LinkWith(prog, modsys.Options{Known: reg.Has})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	c := plan.NewCompiler(lp, popts)
+	if err := c.CompileAll(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	edb := storage.NewMemStore(storage.IndexAdaptive)
+	return New(c.Program(), edb, nil, reg)
+}
+
+func insert(m *Machine, rel string, rows ...[]int64) {
+	for _, row := range rows {
+		t := make(term.Tuple, len(row))
+		for i, v := range row {
+			t[i] = term.NewInt(v)
+		}
+		m.EDB.Ensure(term.NewString(rel), len(row)).Insert(t)
+	}
+}
+
+func TestCallProcBasic(t *testing.T) {
+	m := compileMachine(t, `
+edb e(X,Y);
+proc succ(X:Y)
+  return(X:Y) := in(X) & e(X,Y).
+end
+`, plan.Options{})
+	insert(m, "e", []int64{1, 2}, []int64{1, 3}, []int64{2, 4})
+	out, err := m.CallProc("main.succ", []term.Tuple{{term.NewInt(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("succ(1) = %v", out)
+	}
+	if _, err := m.CallProc("nope", nil); err == nil {
+		t.Error("unknown proc should fail")
+	}
+	if _, err := m.CallProc("main.succ", []term.Tuple{{}}); err == nil {
+		t.Error("wrong input arity should fail")
+	}
+}
+
+func TestFrameLocalsAreDropped(t *testing.T) {
+	m := compileMachine(t, `
+edb e(X);
+proc p(:X)
+rels tmp(X);
+  tmp(X) := e(X).
+  return(:X) := tmp(X).
+end
+`, plan.Options{})
+	insert(m, "e", []int64{1})
+	before := m.Temp.Stats().RelsCreated
+	if _, err := m.CallProc("main.p", []term.Tuple{{}}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Temp.Stats()
+	if st.RelsCreated <= before {
+		t.Error("frame should create temp relations")
+	}
+	if st.RelsCreated-st.RelsDropped != 0 {
+		t.Errorf("temp relations leaked: created=%d dropped=%d", st.RelsCreated, st.RelsDropped)
+	}
+	if len(m.Temp.Names()) != 0 {
+		t.Errorf("temp store not empty: %v", m.Temp.Names())
+	}
+}
+
+func TestPipelinedAndMaterializedAgree(t *testing.T) {
+	src := `
+edb a(X,Y), b(Y,Z), c(Z,W), out(X,W);
+proc go(:)
+  out(X,W) := a(X,Y) & b(Y,Z) & c(Z,W) & X != W.
+  return(:) := out(_,_).
+end
+`
+	run := func(materialized bool) ([]term.Tuple, ExecStats) {
+		m := compileMachine(t, src, plan.Options{})
+		m.Materialized = materialized
+		insert(m, "a", []int64{1, 2}, []int64{2, 3})
+		insert(m, "b", []int64{2, 5}, []int64{3, 5}, []int64{3, 6})
+		insert(m, "c", []int64{5, 1}, []int64{6, 9})
+		if _, err := m.CallProc("main.go", []term.Tuple{{}}); err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := m.EDB.Get(term.NewString("out"), 2)
+		return storage.Sorted(rel), m.Stats
+	}
+	pipeRows, pipeStats := run(false)
+	matRows, matStats := run(true)
+	if len(pipeRows) != len(matRows) {
+		t.Fatalf("strategies disagree: %v vs %v", pipeRows, matRows)
+	}
+	for i := range pipeRows {
+		if !pipeRows[i].Equal(matRows[i]) {
+			t.Fatalf("strategies disagree: %v vs %v", pipeRows, matRows)
+		}
+	}
+	if matStats.TuplesMaterialized <= pipeStats.TuplesMaterialized {
+		t.Errorf("materialized strategy should copy more tuples: %d vs %d",
+			matStats.TuplesMaterialized, pipeStats.TuplesMaterialized)
+	}
+}
+
+func TestDedupAtBreaks(t *testing.T) {
+	// A projection-style join producing duplicates ahead of a procedure
+	// call: dedup shrinks the input set.
+	src := `
+edb a(X,Y), out(X);
+proc idp(X:)
+  return(X:) := in(X).
+end
+proc go(:)
+  out(X) := a(X,_) & idp(X).
+  return(:) := out(_).
+end
+`
+	run := func(noDedup bool) ExecStats {
+		m := compileMachine(t, src, plan.Options{NoDedup: noDedup})
+		insert(m, "a", []int64{1, 1}, []int64{1, 2}, []int64{1, 3}, []int64{2, 1})
+		if _, err := m.CallProc("main.go", []term.Tuple{{}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats
+	}
+	with := run(false)
+	without := run(true)
+	if with.RowsDeduped == 0 {
+		t.Error("dedup should remove duplicate rows")
+	}
+	if without.RowsDeduped != 0 {
+		t.Error("NoDedup should disable dedup")
+	}
+}
+
+func TestUnchangedSemantics(t *testing.T) {
+	// unchanged is always false the first time (§4), so a loop whose body
+	// changes nothing still runs exactly once... and terminates on the
+	// second check.
+	m := compileMachine(t, `
+edb x(V), count(V);
+proc go(:)
+  repeat
+    count(1) += x(_).
+  until unchanged(count(_));
+  return(:) := count(_).
+end
+`, plan.Options{})
+	insert(m, "x", []int64{5})
+	if _, err := m.CallProc("main.go", []term.Tuple{{}}); err != nil {
+		t.Fatal(err)
+	}
+	// First iteration inserts (1) (a change). Second iteration inserts
+	// nothing -> unchanged -> exit.
+	if m.Stats.LoopIterations != 2 {
+		t.Errorf("loop iterations = %d, want 2", m.Stats.LoopIterations)
+	}
+}
+
+func TestReturnExitsEarly(t *testing.T) {
+	var buf bytes.Buffer
+	m := compileMachine(t, `
+edb e(X);
+proc go(:X)
+  return(:X) := e(X).
+  never() := e(X) & write('should not run').
+end
+edb never();
+`, plan.Options{})
+	m.Out = &buf
+	insert(m, "e", []int64{1})
+	out, err := m.CallProc("main.go", []term.Tuple{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("out = %v", out)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("statement after return executed: %q", buf.String())
+	}
+}
+
+func TestEmptyBodyStopsSideEffects(t *testing.T) {
+	// §3.2: execution stops when a supplementary relation is empty, so the
+	// write after an empty match must not run.
+	var buf bytes.Buffer
+	m := compileMachine(t, `
+edb e(X), out(X);
+proc go(:)
+  out(X) := e(X) & write(X).
+  return(:) := out(_).
+end
+`, plan.Options{})
+	m.Out = &buf
+	if _, err := m.CallProc("main.go", []term.Tuple{{}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("write ran on empty supplementary: %q", buf.String())
+	}
+}
+
+func TestClearingAssignOnEmptyBodyClears(t *testing.T) {
+	m := compileMachine(t, `
+edb tgt(X), src(X);
+proc go(:)
+  tgt(X) := src(X).
+  return(:) := tgt(_).
+end
+`, plan.Options{})
+	insert(m, "tgt", []int64{9})
+	if _, err := m.CallProc("main.go", []term.Tuple{{}}); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := m.EDB.Get(term.NewString("tgt"), 1)
+	if rel.Len() != 0 {
+		t.Errorf("tgt should be cleared by := with empty body: %v", rel.All())
+	}
+}
+
+func TestHiLogHeadCreatesSetRelations(t *testing.T) {
+	m := compileMachine(t, `
+edb member(G, X);
+proc build(:)
+  group(G)(X) := member(G, X).
+  return(:) := member(_,_).
+end
+`, plan.Options{})
+	m.EDB.Ensure(term.NewString("member"), 2).Insert(
+		term.Tuple{term.NewString("a"), term.NewInt(1)})
+	m.EDB.Ensure(term.NewString("member"), 2).Insert(
+		term.Tuple{term.NewString("b"), term.NewInt(2)})
+	if _, err := m.CallProc("main.build", []term.Tuple{{}}); err != nil {
+		t.Fatal(err)
+	}
+	ga, ok := m.EDB.Get(term.Atom("group", term.NewString("a")), 1)
+	if !ok || ga.Len() != 1 {
+		t.Errorf("group(a) = %v", ga)
+	}
+	gb, ok := m.EDB.Get(term.Atom("group", term.NewString("b")), 1)
+	if !ok || !gb.Contains(term.Tuple{term.NewInt(2)}) {
+		t.Error("group(b) missing")
+	}
+}
+
+func TestRecursiveProcCalls(t *testing.T) {
+	// Procedures may be called recursively with per-invocation locals (§4).
+	m := compileMachine(t, `
+edb e(X,Y);
+proc down(X:Y)
+rels next(Y), deeper(Y);
+  next(Y) := in(X) & e(X,Y).
+  deeper(Z) := next(Y) & down(Y, Z).
+  return(X:Y) := next(Y).
+  return(X:Y) += deeper(Y).
+end
+`, plan.Options{})
+	_ = m
+	// Note: return exits after the first return statement; the second is
+	// unreachable, so only direct successors are returned. This documents
+	// the §4 exit semantics.
+	insert(m, "e", []int64{1, 2}, []int64{2, 3})
+	out, err := m.CallProc("main.down", []term.Tuple{{term.NewInt(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("down(1) = %v (return should exit the procedure)", out)
+	}
+}
+
+func TestLoopLimitEnforced(t *testing.T) {
+	m := compileMachine(t, `
+edb flag(X);
+proc spin(:)
+  repeat
+    flag(1) += flag(1).
+  until empty(flag(_));
+  return(:) := flag(_).
+end
+`, plan.Options{})
+	m.LoopLimit = 3
+	insert(m, "flag", []int64{1})
+	_, err := m.CallProc("main.spin", []term.Tuple{{}})
+	if err == nil || !strings.Contains(err.Error(), "iterations") {
+		t.Errorf("want loop-limit error, got %v", err)
+	}
+}
+
+func TestRuntimeErrorWrapping(t *testing.T) {
+	m := compileMachine(t, `
+edb p(X), out(X);
+proc go(:)
+  out(Y) := p(X) & Y = X / 0.
+  return(:) := out(_).
+end
+`, plan.Options{})
+	insert(m, "p", []int64{1})
+	_, err := m.CallProc("main.go", []term.Tuple{{}})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("want division error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "main.go") {
+		t.Errorf("error should carry proc context: %v", err)
+	}
+}
+
+func TestReadLineBuiltin(t *testing.T) {
+	m := compileMachine(t, `
+edb seen(L);
+proc slurp(:)
+  repeat
+    seen(L) += read_line(L).
+  until unchanged(seen(_));
+  return(:) := seen(_).
+end
+`, plan.Options{})
+	m.In = bufioReader("alpha\nbeta\n")
+	if _, err := m.CallProc("main.slurp", []term.Tuple{{}}); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := m.EDB.Get(term.NewString("seen"), 1)
+	if rel.Len() != 2 {
+		t.Errorf("seen = %v", rel.All())
+	}
+}

@@ -1,0 +1,485 @@
+package gluenail
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Second-round language tests: behaviors not covered by the paper-fragment
+// tests — negated calls, HiLog corner cases, update semantics, module
+// visibility, and API surface.
+
+func TestNegatedNailSubgoal(t *testing.T) {
+	sys := New()
+	if err := sys.Load(`
+edb edge(X,Y), node(X);
+reach(X,Y) :- edge(X,Y).
+reach(X,Z) :- reach(X,Y) & edge(Y,Z).
+isolated(X,Y) :- node(X) & node(Y) & X != Y & !reach(X,Y).
+`); err != nil {
+		t.Fatal(err)
+	}
+	sys.Assert("edge", []any{1, 2})
+	sys.Assert("node", []any{1}, []any{2}, []any{3})
+	res, err := sys.Query("isolated(1, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 reaches 2 but not 3.
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Errorf("isolated(1,Y) = %v", res.Rows)
+	}
+}
+
+func TestNegatedProcCall(t *testing.T) {
+	sys := New()
+	if err := sys.Load(`
+edb item(X), special(X), plain(X);
+proc is_special(X:)
+  return(X:) := in(X) & special(X).
+end
+proc classify(:)
+  plain(X) := item(X) & !is_special(X).
+  return(:) := item(_).
+end
+`); err != nil {
+		t.Fatal(err)
+	}
+	sys.Assert("item", []any{1}, []any{2}, []any{3})
+	sys.Assert("special", []any{2})
+	if _, err := sys.Call("main", "classify"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("plain", 1)
+	if len(rows) != 2 || rows[0][0].Int() != 1 || rows[1][0].Int() != 3 {
+		t.Errorf("plain = %v", rows)
+	}
+}
+
+func TestGroupByInGlueProcedure(t *testing.T) {
+	sys := New()
+	if err := sys.Load(`
+edb score(Team, Pts), best(Team, Max);
+proc summarize(:)
+  best(Team, M) := score(Team, P) & group_by(Team) & M = max(P).
+  return(:) := score(_,_).
+end
+`); err != nil {
+		t.Fatal(err)
+	}
+	sys.Assert("score", []any{"a", 3}, []any{"a", 7}, []any{"b", 5})
+	if _, err := sys.Call("main", "summarize"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("best", 2)
+	if len(rows) != 2 {
+		t.Fatalf("best = %v", rows)
+	}
+	if rows[0][1].Int() != 3+4 && rows[0][1].Int() != 7 {
+		t.Errorf("best[0] = %v", rows[0])
+	}
+}
+
+func TestCompoundHeadArgs(t *testing.T) {
+	// Heads may build compound terms: point pairs.
+	sys := New()
+	sys.Load(`
+edb xy(X,Y), pt(P);
+proc build(:)
+  pt(p(X,Y)) := xy(X,Y).
+  return(:) := xy(_,_).
+end
+`)
+	sys.Assert("xy", []any{1, 2})
+	if _, err := sys.Call("main", "build"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("pt", 1)
+	if len(rows) != 1 || !rows[0][0].Equal(Compound("p", Int(1), Int(2))) {
+		t.Errorf("pt = %v", rows)
+	}
+	// And destructure them back.
+	res, err := sys.Query("pt(p(A, B))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("destructure = %v", res.Rows)
+	}
+}
+
+func TestBindingEquationDecomposesTerms(t *testing.T) {
+	// f(A,B) = X where X is bound to a compound decomposes it.
+	sys := New()
+	sys.Load(`edb holds(X);`)
+	sys.Assert("holds", []any{Compound("f", Int(1), Str("x"))})
+	res, err := sys.Query("holds(X) & f(A, B) = X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Int() != 1 || res.Rows[0][2].Str() != "x" {
+		t.Errorf("decomposed = %v", res.Rows[0])
+	}
+	// Non-matching shape yields nothing.
+	res, _ = sys.Query("holds(X) & g(A) = X")
+	if len(res.Rows) != 0 {
+		t.Errorf("wrong functor should not match: %v", res.Rows)
+	}
+}
+
+func TestDeleteAssignment(t *testing.T) {
+	sys := New()
+	sys.Load(`
+edb stock(Item, N), discontinued(Item);
+proc prune(:)
+  stock(I, N) -= stock(I, N) & discontinued(I).
+  return(:) := stock(_,_).
+end
+`)
+	sys.Assert("stock", []any{"apple", 5}, []any{"vhs", 3}, []any{"pear", 2})
+	sys.Assert("discontinued", []any{"vhs"})
+	if _, err := sys.Call("main", "prune"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("stock", 2)
+	if len(rows) != 2 {
+		t.Errorf("stock = %v", rows)
+	}
+	for _, r := range rows {
+		if r[0].Str() == "vhs" {
+			t.Error("vhs should be pruned")
+		}
+	}
+}
+
+func TestModifyByKeyUpsert(t *testing.T) {
+	// +=[key] both replaces matching-key tuples and inserts fresh keys
+	// (SQL UPDATE-or-INSERT shape).
+	sys := New()
+	sys.Load(`
+edb price(Item, P), newprice(Item, P);
+proc reprice(:)
+  price(I, P) +=[I] newprice(I, P).
+  return(:) := newprice(_,_).
+end
+`)
+	sys.Assert("price", []any{"apple", 10}, []any{"pear", 20})
+	sys.Assert("newprice", []any{"apple", 12}, []any{"plum", 9})
+	if _, err := sys.Call("main", "reprice"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("price", 2)
+	got := map[string]int64{}
+	for _, r := range rows {
+		got[r[0].Str()] = r[1].Int()
+	}
+	if len(got) != 3 || got["apple"] != 12 || got["pear"] != 20 || got["plum"] != 9 {
+		t.Errorf("price = %v", got)
+	}
+}
+
+func TestHiLogSetBuiltInGlueAndRead(t *testing.T) {
+	// A Glue procedure creates set relations via a computed head name,
+	// then other code dispatches into them.
+	sys := New()
+	sys.Load(`
+edb emp(Dept, Name), dept_set(Dept, S);
+proc build(:)
+  team(D)(N) := emp(D, N).
+  dept_set(D, team(D)) := emp(D, _).
+  return(:) := emp(_,_).
+end
+`)
+	sys.Assert("emp", []any{"toy", "ann"}, []any{"toy", "bob"}, []any{"it", "cy"})
+	if _, err := sys.Call("main", "build"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("dept_set(toy, S) & S(N)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("toy team = %v", res.Rows)
+	}
+	// The stored set relations are plain EDB relations with compound names.
+	rows, _ := sys.Relation(Compound("team", Str("it")), 1)
+	if len(rows) != 1 || rows[0][0].Str() != "cy" {
+		t.Errorf("team(it) = %v", rows)
+	}
+}
+
+func TestExplainAPI(t *testing.T) {
+	sys := New()
+	sys.Load(`
+edb e(X,Y);
+tc(X,Y) :- e(X,Y).
+tc(X,Z) :- tc(X,Y) & e(Y,Z).
+proc probe(X:Y)
+  return(X:Y) := tc(X,Y).
+end
+`)
+	text, err := sys.ExplainProc("main", "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"proc main.probe (1:1)", "call main.tc@bf", "segment"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+	ids, err := sys.Procs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == "main.tc@bf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Procs() = %v, want main.tc@bf included", ids)
+	}
+	if _, err := sys.ExplainProc("main", "nosuch"); err == nil {
+		t.Error("explain of unknown proc should fail")
+	}
+}
+
+func TestIncrementalLoads(t *testing.T) {
+	sys := New()
+	if err := sys.Load(`edb edge(X,Y);`); err != nil {
+		t.Fatal(err)
+	}
+	sys.Assert("edge", []any{1, 2})
+	res, err := sys.Query("edge(X, Y)")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("first query: %v %v", res, err)
+	}
+	// Load more code after querying; EDB contents survive recompilation.
+	if err := sys.Load(`tc(X,Y) :- edge(X,Y). tc(X,Z) :- tc(X,Y) & edge(Y,Z).`); err != nil {
+		t.Fatal(err)
+	}
+	sys.Assert("edge", []any{2, 3})
+	res, err = sys.Query("tc(1, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("tc after incremental load = %v", res.Rows)
+	}
+}
+
+func TestRetractAndRelationAPI(t *testing.T) {
+	sys := New()
+	sys.Load(`edb p(X);`)
+	sys.Assert("p", []any{1}, []any{2})
+	sys.Retract("p", []any{1})
+	rows, err := sys.Relation("p", 1)
+	if err != nil || len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Errorf("after retract: %v %v", rows, err)
+	}
+	// Missing relation reads as empty.
+	rows, err = sys.Relation("nothere", 3)
+	if err != nil || rows != nil {
+		t.Errorf("missing relation: %v %v", rows, err)
+	}
+	// Bad Go value conversion.
+	if err := sys.Assert("p", []any{struct{}{}}); err == nil {
+		t.Error("Assert of unconvertible value should fail")
+	}
+	if err := sys.Retract("p", []any{struct{}{}}); err == nil {
+		t.Error("Retract of unconvertible value should fail")
+	}
+	if _, err := sys.Relation(struct{}{}, 1); err == nil {
+		t.Error("Relation with unconvertible name should fail")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if Int(3).Int() != 3 || Float(1.5).Float() != 1.5 || Str("x").Str() != "x" {
+		t.Error("constructors broken")
+	}
+	c := Compound("f", Int(1))
+	if c.NumArgs() != 1 || c.Functor().Str() != "f" {
+		t.Error("Compound broken")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	sys := New()
+	sys.Load(`
+edb e(X);
+proc p(X:)
+  return(X:) := in(X) & e(X).
+end
+`)
+	if _, err := sys.Call("main", "nosuch"); err == nil {
+		t.Error("unknown proc should fail")
+	}
+	if _, err := sys.Call("zzz", "p"); err == nil {
+		t.Error("unknown module should fail")
+	}
+	if _, err := sys.Call("main", "p", []any{struct{}{}}); err == nil {
+		t.Error("bad value should fail")
+	}
+}
+
+func TestRegisterDuplicateAndLate(t *testing.T) {
+	sys := New()
+	f := func(in [][]Value) ([][]Value, error) { return in, nil }
+	if err := sys.Register("ident", 1, 0, false, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("ident", 1, 0, false, f); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	// Registering after a query triggers recompilation on next use.
+	sys.Load(`edb p(X);`)
+	sys.Assert("p", []any{1})
+	if _, err := sys.Query("p(X)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register("late", 1, 0, false, f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("p(X) & late(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("late builtin rows = %v", res.Rows)
+	}
+}
+
+func TestFixedForeignProcOrderPreserved(t *testing.T) {
+	// A fixed foreign procedure must not be reordered before the subgoals
+	// textually preceding it.
+	var calls []string
+	sys := New()
+	sys.Register("probe", 1, 0, true, func(in [][]Value) ([][]Value, error) {
+		for _, row := range in {
+			calls = append(calls, row[0].String())
+		}
+		return in, nil
+	})
+	sys.Load(`
+edb big(X), one(X), out(X);
+proc go(:)
+  out(X) := big(X) & probe(X) & one(X).
+  return(:) := big(_).
+end
+`)
+	for i := 0; i < 5; i++ {
+		sys.Assert("big", []any{i})
+	}
+	sys.Assert("one", []any{3})
+	if _, err := sys.Call("main", "go"); err != nil {
+		t.Fatal(err)
+	}
+	// probe is fixed: it must see all 5 bindings of big (not be pushed
+	// after the selective one(X) filter).
+	if len(calls) != 5 {
+		t.Errorf("probe saw %d bindings (%v), want 5", len(calls), calls)
+	}
+	rows, _ := sys.Relation("out", 1)
+	if len(rows) != 1 || rows[0][0].Int() != 3 {
+		t.Errorf("out = %v", rows)
+	}
+}
+
+func TestNonFixedForeignProcMayReorder(t *testing.T) {
+	// The same shape with a non-fixed procedure: the compiler is free to
+	// run the selective filter first, so the procedure sees fewer inputs.
+	var calls int
+	sys := New()
+	sys.Register("probe", 1, 0, false, func(in [][]Value) ([][]Value, error) {
+		calls += len(in)
+		return in, nil
+	})
+	sys.Load(`
+edb big(X), one(X), out(X);
+proc go(:)
+  out(X) := big(X) & probe(X) & one(X).
+  return(:) := big(_).
+end
+`)
+	for i := 0; i < 5; i++ {
+		sys.Assert("big", []any{i})
+	}
+	sys.Assert("one", []any{3})
+	if _, err := sys.Call("main", "go"); err != nil {
+		t.Fatal(err)
+	}
+	if calls >= 5 {
+		t.Errorf("non-fixed probe saw %d bindings; reordering should shrink its input", calls)
+	}
+}
+
+func TestUntilDisjunctionBothBranches(t *testing.T) {
+	// Loop exits via whichever alternative becomes true first.
+	run := func(stopVal int64) int64 {
+		var buf bytes.Buffer
+		sys := New(WithOutput(&buf))
+		sys.Load(`
+edb counter(N), limit(N), found(N);
+proc spin(:)
+  repeat
+    counter(N2) := counter(N) & N2 = N + 1.
+    found(N) := counter(N) & limit(N).
+  until { found(_) | counter(10) };
+  return(:) := counter(_).
+end
+`)
+		sys.Assert("counter", []any{0})
+		sys.Assert("limit", []any{stopVal})
+		if _, err := sys.Call("main", "spin"); err != nil {
+			t.Fatal(err)
+		}
+		rows, _ := sys.Relation("counter", 1)
+		return rows[0][0].Int()
+	}
+	if got := run(4); got != 4 {
+		t.Errorf("found-branch exit at %d, want 4", got)
+	}
+	if got := run(99); got != 10 {
+		t.Errorf("counter-branch exit at %d, want 10", got)
+	}
+}
+
+func TestFloatFormattingRoundTrip(t *testing.T) {
+	sys := New()
+	sys.Load(`edb v(X);`)
+	sys.Assert("v", []any{0.1}, []any{2.0})
+	res, err := sys.Query("v(X) & Y = X * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	x := 0.1 // force run-time float64 arithmetic, not exact constant folding
+	if got := res.Rows[0][1].Float(); got != x*3 {
+		t.Errorf("0.1*3 = %v, want %v", got, x*3)
+	}
+	if s := res.Rows[1][0].String(); s != "2.0" {
+		t.Errorf("float prints as %q, want 2.0", s)
+	}
+}
+
+func TestEmptyAggregateIsNoRows(t *testing.T) {
+	// Aggregation over an empty body yields no rows (the statement stops
+	// at the empty supplementary relation), not an error.
+	sys := New()
+	sys.Load(`edb v(X);`)
+	res, err := sys.Query("v(X) & M = max(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("empty aggregate rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,126 @@
+package gluenail
+
+import "testing"
+
+// Self-referential statements: the all-solutions semantics of §3 requires
+// the body to be fully evaluated against the OLD state before the head
+// operator applies.
+
+func TestClearingAssignReadsOldState(t *testing.T) {
+	// r(X,Y) := r(Y,X).  — transpose in place.
+	sys := New()
+	sys.Load(`
+edb r(X,Y);
+proc transpose(:)
+  r(X,Y) := r(Y,X).
+  return(:) := r(_,_).
+end
+`)
+	sys.Assert("r", []any{1, 2}, []any{3, 4})
+	if _, err := sys.Call("main", "transpose"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("r", 2)
+	if len(rows) != 2 {
+		t.Fatalf("r = %v", rows)
+	}
+	if rows[0][0].Int() != 2 || rows[0][1].Int() != 1 ||
+		rows[1][0].Int() != 4 || rows[1][1].Int() != 3 {
+		t.Errorf("transpose = %v", rows)
+	}
+}
+
+func TestInsertIntoScannedRelationIsSnapshotted(t *testing.T) {
+	// p(Y) += p(X) & Y = X + 1.  — one generation per execution, not an
+	// infinite cascade within the statement.
+	sys := New()
+	sys.Load(`
+edb p(X);
+proc step(:)
+  p(Y) += p(X) & Y = X + 1.
+  return(:) := p(_).
+end
+`)
+	sys.Assert("p", []any{0})
+	if _, err := sys.Call("main", "step"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("p", 1)
+	if len(rows) != 2 { // 0 and 1, NOT 0..infinity
+		t.Fatalf("p after one step = %v", rows)
+	}
+	if _, err := sys.Call("main", "step"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = sys.Relation("p", 1)
+	if len(rows) != 3 {
+		t.Errorf("p after two steps = %v", rows)
+	}
+}
+
+func TestDeleteWhileScanningSameRelation(t *testing.T) {
+	// q(X) -= q(X) & X > 1.  — deletes are computed from the full scan.
+	sys := New()
+	sys.Load(`
+edb q(X);
+proc prune(:)
+  q(X) -= q(X) & X > 1.
+  return(:) := q(_).
+end
+`)
+	sys.Assert("q", []any{1}, []any{2}, []any{3})
+	if _, err := sys.Call("main", "prune"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("q", 1)
+	if len(rows) != 1 || rows[0][0].Int() != 1 {
+		t.Errorf("q = %v", rows)
+	}
+}
+
+func TestInBodyUpdateAfterScanOfSameRelation(t *testing.T) {
+	// The --queue(X) barrier applies after the queue(X) scan materialized,
+	// so every tuple is seen exactly once.
+	sys := New()
+	sys.Load(`
+edb queue(X), moved(X);
+proc drain(:)
+  moved(X) := queue(X) & --queue(X).
+  return(:) := moved(_).
+end
+`)
+	sys.Assert("queue", []any{1}, []any{2}, []any{3})
+	if _, err := sys.Call("main", "drain"); err != nil {
+		t.Fatal(err)
+	}
+	moved, _ := sys.Relation("moved", 1)
+	queue, _ := sys.Relation("queue", 1)
+	if len(moved) != 3 || len(queue) != 0 {
+		t.Errorf("moved=%v queue=%v", moved, queue)
+	}
+}
+
+func TestAggregateOverRelationBeingAssigned(t *testing.T) {
+	// totals(X, S) := amounts(X, V) & group_by(X) & S = sum(V) where
+	// totals also had stale contents: := clears before inserting.
+	sys := New()
+	sys.Load(`
+edb amounts(X, V), totals(X, S);
+proc roll(:)
+  totals(X, S) := amounts(X, V) & group_by(X) & S = sum(V).
+  return(:) := amounts(_,_).
+end
+`)
+	sys.Assert("totals", []any{"stale", 999})
+	sys.Assert("amounts", []any{"a", 1}, []any{"a", 2}, []any{"b", 5})
+	if _, err := sys.Call("main", "roll"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := sys.Relation("totals", 2)
+	if len(rows) != 2 {
+		t.Fatalf("totals = %v (stale row should be cleared)", rows)
+	}
+	if rows[0][1].Int() != 3 || rows[1][1].Int() != 5 {
+		t.Errorf("totals = %v", rows)
+	}
+}
