@@ -219,6 +219,26 @@ func BenchmarkE9MagicSets(b *testing.B) {
 	}
 }
 
+// BenchmarkE10ParallelPipeline measures intra-segment morsel parallelism
+// on a join-heavy segment: a 20k-row driver scan feeding two index probes,
+// per-row arithmetic, and a selective filter. workers=1 is the sequential
+// baseline; higher counts fan the segment out over the worker pool. The
+// result set is identical at every worker count.
+func BenchmarkE10ParallelPipeline(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys := bench.NewParallelJoinSystem(20000, 4,
+				gluenail.WithParallelism(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bench.RunParJoin(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkA1ReorderingAblation measures the subgoal-reordering
 // optimization (§3.1: "A Glue system is free to reorder the non-fixed
 // subgoals"): a selective bound-argument lookup written last in the source

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -21,7 +22,10 @@ import (
 	"gluenail/internal/storage"
 )
 
-var reps = flag.Int("reps", 3, "repetitions per measurement (best is reported)")
+var (
+	reps    = flag.Int("reps", 3, "repetitions per measurement (best is reported)")
+	workers = flag.Int("workers", 0, "max worker count swept by E10 (0 = GOMAXPROCS)")
+)
 
 func main() {
 	sel := flag.String("e", "", "comma-separated experiments to run (default all)")
@@ -37,8 +41,8 @@ func main() {
 		fn func()
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
-		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"F1", f1},
-		{"A1", a1},
+		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
+		{"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -49,7 +53,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E9,F1")
+		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E10,F1,A1")
 		os.Exit(1)
 	}
 }
@@ -243,6 +247,31 @@ func e9() {
 	table("E9: magic sets for bound queries (tc(1,X) on sparse random graphs)",
 		`bound calls evaluate only the relevant subset (magic templates, §8.2; set-at-a-time calls, §4)`,
 		[]string{"nodes", "magic ms", "full+filter ms", "full/magic"}, rows)
+}
+
+func e10() {
+	maxW := *workers
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	sweep := []int{1}
+	for w := 2; w <= maxW; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	var rows [][]string
+	var seqD time.Duration
+	for _, w := range sweep {
+		sys := bench.NewParallelJoinSystem(20000, 4, gluenail.WithParallelism(w))
+		d := best(func() { check(bench.RunParJoin(sys)) })
+		if w == 1 {
+			seqD = d
+		}
+		rows = append(rows, []string{fmt.Sprint(w), ms(d), ratio(d, seqD)})
+	}
+	table(fmt.Sprintf("E10: morsel-driven intra-segment parallelism (3-way join + filter, GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)),
+		"partition segment input into morsels across a worker pool; results stay identical to sequential execution",
+		[]string{"workers", "ms", "seq/this"}, rows)
 }
 
 func a1() {

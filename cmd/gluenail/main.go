@@ -13,6 +13,7 @@
 //	-module m     module scope for queries (default "main")
 //	-naive        use naive instead of semi-naive evaluation
 //	-no-magic     disable magic-set rewriting
+//	-workers n    worker pool size for intra-segment parallelism
 package main
 
 import (
@@ -45,6 +46,7 @@ func run() error {
 		explain     = flag.String("plan", "", "print the compiled plan of module.proc (or 'all') and exit")
 		trace       = flag.Bool("trace", false, "trace statement execution to stderr")
 		stats       = flag.Bool("stats", false, "print executor statistics after the run")
+		workers     = flag.Int("workers", 0, "worker pool size for intra-segment parallelism (0 = GOMAXPROCS)")
 	)
 	var loadCSVs, saveCSVs []string
 	flag.Func("load-csv", "load rel=file.csv into the EDB (repeatable)", func(v string) error {
@@ -69,6 +71,9 @@ func run() error {
 	}
 	if *noMagic {
 		opts = append(opts, gluenail.WithoutMagicSets())
+	}
+	if *workers != 0 {
+		opts = append(opts, gluenail.WithParallelism(*workers))
 	}
 	sys := gluenail.New(opts...)
 	for _, path := range flag.Args() {

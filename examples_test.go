@@ -1,6 +1,7 @@
 package gluenail
 
 import (
+	"os"
 	"os/exec"
 	"strings"
 	"testing"
@@ -61,6 +62,42 @@ func TestExamples(t *testing.T) {
 				if !strings.Contains(text, want) {
 					t.Errorf("example %s output missing %q:\n%s", c.dir, want, text)
 				}
+			}
+		})
+	}
+}
+
+// TestExamplesParallelDeterminism runs every example once sequentially and
+// once with an 8-worker pool (forced onto the parallel paths by a tiny
+// fan-out threshold, both via the environment) and requires byte-identical
+// output. This is the end-to-end guarantee behind the Parallelism knob:
+// worker count must never change what a program prints.
+func TestExamplesParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn go run; skipped with -short")
+	}
+	dirs := []string{"quickstart", "cad", "registrar", "flights", "warehouse"}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers string) string {
+				cmd := exec.Command("go", "run", "./examples/"+dir)
+				cmd.Env = append(os.Environ(),
+					"GLUENAIL_WORKERS="+workers,
+					"GLUENAIL_PAR_THRESHOLD=2",
+				)
+				out, err := cmd.CombinedOutput()
+				if err != nil {
+					t.Fatalf("example %s (workers=%s) failed: %v\n%s", dir, workers, err, out)
+				}
+				return string(out)
+			}
+			seq := run("1")
+			par := run("8")
+			if seq != par {
+				t.Errorf("example %s output differs between 1 and 8 workers:\n--- workers=1 ---\n%s--- workers=8 ---\n%s",
+					dir, seq, par)
 			}
 		})
 	}

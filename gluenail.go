@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"gluenail/internal/ast"
@@ -73,6 +74,8 @@ type config struct {
 	indexPolicy  storage.IndexPolicy
 	materialized bool
 	loopLimit    int
+	parallelism  int
+	parThreshold int
 	planOpts     plan.Options
 }
 
@@ -134,6 +137,19 @@ func WithoutDispatchNarrowing() Option {
 // default is 1,000,000.
 func WithLoopLimit(n int) Option { return func(c *config) { c.loopLimit = n } }
 
+// WithParallelism sets the worker count for intra-segment morsel
+// parallelism: 0 (the default) uses GOMAXPROCS, 1 forces fully sequential
+// execution. Results are byte-identical at every worker count; only the
+// wall-clock changes.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithParallelThreshold sets the minimum projected supplementary-row count
+// before a segment fans out to the worker pool (0 = default 128). Mostly a
+// testing knob: lowering it forces small workloads onto the parallel path.
+func WithParallelThreshold(rows int) Option {
+	return func(c *config) { c.parThreshold = rows }
+}
+
 // WithTrace streams one line per statement execution and procedure call to
 // w, narrating the supplementary-relation evaluation of §3.2.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
@@ -160,13 +176,26 @@ type compiledQuery struct {
 	vars []string
 }
 
-// New creates an empty system.
+// New creates an empty system. The GLUENAIL_WORKERS and
+// GLUENAIL_PAR_THRESHOLD environment variables, when set to integers,
+// provide the default worker count and fan-out threshold for intra-segment
+// parallelism; WithParallelism and WithParallelThreshold override them.
 func New(opts ...Option) *System {
 	cfg := config{
 		out:         os.Stdout,
 		in:          strings.NewReader(""),
 		indexPolicy: storage.IndexAdaptive,
 		loopLimit:   1_000_000,
+	}
+	if s := os.Getenv("GLUENAIL_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			cfg.parallelism = n
+		}
+	}
+	if s := os.Getenv("GLUENAIL_PAR_THRESHOLD"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			cfg.parThreshold = n
+		}
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -289,6 +318,8 @@ func (s *System) ensure() error {
 	s.machine.In = bufio.NewReader(s.cfg.in)
 	s.machine.Materialized = s.cfg.materialized
 	s.machine.LoopLimit = s.cfg.loopLimit
+	s.machine.Parallelism = s.cfg.parallelism
+	s.machine.ParallelThreshold = s.cfg.parThreshold
 	s.machine.Trace = s.cfg.trace
 	s.queries = make(map[string]compiledQuery)
 	s.compiled = true

@@ -52,14 +52,40 @@ func TestGoldenPrograms(t *testing.T) {
 	}
 }
 
-func runGolden(t *testing.T, file string) string {
+// TestGoldenProgramsParallel re-runs every golden program with an 8-worker
+// pool and a tiny fan-out threshold, so even the small golden workloads
+// take the morsel-parallel code paths. The output must match the golden
+// bytes exactly: worker count must never change observable results.
+func TestGoldenProgramsParallel(t *testing.T) {
+	files, err := filepath.Glob("testdata/programs/*.glue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			got := runGolden(t, file, WithParallelism(8), WithParallelThreshold(2))
+			goldenPath := strings.TrimSuffix(file, ".glue") + ".out"
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("parallel execution diverged from golden output for %s:\n--- got ---\n%s--- want ---\n%s",
+					file, got, want)
+			}
+		})
+	}
+}
+
+func runGolden(t *testing.T, file string, opts ...Option) string {
 	t.Helper()
 	src, err := os.ReadFile(file)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	sys := New(WithOutput(&out))
+	sys := New(append([]Option{WithOutput(&out)}, opts...)...)
 	if err := sys.Load(string(src)); err != nil {
 		t.Fatalf("%s: %v", file, err)
 	}

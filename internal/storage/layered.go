@@ -2,6 +2,7 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"gluenail/internal/term"
 )
@@ -47,27 +48,33 @@ func NewLayeredStore(policy IndexPolicy) *LayeredStore {
 // simulated.
 func (s *LayeredStore) latch() func() {
 	s.mu.Lock()
-	s.inner.stats.LatchAcquires++
+	atomic.AddInt64(&s.inner.stats.LatchAcquires, 1)
 	s.mu.Unlock()
 	return func() {}
 }
 
+// catalogLookup resolves a name through the catalog; the catalog map is
+// guarded by mu so parallel pipeline readers can resolve concurrently.
 func (s *LayeredStore) catalogLookup(name term.Value, arity int) string {
 	k := relKey(name, arity)
-	s.inner.stats.CatalogProbes++
+	atomic.AddInt64(&s.inner.stats.CatalogProbes, 1)
+	s.mu.Lock()
 	if _, ok := s.catalog[k]; !ok {
 		s.catalog[k] = RelName{Name: name, Arity: arity}
 	}
+	s.mu.Unlock()
 	return k
 }
 
 func (s *LayeredStore) appendLog(op byte, name term.Value, t term.Tuple) {
+	s.mu.Lock()
 	s.log = append(s.log, op)
 	s.log = term.AppendValue(s.log, name)
 	for i := range t {
 		s.log = term.AppendValue(s.log, t[i])
 	}
-	s.inner.stats.LogBytes = int64(len(s.log))
+	atomic.StoreInt64(&s.inner.stats.LogBytes, int64(len(s.log)))
+	s.mu.Unlock()
 }
 
 // Ensure implements Store; creation is logged.
@@ -170,6 +177,12 @@ func (r *layeredRel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) 
 	defer r.store.latch()()
 	r.store.catalogLookup(r.inner.name, r.inner.arity)
 	r.inner.Lookup(mask, key, yield)
+}
+
+func (r *layeredRel) PrepareRead(mask uint32, lookups int) {
+	defer r.store.latch()()
+	r.store.catalogLookup(r.inner.name, r.inner.arity)
+	r.inner.PrepareRead(mask, lookups)
 }
 
 func (r *layeredRel) UnionDiff(batch []term.Tuple) []term.Tuple {

@@ -5,6 +5,12 @@
 // operator supporting compiled recursive NAIL! queries, and disk persistence
 // for EDB relations between runs.
 //
+// Relations support any number of concurrent readers (Scan/Lookup/Contains,
+// including adaptive index construction triggered by a Lookup) OR a single
+// writer; readers and writers must not overlap. The executor guarantees
+// this: segment pipelines only read, and all mutation happens at barriers
+// and statement heads, which run sequentially.
+//
 // The package also provides a deliberately pessimized LayeredStore that
 // simulates building the system on top of a protected relational DBMS
 // (write-ahead logging, latching, catalog indirection per operation), the
@@ -14,6 +20,8 @@ package storage
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gluenail/internal/term"
 )
@@ -41,7 +49,9 @@ const (
 const adaptiveFactor = 2
 
 // Stats accumulates back-end counters; a Store shares one Stats across its
-// relations so benchmarks can attribute work.
+// relations so benchmarks can attribute work. Counters are updated with
+// atomic adds so concurrent readers can account their work; read a snapshot
+// only after the work being measured has completed.
 type Stats struct {
 	RowsScanned   int64 // tuples visited by full scans
 	RowsProbed    int64 // tuples returned through an index
@@ -81,7 +91,15 @@ type Rel interface {
 	Scan(yield func(term.Tuple) bool)
 	// Lookup visits the tuples whose columns selected by mask equal the
 	// corresponding columns of key. A zero mask degenerates to Scan.
+	// Lookups from multiple goroutines are safe with each other (but not
+	// with a concurrent writer).
 	Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool)
+	// PrepareRead gives the relation advance notice that about `lookups`
+	// Lookup calls with the given bound-column mask are imminent, possibly
+	// from concurrent readers. The relation applies its index policy up
+	// front, so a decided index is built once, sequentially, before the
+	// readers fan out rather than racing them.
+	PrepareRead(mask uint32, lookups int)
 	// UnionDiff inserts every tuple of batch and returns the sub-batch of
 	// tuples that were genuinely new — the delta needed by semi-naive
 	// evaluation (§10's uniondiff operator).
@@ -89,22 +107,39 @@ type Rel interface {
 	// ModifyByKey implements the +=[key] assignment: for each row, tuples
 	// agreeing with it on the key columns (mask) are replaced by the row.
 	ModifyByKey(mask uint32, rows []term.Tuple)
-	// All returns a snapshot slice of the tuples in unspecified order.
+	// All returns a snapshot slice of the tuples in insertion order.
 	All() []term.Tuple
 }
 
-// Relation is the tailored main-memory implementation of Rel.
+// Relation is the tailored main-memory implementation of Rel. Tuples live
+// in an insertion-ordered slice; the hash buckets hold indices into it.
+// Scans, lookups, and index builds all walk insertion order, so every
+// enumeration is deterministic run to run — which keeps order-sensitive
+// downstream work (floating-point aggregation, golden output) reproducible
+// regardless of Go's randomized map iteration.
 type Relation struct {
-	name    term.Value
-	arity   int
-	buckets map[uint64][]term.Tuple
-	n       int
+	name   term.Value
+	arity  int
+	tuples []term.Tuple // insertion order; nil entries are tombstones
+	// buckets maps a tuple hash to the indices of its tuples.
+	buckets map[uint64][]int
+	n       int // live tuples
+	dead    int // tombstones in tuples
 	version uint64
 
-	policy     IndexPolicy
+	policy IndexPolicy
+	stats  *Stats
+
+	// mu guards indexes, scanCredit, and onces so concurrent Lookups can
+	// share adaptive-index state. The write lock is held only for the
+	// short bookkeeping sections, never across a scan or an index build;
+	// builds are serialized per mask through onces so exactly one reader
+	// constructs an index while the others either wait on the Once or
+	// fall back to scanning.
+	mu         sync.RWMutex
 	indexes    map[uint32]*hashIndex
 	scanCredit map[uint32]int64
-	stats      *Stats
+	onces      map[uint32]*sync.Once
 }
 
 type hashIndex struct {
@@ -120,7 +155,7 @@ func NewRelation(name term.Value, arity int, policy IndexPolicy, stats *Stats) *
 	return &Relation{
 		name:    name,
 		arity:   arity,
-		buckets: make(map[uint64][]term.Tuple),
+		buckets: make(map[uint64][]int),
 		policy:  policy,
 		stats:   stats,
 	}
@@ -140,53 +175,83 @@ func (r *Relation) Version() uint64 { return r.version }
 
 // Insert implements Rel.
 func (r *Relation) Insert(t term.Tuple) bool {
+	if t == nil {
+		t = term.Tuple{} // nil is reserved for tombstones
+	}
 	h := t.Hash()
 	bucket := r.buckets[h]
-	for _, u := range bucket {
-		if u.Equal(t) {
+	for _, i := range bucket {
+		if u := r.tuples[i]; u != nil && u.Equal(t) {
 			return false
 		}
 	}
-	r.buckets[h] = append(bucket, t)
+	r.buckets[h] = append(bucket, len(r.tuples))
+	r.tuples = append(r.tuples, t)
 	r.n++
 	r.version++
-	r.stats.Inserts++
+	atomic.AddInt64(&r.stats.Inserts, 1)
 	for _, ix := range r.indexes {
 		ix.add(t)
 	}
 	return true
 }
 
-// Delete implements Rel.
+// Delete implements Rel. The tuple's slot becomes a tombstone so the
+// insertion order of the survivors is preserved; the slice compacts when
+// tombstones outnumber live tuples.
 func (r *Relation) Delete(t term.Tuple) bool {
 	h := t.Hash()
 	bucket := r.buckets[h]
-	for i, u := range bucket {
-		if u.Equal(t) {
-			last := len(bucket) - 1
-			bucket[i] = bucket[last]
-			bucket = bucket[:last]
-			if len(bucket) == 0 {
-				delete(r.buckets, h)
-			} else {
-				r.buckets[h] = bucket
-			}
-			r.n--
-			r.version++
-			r.stats.Deletes++
-			for _, ix := range r.indexes {
-				ix.remove(t)
-			}
-			return true
+	for bi, i := range bucket {
+		u := r.tuples[i]
+		if u == nil || !u.Equal(t) {
+			continue
 		}
+		r.tuples[i] = nil
+		r.dead++
+		last := len(bucket) - 1
+		bucket[bi] = bucket[last]
+		bucket = bucket[:last]
+		if len(bucket) == 0 {
+			delete(r.buckets, h)
+		} else {
+			r.buckets[h] = bucket
+		}
+		r.n--
+		r.version++
+		atomic.AddInt64(&r.stats.Deletes, 1)
+		for _, ix := range r.indexes {
+			ix.remove(u)
+		}
+		if r.dead > r.n && r.dead > 32 {
+			r.compact()
+		}
+		return true
 	}
 	return false
 }
 
+// compact rewrites the tuple slice without tombstones and rebuilds the
+// buckets; survivor order is unchanged. Runs only from a writer.
+func (r *Relation) compact() {
+	live := make([]term.Tuple, 0, r.n)
+	buckets := make(map[uint64][]int, len(r.buckets))
+	for _, t := range r.tuples {
+		if t == nil {
+			continue
+		}
+		buckets[t.Hash()] = append(buckets[t.Hash()], len(live))
+		live = append(live, t)
+	}
+	r.tuples = live
+	r.buckets = buckets
+	r.dead = 0
+}
+
 // Contains implements Rel.
 func (r *Relation) Contains(t term.Tuple) bool {
-	for _, u := range r.buckets[t.Hash()] {
-		if u.Equal(t) {
+	for _, i := range r.buckets[t.Hash()] {
+		if u := r.tuples[i]; u != nil && u.Equal(t) {
 			return true
 		}
 	}
@@ -198,21 +263,27 @@ func (r *Relation) Clear() {
 	if r.n == 0 {
 		return
 	}
-	r.buckets = make(map[uint64][]term.Tuple)
+	r.tuples = nil
+	r.buckets = make(map[uint64][]int)
 	r.n = 0
+	r.dead = 0
 	r.version++
+	r.mu.Lock()
 	r.indexes = nil
 	r.scanCredit = nil
+	r.onces = nil
+	r.mu.Unlock()
 }
 
-// Scan implements Rel.
+// Scan implements Rel; tuples are visited in insertion order.
 func (r *Relation) Scan(yield func(term.Tuple) bool) {
-	r.stats.RowsScanned += int64(r.n)
-	for _, bucket := range r.buckets {
-		for _, t := range bucket {
-			if !yield(t) {
-				return
-			}
+	atomic.AddInt64(&r.stats.RowsScanned, int64(r.n))
+	for _, t := range r.tuples {
+		if t == nil {
+			continue
+		}
+		if !yield(t) {
+			return
 		}
 	}
 }
@@ -230,9 +301,9 @@ func (r *Relation) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bo
 	}
 	if mask == r.fullMask() {
 		// Whole-tuple lookup: answer from the primary hash directly.
-		r.stats.RowsProbed++
-		for _, u := range r.buckets[key.Hash()] {
-			if u.Equal(key) {
+		atomic.AddInt64(&r.stats.RowsProbed, 1)
+		for _, i := range r.buckets[key.Hash()] {
+			if u := r.tuples[i]; u != nil && u.Equal(key) {
 				if !yield(u) {
 					return
 				}
@@ -240,43 +311,21 @@ func (r *Relation) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bo
 		}
 		return
 	}
-	if ix, ok := r.indexes[mask]; ok {
+	ix := r.index(mask)
+	if ix == nil {
+		if once := r.creditScan(mask, 1); once != nil {
+			once.Do(func() { r.publishIndex(mask) })
+			ix = r.index(mask)
+		}
+	}
+	if ix != nil {
 		r.probe(ix, mask, key, yield)
 		return
 	}
-	build := false
-	switch r.policy {
-	case IndexAlways:
-		build = true
-	case IndexAdaptive:
-		if r.scanCredit == nil {
-			r.scanCredit = make(map[uint32]int64)
-		}
-		r.scanCredit[mask] += int64(r.n)
-		build = r.scanCredit[mask] >= adaptiveFactor*int64(r.n)
-	}
-	if build {
-		ix := r.buildIndex(mask)
-		r.probe(ix, mask, key, yield)
-		return
-	}
-	// Scan fallback with on-the-fly filtering.
-	r.stats.RowsScanned += int64(r.n)
-	for _, bucket := range r.buckets {
-		for _, t := range bucket {
-			if t.EqualCols(key, mask) {
-				if !yield(t) {
-					return
-				}
-			}
-		}
-	}
-}
-
-func (r *Relation) probe(ix *hashIndex, mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
-	for _, t := range ix.buckets[key.HashCols(mask)] {
-		if t.EqualCols(key, mask) {
-			r.stats.RowsProbed++
+	// Scan fallback with on-the-fly filtering, in insertion order.
+	atomic.AddInt64(&r.stats.RowsScanned, int64(r.n))
+	for _, t := range r.tuples {
+		if t != nil && t.EqualCols(key, mask) {
 			if !yield(t) {
 				return
 			}
@@ -284,27 +333,107 @@ func (r *Relation) probe(ix *hashIndex, mask uint32, key term.Tuple, yield func(
 	}
 }
 
-func (r *Relation) buildIndex(mask uint32) *hashIndex {
-	ix := &hashIndex{mask: mask, buckets: make(map[uint64][]term.Tuple)}
-	for _, bucket := range r.buckets {
-		for _, t := range bucket {
+// PrepareRead implements Rel: it pre-pays the adaptive accounting for
+// `lookups` imminent Lookup calls on mask and builds the index now if the
+// policy decides it should exist. Called sequentially at the boundary of a
+// parallel section so concurrent readers find a published index instead of
+// racing to construct one mid-scan.
+func (r *Relation) PrepareRead(mask uint32, lookups int) {
+	if mask == 0 || mask == r.fullMask() || r.n == 0 || lookups <= 0 {
+		return
+	}
+	if ix := r.index(mask); ix != nil {
+		return
+	}
+	if once := r.creditScan(mask, int64(lookups)); once != nil {
+		once.Do(func() { r.publishIndex(mask) })
+	}
+}
+
+// index returns the published index for mask, if any.
+func (r *Relation) index(mask uint32) *hashIndex {
+	r.mu.RLock()
+	ix := r.indexes[mask]
+	r.mu.RUnlock()
+	return ix
+}
+
+// creditScan charges `scans` full scans' worth of rows toward adaptive
+// index construction on mask. When the policy decides the index should now
+// exist it returns the per-mask build guard; nil means keep scanning.
+func (r *Relation) creditScan(mask uint32, scans int64) *sync.Once {
+	build := false
+	r.mu.Lock()
+	if _, ok := r.indexes[mask]; ok {
+		// Published while we were deciding: return the (completed) build
+		// guard so the caller re-reads the index instead of rebuilding.
+		once := r.onces[mask]
+		r.mu.Unlock()
+		return once
+	}
+	switch r.policy {
+	case IndexAlways:
+		build = true
+	case IndexAdaptive:
+		if r.scanCredit == nil {
+			r.scanCredit = make(map[uint32]int64)
+		}
+		r.scanCredit[mask] += scans * int64(r.n)
+		build = r.scanCredit[mask] >= adaptiveFactor*int64(r.n)
+	}
+	var once *sync.Once
+	if build {
+		if r.onces == nil {
+			r.onces = make(map[uint32]*sync.Once)
+		}
+		once = r.onces[mask]
+		if once == nil {
+			once = new(sync.Once)
+			r.onces[mask] = once
+		}
+	}
+	r.mu.Unlock()
+	return once
+}
+
+// publishIndex builds the index over the current tuples and publishes it.
+// The tuple slice is read without the lock: builds run only while readers,
+// never writers, are active. Exactly one goroutine runs this per mask (the
+// sync.Once in creditScan), so the build itself is single-threaded. The
+// build walks insertion order, so index probes also enumerate matches in
+// insertion order — the same order a scan would yield them.
+func (r *Relation) publishIndex(mask uint32) {
+	ix := &hashIndex{mask: mask, buckets: make(map[uint64][]term.Tuple, len(r.buckets))}
+	for _, t := range r.tuples {
+		if t != nil {
 			ix.add(t)
 		}
 	}
+	atomic.AddInt64(&r.stats.IndexBuilds, 1)
+	r.mu.Lock()
 	if r.indexes == nil {
 		r.indexes = make(map[uint32]*hashIndex)
 	}
 	r.indexes[mask] = ix
-	r.stats.IndexBuilds++
 	delete(r.scanCredit, mask)
-	return ix
+	r.mu.Unlock()
+}
+
+func (r *Relation) probe(ix *hashIndex, mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
+	for _, t := range ix.buckets[key.HashCols(mask)] {
+		if t.EqualCols(key, mask) {
+			atomic.AddInt64(&r.stats.RowsProbed, 1)
+			if !yield(t) {
+				return
+			}
+		}
+	}
 }
 
 // HasIndex reports whether an index exists for the column mask; exported for
 // tests and the adaptive-indexing experiment.
 func (r *Relation) HasIndex(mask uint32) bool {
-	_, ok := r.indexes[mask]
-	return ok
+	return r.index(mask) != nil
 }
 
 func (ix *hashIndex) add(t term.Tuple) {
@@ -356,11 +485,13 @@ func (r *Relation) ModifyByKey(mask uint32, rows []term.Tuple) {
 	}
 }
 
-// All implements Rel.
+// All implements Rel; the snapshot is in insertion order.
 func (r *Relation) All() []term.Tuple {
 	out := make([]term.Tuple, 0, r.n)
-	for _, bucket := range r.buckets {
-		out = append(out, bucket...)
+	for _, t := range r.tuples {
+		if t != nil {
+			out = append(out, t)
+		}
 	}
 	return out
 }

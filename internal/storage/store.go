@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"gluenail/internal/term"
 )
@@ -64,7 +65,7 @@ func (s *MemStore) ensure(name term.Value, arity int) *Relation {
 	}
 	r := NewRelation(name, arity, s.policy, &s.stats)
 	s.rels[k] = r
-	s.stats.RelsCreated++
+	atomic.AddInt64(&s.stats.RelsCreated, 1)
 	return r
 }
 
@@ -82,7 +83,7 @@ func (s *MemStore) Drop(name term.Value, arity int) {
 	k := relKey(name, arity)
 	if _, ok := s.rels[k]; ok {
 		delete(s.rels, k)
-		s.stats.RelsDropped++
+		atomic.AddInt64(&s.stats.RelsDropped, 1)
 	}
 }
 

@@ -18,6 +18,13 @@ const (
 	tagCompound = 4
 )
 
+// NonTag is a byte guaranteed never to begin a value encoding: it is
+// distinct from every kind tag AppendValue emits. Callers interleaving
+// markers (e.g. "this register is unbound") with encoded values in one key
+// buffer can use it without risk of colliding with a value's first byte.
+// TestQuickNonTagDisjoint pins the guarantee.
+const NonTag = 0xFF
+
 // AppendValue appends a canonical binary encoding of v to dst. Equal values
 // have equal encodings, so the encoding doubles as a map key.
 func AppendValue(dst []byte, v Value) []byte {

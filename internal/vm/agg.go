@@ -13,35 +13,74 @@ import (
 // per §3.3, over every tuple, not over the projection, so duplicates count
 // — partitioned by the group_by registers in effect. A bound destination
 // register selects tuples whose aggregate equals it; an unbound one is
-// extended onto every tuple of the group.
+// extended onto every tuple of the group. Large row sets evaluate the
+// per-row work (group keys, aggregate argument) across the worker pool;
+// the fold itself stays a sequential in-order reduction so floating-point
+// aggregates are bit-identical at every worker count.
 func (f *frame) applyAggregate(b *plan.Aggregate, rows [][]term.Value,
 	state *stmtState) ([][]term.Value, error) {
+	workers := f.m.workerCount()
+	par := workers > 1 && len(rows) >= f.m.fanOutThreshold()
+	keys := make([]string, len(rows))
+	if par && len(state.groupRegs) > 0 {
+		ms := morsels(len(rows), workers)
+		f.m.runMorsels(ms, workers, func(mi int) {
+			var buf []byte
+			for ri := ms[mi].start; ri < ms[mi].end; ri++ {
+				buf = buf[:0]
+				for _, r := range state.groupRegs {
+					buf = term.AppendValue(buf, rows[ri][r])
+				}
+				keys[ri] = string(buf)
+			}
+		})
+	} else {
+		var buf []byte
+		for ri, row := range rows {
+			buf = buf[:0]
+			for _, r := range state.groupRegs {
+				buf = term.AppendValue(buf, row[r])
+			}
+			keys[ri] = string(buf)
+		}
+	}
 	groups := map[string][]int{}
 	var order []string
-	var buf []byte
-	for ri, row := range rows {
-		buf = buf[:0]
-		for _, r := range state.groupRegs {
-			buf = term.AppendValue(buf, row[r])
-		}
-		k := string(buf)
+	for ri := range rows {
+		k := keys[ri]
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
 		groups[k] = append(groups[k], ri)
 	}
+	vals := make([]term.Value, len(rows))
+	evalRow := func(ri int, row []term.Value, _ func([]term.Value)) error {
+		v, err := evalExpr(b.Arg, row)
+		if err != nil {
+			return err
+		}
+		vals[ri] = v
+		return nil
+	}
+	if par {
+		if _, err := f.parMapRows(rows, workers, evalRow); err != nil {
+			return nil, err
+		}
+	} else {
+		for ri, row := range rows {
+			if err := evalRow(ri, row, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
 	var out [][]term.Value
 	for _, k := range order {
 		idxs := groups[k]
-		vals := make([]term.Value, len(idxs))
+		gv := make([]term.Value, len(idxs))
 		for i, ri := range idxs {
-			v, err := evalExpr(b.Arg, rows[ri])
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = v
+			gv[i] = vals[ri]
 		}
-		agg, err := aggregate(b.Op, vals)
+		agg, err := aggregate(b.Op, gv)
 		if err != nil {
 			return nil, err
 		}

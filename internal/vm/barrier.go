@@ -75,27 +75,47 @@ func (f *frame) applyBarrier(b plan.BarrierOp, rows [][]term.Value,
 
 // applyCall runs a procedure/builtin once on all the distinct bindings of
 // its input arguments (§4) and joins the results back to the supplementary
-// rows.
+// rows. The call itself is sequential (procedures mutate machine state);
+// the per-row work around it — building input tuples, joining results back
+// — fans out over the worker pool for large row sets, with outputs merged
+// in row order.
 func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, error) {
 	nb := len(b.BoundArgs)
+	workers := f.m.workerCount()
+	par := workers > 1 && len(rows) >= f.m.fanOutThreshold()
 	// Distinct input tuples, with each row's key.
-	var inTuples []term.Tuple
-	seen := map[string]bool{}
+	tuples := make([]term.Tuple, len(rows))
 	rowKeys := make([]string, len(rows))
-	for ri, row := range rows {
+	buildIn := func(ri int, row []term.Value, _ func([]term.Value)) error {
 		tup := make(term.Tuple, nb)
 		for i := range b.BoundArgs {
 			v, err := b.BoundArgs[i].Build(row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tup[i] = v
 		}
-		k := tupleKey(tup)
-		rowKeys[ri] = k
-		if !seen[k] {
+		tuples[ri] = tup
+		rowKeys[ri] = tupleKey(tup)
+		return nil
+	}
+	if par {
+		if _, err := f.parMapRows(rows, workers, buildIn); err != nil {
+			return nil, err
+		}
+	} else {
+		for ri, row := range rows {
+			if err := buildIn(ri, row, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var inTuples []term.Tuple
+	seen := map[string]bool{}
+	for ri := range rows {
+		if k := rowKeys[ri]; !seen[k] {
 			seen[k] = true
-			inTuples = append(inTuples, tup)
+			inTuples = append(inTuples, tuples[ri])
 		}
 	}
 	sortTuples(inTuples)
@@ -123,8 +143,7 @@ func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, er
 		k := tupleKey(r[:nb])
 		byPrefix[k] = append(byPrefix[k], r)
 	}
-	var out [][]term.Value
-	for ri, row := range rows {
+	joinRow := func(ri int, row []term.Value, emit func([]term.Value)) error {
 		rs := byPrefix[rowKeys[ri]]
 		if b.Negated {
 			exists := false
@@ -136,15 +155,26 @@ func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, er
 				}
 			}
 			if !exists {
-				out = append(out, row)
+				emit(row)
 			}
-			continue
+			return nil
 		}
 		for _, r := range rs {
 			cp := cloneRow(row)
 			if matchArgs(b.FreeArgs, r[nb:], cp) {
-				out = append(out, cp)
+				emit(cp)
 			}
+		}
+		return nil
+	}
+	if par {
+		return f.parMapRows(rows, workers, joinRow)
+	}
+	var out [][]term.Value
+	emit := func(row []term.Value) { out = append(out, row) }
+	for ri, row := range rows {
+		if err := joinRow(ri, row, emit); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gluenail/internal/ast"
 	"gluenail/internal/plan"
@@ -16,7 +17,7 @@ type stmtState struct {
 }
 
 func (f *frame) execStmt(st *plan.Stmt) error {
-	f.m.Stats.StmtsExecuted++
+	atomic.AddInt64(&f.m.Stats.StmtsExecuted, 1)
 	rows, err := f.runSteps(st.NRegs, st.Steps)
 	if err != nil {
 		return err
@@ -44,7 +45,7 @@ func (f *frame) runSteps(nregs int, steps []plan.Step) ([][]term.Value, error) {
 	for i := range steps {
 		step := &steps[i]
 		var err error
-		rows, err = f.runPipe(step.Pipe, rows, nregs)
+		rows, err = f.runPipe(step, rows, nregs)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +56,7 @@ func (f *frame) runSteps(nregs int, steps []plan.Step) ([][]term.Value, error) {
 			rows = f.dedupRows(rows, step.LiveRegs)
 		}
 		if step.Barrier != nil {
-			f.m.Stats.PipelineBreaks++
+			atomic.AddInt64(&f.m.Stats.PipelineBreaks, 1)
 			rows, err = f.applyBarrier(step.Barrier, rows, state)
 			if err != nil {
 				return nil, err
@@ -79,8 +80,12 @@ func cloneRow(row []term.Value) []term.Value {
 // the materialized baseline stores the full row set after every operator
 // (the extra load and store per tuple of §9). Statically named relations
 // are resolved once per segment, not per row — relations only change at
-// barriers and heads, never inside a segment.
-func (f *frame) runPipe(ops []plan.PipeOp, rows [][]term.Value, nregs int) ([][]term.Value, error) {
+// barriers and heads, never inside a segment. When the segment projects
+// enough rows and the machine allows more than one worker, execution fans
+// out over morsels (parallel.go); small segments keep the exact
+// single-threaded path so micro-queries pay no goroutine overhead.
+func (f *frame) runPipe(step *plan.Step, rows [][]term.Value, nregs int) ([][]term.Value, error) {
+	ops := step.Pipe
 	if len(ops) == 0 {
 		return rows, nil
 	}
@@ -98,16 +103,9 @@ func (f *frame) runPipe(ops []plan.PipeOp, rows [][]term.Value, nregs int) ([][]
 	if f.m.Materialized {
 		cur := rows
 		for i, op := range ops {
-			var out [][]term.Value
-			for _, row := range cur {
-				err := f.applyPipeOp(op, rels[i], have[i], row, func() error {
-					out = append(out, cloneRow(row))
-					f.m.Stats.TuplesMaterialized++
-					return nil
-				})
-				if err != nil {
-					return nil, err
-				}
+			out, err := f.materializeOp(op, rels[i], have[i], cur)
+			if err != nil {
+				return nil, err
 			}
 			cur = out
 			if len(cur) == 0 {
@@ -116,12 +114,18 @@ func (f *frame) runPipe(ops []plan.PipeOp, rows [][]term.Value, nregs int) ([][]
 		}
 		return cur, nil
 	}
+	if workers := f.m.workerCount(); workers > 1 {
+		thr := f.m.fanOutThreshold()
+		if projectedRows(ops, rels, have, len(rows), thr) >= thr {
+			return f.runPipeParallel(step, rels, have, rows, workers)
+		}
+	}
 	var out [][]term.Value
 	var rec func(i int, row []term.Value) error
 	rec = func(i int, row []term.Value) error {
 		if i == len(ops) {
 			out = append(out, cloneRow(row))
-			f.m.Stats.TuplesMaterialized++
+			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)
 			return nil
 		}
 		return f.applyPipeOp(ops[i], rels[i], have[i], row, func() error { return rec(i+1, row) })
@@ -304,7 +308,7 @@ func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 // avoid (§9).
 func (f *frame) dynResolve(name term.Value, arity int, narrowed bool,
 	cands map[string]bool) storage.Rel {
-	f.m.Stats.DynDispatches++
+	atomic.AddInt64(&f.m.Stats.DynDispatches, 1)
 	if narrowed {
 		if name.Kind() == term.Str {
 			n := name.Str()
@@ -345,27 +349,40 @@ func (f *frame) dynResolve(name term.Value, arity int, narrowed bool,
 	return nil
 }
 
+// appendDedupKey encodes the live registers of a row as a dedup key. An
+// unbound register is marked with term.NonTag, a byte no value encoding
+// starts with, so an unbound slot can never alias a bound value's
+// encoding.
+func appendDedupKey(buf []byte, row []term.Value, live []int) []byte {
+	for _, r := range live {
+		if row[r].IsZero() {
+			buf = append(buf, term.NonTag)
+			continue
+		}
+		buf = term.AppendValue(buf, row[r])
+	}
+	return buf
+}
+
 // dedupRows removes rows that agree on the live registers (§9: duplicate
-// elimination at pipeline breaks).
+// elimination at pipeline breaks). Large row sets shard the work across
+// the worker pool; either path keeps the first occurrence of each key in
+// input order.
 func (f *frame) dedupRows(rows [][]term.Value, live []int) [][]term.Value {
 	if len(rows) < 2 {
 		return rows
+	}
+	if workers := f.m.workerCount(); workers > 1 && len(rows) >= f.m.fanOutThreshold() {
+		return f.dedupRowsParallel(rows, live, workers)
 	}
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
 	var buf []byte
 	for _, row := range rows {
-		buf = buf[:0]
-		for _, r := range live {
-			if row[r].IsZero() {
-				buf = append(buf, 0)
-				continue
-			}
-			buf = term.AppendValue(buf, row[r])
-		}
+		buf = appendDedupKey(buf[:0], row, live)
 		k := string(buf)
 		if seen[k] {
-			f.m.Stats.RowsDeduped++
+			atomic.AddInt64(&f.m.Stats.RowsDeduped, 1)
 			continue
 		}
 		seen[k] = true

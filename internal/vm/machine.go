@@ -12,22 +12,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"gluenail/internal/plan"
 	"gluenail/internal/storage"
 	"gluenail/internal/term"
 )
 
-// ExecStats counts executor work for the experiments.
+// ExecStats counts executor work for the experiments. Counters are bumped
+// with atomic adds (worker goroutines account their work concurrently);
+// read a snapshot only between statements or after execution finishes.
 type ExecStats struct {
 	StmtsExecuted  int64
 	LoopIterations int64
 	PipelineBreaks int64
 	// TuplesMaterialized counts rows copied into materialized supplementary
-	// relations (every op under the materialized strategy; only barriers
-	// under the pipelined strategy).
+	// relations (every op under the materialized strategy; barriers and
+	// parallel driver expansion under the pipelined strategy).
 	TuplesMaterialized int64
 	RowsDeduped        int64
 	ProcCalls          int64
@@ -48,6 +52,18 @@ type Machine struct {
 	// LoopLimit bounds repeat-loop iterations (0 = unlimited); exceeded
 	// loops return an error rather than hanging.
 	LoopLimit int
+	// Parallelism is the worker count for intra-segment morsel
+	// parallelism: 0 uses GOMAXPROCS, 1 forces the sequential path, and a
+	// negative value is treated as 1. Rows within a segment are
+	// independent between pipeline breaks, so segments fan out across
+	// workers; per-morsel outputs merge in input order, keeping results
+	// byte-identical to sequential execution.
+	Parallelism int
+	// ParallelThreshold is the minimum (projected) supplementary-row count
+	// before a segment fans out to workers (0 = default 128); smaller
+	// segments stay sequential so micro-queries don't pay goroutine
+	// overhead.
+	ParallelThreshold int
 	// Trace, when non-nil, receives one line per statement execution and
 	// procedure call — the executor's narration of §3.2's evaluation.
 	Trace io.Writer
@@ -104,7 +120,7 @@ func (m *Machine) CallProc(id string, in []term.Tuple) ([]term.Tuple, error) {
 		return nil, fmt.Errorf("vm: no procedure %q", id)
 	}
 	m.tracef("call %s with %d input tuple(s)", id, len(in))
-	m.Stats.ProcCalls++
+	atomic.AddInt64(&m.Stats.ProcCalls, 1)
 	m.frameID++
 	f := &frame{m: m, proc: proc, id: m.frameID}
 	defer f.drop()
@@ -168,7 +184,7 @@ func (f *frame) execInstrs(instrs []plan.Instr) error {
 		case *plan.Loop:
 			iters := 0
 			for {
-				f.m.Stats.LoopIterations++
+				atomic.AddInt64(&f.m.Stats.LoopIterations, 1)
 				iters++
 				if f.m.LoopLimit > 0 && iters > f.m.LoopLimit {
 					return fmt.Errorf("repeat loop exceeded %d iterations", f.m.LoopLimit)
@@ -246,4 +262,24 @@ func (f *frame) resolveWrite(ref plan.RelRef, regs []term.Value) (storage.Rel, e
 // sortTuples orders tuples deterministically (builtin calls, output).
 func sortTuples(ts []term.Tuple) {
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// workerCount resolves the Parallelism knob to an actual worker count.
+func (m *Machine) workerCount() int {
+	switch {
+	case m.Parallelism > 0:
+		return m.Parallelism
+	case m.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// fanOutThreshold resolves the ParallelThreshold knob.
+func (m *Machine) fanOutThreshold() int {
+	if m.ParallelThreshold > 0 {
+		return m.ParallelThreshold
+	}
+	return defaultParallelThreshold
 }

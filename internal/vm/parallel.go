@@ -1,0 +1,307 @@
+// Morsel-driven intra-segment parallelism. The paper's pipelined strategy
+// (§9) eliminates the per-tuple load and store of materialization; this
+// file eliminates the single-core limit on top of it. Rows of a segment's
+// supplementary relation are independent between pipeline breaks, so the
+// executor partitions them into contiguous morsels, fans the morsels out
+// to a worker pool (Leis et al.'s morsel-driven model), and runs the same
+// nested operator pipeline per worker. Each row is its own register bank,
+// each worker owns a private output buffer per morsel, and the per-morsel
+// outputs are concatenated in input order — the merged row stream is
+// byte-identical to what sequential execution produces, so dedup,
+// aggregation, golden files, and sorted query output are unchanged by the
+// worker count.
+package vm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gluenail/internal/plan"
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+const (
+	// defaultParallelThreshold is the projected row count below which a
+	// segment stays on the sequential path (goroutine fan-out costs more
+	// than it saves on micro-queries).
+	defaultParallelThreshold = 128
+	// minMorselRows keeps morsels big enough that dispatch overhead stays
+	// negligible next to per-row pipeline work.
+	minMorselRows = 16
+	// morselsPerWorker oversubscribes the morsel list so workers that draw
+	// cheap morsels can steal more work instead of idling (join fan-out is
+	// rarely uniform across the driver).
+	morselsPerWorker = 4
+)
+
+// morsel is a contiguous range of supplementary rows.
+type morsel struct{ start, end int }
+
+// morsels splits n rows into contiguous ranges sized for the worker count.
+func morsels(n, workers int) []morsel {
+	per := n / (workers * morselsPerWorker)
+	if per < minMorselRows {
+		per = minMorselRows
+	}
+	if per > n {
+		per = n
+	}
+	ms := make([]morsel, 0, (n+per-1)/per)
+	for s := 0; s < n; s += per {
+		e := s + per
+		if e > n {
+			e = n
+		}
+		ms = append(ms, morsel{start: s, end: e})
+	}
+	return ms
+}
+
+// runMorsels drains the morsel list with up to `workers` goroutines, each
+// pulling the next morsel index from a shared cursor. fn runs once per
+// morsel; callers keep per-morsel state and merge it in index order.
+func (m *Machine) runMorsels(ms []morsel, workers int, fn func(mi int)) {
+	if len(ms) == 1 {
+		fn(0)
+		return
+	}
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mi := int(next.Add(1)) - 1
+				if mi >= len(ms) {
+					return
+				}
+				fn(mi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// projectedRows estimates how many driver rows the segment will produce,
+// walking the ops the way the greedy reorderer bound them: an unbound scan
+// multiplies the estimate by the relation size, a bound probe or filter
+// leaves it alone (conservative: join fan-out is not modeled). The
+// estimate decides whether fanning out is worth the goroutine overhead.
+func projectedRows(ops []plan.PipeOp, rels []storage.Rel, have []bool, rows, cap int) int {
+	est := rows
+	for i, op := range ops {
+		m, ok := op.(*plan.Match)
+		if !ok || m.Negated || m.BoundMask != 0 || !have[i] || rels[i] == nil {
+			continue
+		}
+		if n := rels[i].Len(); n > 1 {
+			est *= n
+		}
+		if est >= cap {
+			return cap
+		}
+	}
+	return est
+}
+
+// materializeOp runs one streaming op over the whole row set, materializing
+// its output: the driver-building phase of the morsel dispatch, used while
+// the supplementary relation is still too small to split.
+func (f *frame) materializeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
+	rows [][]term.Value) ([][]term.Value, error) {
+	var out [][]term.Value
+	for _, row := range rows {
+		err := f.applyPipeOp(op, rel, haveRel, row, func() error {
+			out = append(out, cloneRow(row))
+			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runPipeParallel executes a segment's operators with morsel parallelism.
+// A sequential prefix of ops first expands the supplementary relation until
+// it is big enough to split (typically the leading relation scan — the
+// driver table of the morsel model); decided indexes for the remaining ops
+// are pre-built via PrepareRead so workers never race an adaptive index
+// build; then the remaining ops run per worker over disjoint morsels.
+func (f *frame) runPipeParallel(step *plan.Step, rels []storage.Rel, have []bool,
+	rows [][]term.Value, workers int) ([][]term.Value, error) {
+	ops := step.Pipe
+	thr := f.m.fanOutThreshold()
+	start := 0
+	for start < len(ops) && len(rows) < thr {
+		out, err := f.materializeOp(ops[start], rels[start], have[start], rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = out
+		start++
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+	if start == len(ops) {
+		return rows, nil
+	}
+	for _, h := range step.Hints {
+		if h.Op >= start && have[h.Op] && rels[h.Op] != nil {
+			rels[h.Op].PrepareRead(h.Mask, len(rows))
+		}
+	}
+	ops, rels, have = ops[start:], rels[start:], have[start:]
+
+	ms := morsels(len(rows), workers)
+	results := make([][][]term.Value, len(ms))
+	errs := make([]error, len(ms))
+	var failed atomic.Bool
+	f.m.runMorsels(ms, workers, func(mi int) {
+		if failed.Load() {
+			return
+		}
+		var out [][]term.Value
+		var stored int64
+		var rec func(i int, row []term.Value) error
+		rec = func(i int, row []term.Value) error {
+			if i == len(ops) {
+				out = append(out, cloneRow(row))
+				stored++
+				return nil
+			}
+			return f.applyPipeOp(ops[i], rels[i], have[i], row,
+				func() error { return rec(i+1, row) })
+		}
+		for _, row := range rows[ms[mi].start:ms[mi].end] {
+			if err := rec(0, row); err != nil {
+				errs[mi] = err
+				failed.Store(true)
+				break
+			}
+		}
+		results[mi] = out
+		atomic.AddInt64(&f.m.Stats.TuplesMaterialized, stored)
+	})
+	total := 0
+	for mi := range results {
+		if errs[mi] != nil {
+			return nil, errs[mi]
+		}
+		total += len(results[mi])
+	}
+	merged := make([][]term.Value, 0, total)
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	return merged, nil
+}
+
+// parMapRows applies fn to every row across the worker pool, concatenating
+// per-morsel outputs in input order. fn receives the row index and an emit
+// callback private to its morsel; it must only touch the given row and
+// read-only shared state.
+func (f *frame) parMapRows(rows [][]term.Value, workers int,
+	fn func(ri int, row []term.Value, emit func([]term.Value)) error) ([][]term.Value, error) {
+	ms := morsels(len(rows), workers)
+	results := make([][][]term.Value, len(ms))
+	errs := make([]error, len(ms))
+	var failed atomic.Bool
+	f.m.runMorsels(ms, workers, func(mi int) {
+		if failed.Load() {
+			return
+		}
+		var out [][]term.Value
+		emit := func(row []term.Value) { out = append(out, row) }
+		for ri := ms[mi].start; ri < ms[mi].end; ri++ {
+			if err := fn(ri, rows[ri], emit); err != nil {
+				errs[mi] = err
+				failed.Store(true)
+				break
+			}
+		}
+		results[mi] = out
+	})
+	total := 0
+	for mi := range results {
+		if errs[mi] != nil {
+			return nil, errs[mi]
+		}
+		total += len(results[mi])
+	}
+	merged := make([][]term.Value, 0, total)
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	return merged, nil
+}
+
+// fnvHash is FNV-1a over the key bytes, used to shard dedup keys.
+func fnvHash(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// dedupRowsParallel removes duplicate rows with hash-partitioned workers:
+// one parallel pass encodes the dedup key per row, then each worker owns a
+// shard of the key space and marks the later duplicates within it (shards
+// touch disjoint entries of the dup vector), and a final in-order
+// compaction keeps exactly the rows the sequential pass would keep.
+func (f *frame) dedupRowsParallel(rows [][]term.Value, live []int, workers int) [][]term.Value {
+	keys := make([]string, len(rows))
+	hashes := make([]uint64, len(rows))
+	ms := morsels(len(rows), workers)
+	f.m.runMorsels(ms, workers, func(mi int) {
+		var buf []byte
+		for i := ms[mi].start; i < ms[mi].end; i++ {
+			buf = appendDedupKey(buf[:0], rows[i], live)
+			keys[i] = string(buf)
+			hashes[i] = fnvHash(keys[i])
+		}
+	})
+	shards := workers
+	dup := make([]bool, len(rows))
+	var removed int64
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for p := 0; p < shards; p++ {
+		go func(p int) {
+			defer wg.Done()
+			seen := make(map[string]bool, len(rows)/shards+1)
+			var local int64
+			for i, h := range hashes {
+				if int(h%uint64(shards)) != p {
+					continue
+				}
+				if seen[keys[i]] {
+					dup[i] = true
+					local++
+				} else {
+					seen[keys[i]] = true
+				}
+			}
+			atomic.AddInt64(&removed, local)
+		}(p)
+	}
+	wg.Wait()
+	out := rows[:0]
+	for i, row := range rows {
+		if !dup[i] {
+			out = append(out, row)
+		}
+	}
+	atomic.AddInt64(&f.m.Stats.RowsDeduped, removed)
+	return out
+}

@@ -1,0 +1,189 @@
+// Determinism tests for intra-segment morsel parallelism: the same
+// program over the same data must produce identical results — including
+// bit-identical floating-point aggregates — at every worker count.
+package gluenail_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gluenail"
+	"gluenail/internal/bench"
+)
+
+// parOpts forces the morsel-parallel code paths even on modest workloads:
+// 8 workers with a fan-out threshold far below the row counts used here.
+func parOpts() []gluenail.Option {
+	return []gluenail.Option{
+		gluenail.WithParallelism(8),
+		gluenail.WithParallelThreshold(16),
+	}
+}
+
+func rowsEqual(t *testing.T, label string, seq, par [][]gluenail.Value) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("%s: sequential produced %d rows, parallel %d", label, len(seq), len(par))
+	}
+	for i := range seq {
+		if len(seq[i]) != len(par[i]) {
+			t.Fatalf("%s: row %d arity differs", label, i)
+		}
+		for c := range seq[i] {
+			if !seq[i][c].Equal(par[i][c]) {
+				t.Fatalf("%s: row %d col %d: sequential %v, parallel %v",
+					label, i, c, seq[i][c], par[i][c])
+			}
+		}
+	}
+}
+
+// TestParallelJoinDeterminism runs the E10 join workload sequentially and
+// with the worker pool and compares the full result relation.
+func TestParallelJoinDeterminism(t *testing.T) {
+	seq := bench.NewParallelJoinSystem(4000, 4, gluenail.WithParallelism(1))
+	par := bench.NewParallelJoinSystem(4000, 4, parOpts()...)
+	if err := bench.RunParJoin(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.RunParJoin(par); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := seq.Relation("out", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := par.Relation("out", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr) == 0 {
+		t.Fatal("join produced no rows; workload broken")
+	}
+	rowsEqual(t, "parjoin", sr, pr)
+}
+
+// aggProgram aggregates float measurements per group; mean and std_dev are
+// floating-point folds, so any change in evaluation order shows up in the
+// low bits of the results.
+const aggProgram = `
+edb v(G, X), out(G, M, S, C);
+proc stats(:)
+  out(G, M, S, C) := v(G, X) & group_by(G) & M = mean(X) & S = std_dev(X) & C = count(X).
+  return(:) := out(_,_,_,_).
+end
+`
+
+// TestParallelAggregateDeterminism checks bit-identical float aggregates
+// between sequential and parallel execution.
+func TestParallelAggregateDeterminism(t *testing.T) {
+	build := func(opts ...gluenail.Option) *gluenail.System {
+		sys := gluenail.New(opts...)
+		if err := sys.Load(aggProgram); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]any, 0, 6000)
+		for i := 0; i < 6000; i++ {
+			rows = append(rows, []any{i % 23, float64(i%997) * 1.0001})
+		}
+		if err := sys.Assert("v", rows...); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	seq := build(gluenail.WithParallelism(1))
+	par := build(parOpts()...)
+	if _, err := seq.Call("main", "stats"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.Call("main", "stats"); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := seq.Relation("out", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := par.Relation("out", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr) != 23 {
+		t.Fatalf("expected 23 groups, got %d", len(sr))
+	}
+	rowsEqual(t, "aggregate", sr, pr)
+}
+
+// TestParallelDedupCallDeterminism exercises duplicate elimination at a
+// pipeline break followed by a procedure-call barrier (the E3 workload)
+// under the worker pool.
+func TestParallelDedupCallDeterminism(t *testing.T) {
+	seq := bench.NewDupSystem(500, 8, gluenail.WithParallelism(1))
+	par := bench.NewDupSystem(500, 8, parOpts()...)
+	if err := bench.RunDup(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.RunDup(par); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := seq.Relation("out", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := par.Relation("out", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr) == 0 {
+		t.Fatal("dup workload produced no rows")
+	}
+	rowsEqual(t, "dedup+call", sr, pr)
+	if s, p := seq.Stats().Exec.RowsDeduped, par.Stats().Exec.RowsDeduped; s != p {
+		t.Errorf("RowsDeduped: sequential %d, parallel %d", s, p)
+	}
+}
+
+// TestParallelRecursionDeterminism runs transitive closure (recursive
+// NAIL!, uniondiff deltas, magic sets) under the worker pool and compares
+// the sorted answers.
+func TestParallelRecursionDeterminism(t *testing.T) {
+	edges := bench.RandomEdges(400, 1200, 11)
+	seq := bench.NewTCSystem(edges, gluenail.WithParallelism(1))
+	par := bench.NewTCSystem(edges, parOpts()...)
+	qs, err := seq.Query("tc(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := par.Query("tc(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Rows) == 0 {
+		t.Fatal("closure is empty")
+	}
+	rowsEqual(t, "tc", qs.Rows, qp.Rows)
+}
+
+// TestWorkerCountSweep pins result equality across a range of worker
+// counts, not just 1 vs 8.
+func TestWorkerCountSweep(t *testing.T) {
+	var base [][]gluenail.Value
+	for _, w := range []int{1, 2, 3, 5, 8, 16} {
+		w := w
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			sys := bench.NewParallelJoinSystem(2000, 4,
+				gluenail.WithParallelism(w), gluenail.WithParallelThreshold(16))
+			if err := bench.RunParJoin(sys); err != nil {
+				t.Fatal(err)
+			}
+			rows, err := sys.Relation("out", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = rows
+				return
+			}
+			rowsEqual(t, fmt.Sprintf("workers=%d", w), base, rows)
+		})
+	}
+}
