@@ -239,6 +239,45 @@ func BenchmarkE10ParallelPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkE11Durability measures what crash durability costs the
+// main-memory execution model (§6): the same EDB-insert loop with the
+// WAL off and with the WAL on under each fsync policy. Each iteration
+// runs against a fresh store so every statement genuinely mutates (and
+// therefore commits).
+func BenchmarkE11Durability(b *testing.B) {
+	modes := []struct {
+		name  string
+		dir   string
+		fsync gluenail.FsyncMode
+	}{
+		{"wal=off", "", 0},
+		{"fsync=none", "none", gluenail.FsyncNever},
+		{"fsync=batch", "batch", gluenail.FsyncBatch},
+		{"fsync=always", "always", gluenail.FsyncAlways},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			dir := ""
+			if m.dir != "" {
+				dir = b.TempDir()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := bench.NewDurableSystem(dir, m.fsync)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bench.RunDurable(sys, 500); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkA1ReorderingAblation measures the subgoal-reordering
 // optimization (§3.1: "A Glue system is free to reorder the non-fixed
 // subgoals"): a selective bound-argument lookup written last in the source

@@ -7,6 +7,9 @@
 //	gluenail [flags] file.glue...
 //
 //	-edb file     load this EDB image before running, save it after
+//	-data-dir d   durable EDB: write-ahead log + snapshots under d,
+//	              crash recovery on open
+//	-fsync mode   WAL fsync mode: batch (default), always, none
 //	-call m.proc  call an exported 0-bound procedure and print its results
 //	-q goals      evaluate one query conjunction and print the answers
 //	-i            interactive query loop on stdin (default when no -call/-q)
@@ -37,6 +40,8 @@ func main() {
 func run() error {
 	var (
 		edbPath     = flag.String("edb", "", "EDB image to load before and save after the run")
+		dataDir     = flag.String("data-dir", "", "durable EDB directory (write-ahead log + snapshots, recovered on open)")
+		fsyncStr    = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
 		call        = flag.String("call", "", "procedure to call, as module.proc")
 		query       = flag.String("q", "", "query conjunction to evaluate")
 		interactive = flag.Bool("i", false, "interactive query loop")
@@ -75,16 +80,28 @@ func run() error {
 	if *workers != 0 {
 		opts = append(opts, gluenail.WithParallelism(*workers))
 	}
-	sys := gluenail.New(opts...)
+	var sys *gluenail.System
+	if *dataDir != "" {
+		mode, err := parseFsync(*fsyncStr)
+		if err != nil {
+			return err
+		}
+		sys, err = gluenail.Open(*dataDir, append(opts, gluenail.WithFsync(mode))...)
+		if err != nil {
+			return fmt.Errorf("recovering -data-dir %q: %w", *dataDir, err)
+		}
+	} else {
+		sys = gluenail.New(opts...)
+	}
 	for _, path := range flag.Args() {
 		if err := sys.LoadFile(path); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return fmt.Errorf("loading %s: %w", path, err)
 		}
 	}
 	if *edbPath != "" {
 		if _, err := os.Stat(*edbPath); err == nil {
 			if err := sys.LoadEDB(*edbPath); err != nil {
-				return err
+				return fmt.Errorf("loading EDB image %s: %w", *edbPath, err)
 			}
 		}
 	}
@@ -94,7 +111,7 @@ func run() error {
 			return fmt.Errorf("-load-csv wants rel=file.csv, got %q", spec)
 		}
 		if err := sys.LoadCSVFile(rel, path); err != nil {
-			return err
+			return fmt.Errorf("loading CSV %s into %s: %w", path, rel, err)
 		}
 	}
 	if *explain != "" {
@@ -132,12 +149,12 @@ func run() error {
 		}
 		rows, err := sys.Call(mod, proc)
 		if err != nil {
-			return err
+			return fmt.Errorf("calling %s.%s: %w", mod, proc, err)
 		}
 		printRows(rows)
 	case *query != "":
 		if err := answer(sys, *module, *query); err != nil {
-			return err
+			return fmt.Errorf("query %q: %w", *query, err)
 		}
 	default:
 		*interactive = true
@@ -149,7 +166,7 @@ func run() error {
 	}
 	if *edbPath != "" {
 		if err := sys.SaveEDB(*edbPath); err != nil {
-			return err
+			return fmt.Errorf("saving EDB image %s: %w", *edbPath, err)
 		}
 	}
 	for _, spec := range saveCSVs {
@@ -163,8 +180,11 @@ func run() error {
 			return fmt.Errorf("-save-csv arity: %w", err)
 		}
 		if err := sys.SaveCSVFile(rel, arity, path); err != nil {
-			return err
+			return fmt.Errorf("saving CSV %s from %s/%d: %w", path, rel, arity, err)
 		}
+	}
+	if err := sys.Close(); err != nil {
+		return fmt.Errorf("closing -data-dir %q: %w", *dataDir, err)
 	}
 	if *stats {
 		st := sys.Stats()
@@ -178,6 +198,19 @@ func run() error {
 			st.Scratch.RelsCreated)
 	}
 	return nil
+}
+
+// parseFsync maps the -fsync flag to a WAL fsync mode.
+func parseFsync(s string) (gluenail.FsyncMode, error) {
+	switch s {
+	case "batch", "":
+		return gluenail.FsyncBatch, nil
+	case "always":
+		return gluenail.FsyncAlways, nil
+	case "none", "never":
+		return gluenail.FsyncNever, nil
+	}
+	return 0, fmt.Errorf("-fsync wants batch, always, or none; got %q", s)
 }
 
 func answer(sys *gluenail.System, module, goals string) error {

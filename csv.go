@@ -20,6 +20,9 @@ import (
 // LoadCSV reads CSV records from r into the named relation, creating it on
 // first use. Every record must have the same width.
 func (s *System) LoadCSV(relation string, r io.Reader) error {
+	if s.durErr != nil {
+		return s.durErr
+	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	var rel storage.Rel
@@ -28,7 +31,7 @@ func (s *System) LoadCSV(relation string, r io.Reader) error {
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return nil
+			return s.commit()
 		}
 		if err != nil {
 			return fmt.Errorf("gluenail: csv %s record %d: %w", relation, n+1, err)
@@ -116,8 +119,12 @@ func csvField(v Value) string {
 		return strconv.FormatInt(v.Int(), 10)
 	case term.Float:
 		s := strconv.FormatFloat(v.Float(), 'g', -1, 64)
-		if !strings.ContainsAny(s, ".eE") {
-			s += ".0" // keep integral floats loading back as floats
+		// Keep integral floats loading back as floats. Only values whose
+		// rendering is an integer literal need the suffix: NaN and the
+		// infinities already round-trip through ParseFloat, and "NaN.0"
+		// would reload as a string.
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+			s += ".0"
 		}
 		return s
 	case term.Str:

@@ -43,6 +43,7 @@ import (
 	"gluenail/internal/storage"
 	"gluenail/internal/term"
 	"gluenail/internal/vm"
+	"gluenail/internal/wal"
 )
 
 // Value is a ground Glue-Nail term: an integer, float, string/atom, or
@@ -77,6 +78,9 @@ type config struct {
 	parallelism  int
 	parThreshold int
 	planOpts     plan.Options
+	durDir       string
+	fsync        FsyncMode
+	ckptBytes    int64
 }
 
 // Option configures a System.
@@ -154,6 +158,43 @@ func WithParallelThreshold(rows int) Option {
 // w, narrating the supplementary-relation evaluation of §3.2.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.trace = w } }
 
+// FsyncMode selects when write-ahead-log commits are forced to disk; see
+// the Fsync* constants.
+type FsyncMode = wal.FsyncMode
+
+// Fsync modes for WithFsync.
+const (
+	// FsyncBatch (the default) group-commits: the log syncs once a batch
+	// of bytes or commits has accumulated, and always on Close and
+	// Checkpoint. A crash loses at most the last unsynced batch of
+	// statements, never consistency.
+	FsyncBatch = wal.FsyncBatch
+	// FsyncAlways syncs after every top-level statement.
+	FsyncAlways = wal.FsyncAlways
+	// FsyncNever leaves flushing to the OS; Close still syncs.
+	FsyncNever = wal.FsyncNever
+)
+
+// WithDurability stores the EDB durably under dir. Committed EDB deltas
+// are appended to a checksummed write-ahead log at top-level statement
+// boundaries; snapshots checkpoint the log when it grows past the
+// threshold (or on Checkpoint); re-opening the directory recovers the
+// EDB to a statement-boundary-consistent state after a crash. Prefer
+// Open, which surfaces recovery errors immediately — with New, a
+// recovery failure is reported by every subsequent operation.
+func WithDurability(dir string) Option { return func(c *config) { c.durDir = dir } }
+
+// WithFsync selects the WAL fsync mode (default FsyncBatch); only
+// meaningful together with WithDurability.
+func WithFsync(mode FsyncMode) Option { return func(c *config) { c.fsync = mode } }
+
+// WithCheckpointThreshold sets the WAL size in bytes past which a
+// snapshot checkpoint is taken automatically at the next commit point
+// (0 = default 8 MiB; negative disables automatic checkpoints).
+func WithCheckpointThreshold(bytes int64) Option {
+	return func(c *config) { c.ckptBytes = bytes }
+}
+
 // System is a Glue-Nail database instance: loaded modules, an EDB store,
 // and an executor.
 type System struct {
@@ -169,6 +210,12 @@ type System struct {
 	// queries caches compiled query procedures by module and goal text;
 	// reset whenever the program is recompiled.
 	queries map[string]compiledQuery
+	// Durability state: wlog/recorder are non-nil when the EDB is backed
+	// by a write-ahead log; durErr records a failed recovery (every
+	// operation then reports it).
+	wlog     *wal.Log
+	recorder *wal.Recorder
+	durErr   error
 }
 
 type compiledQuery struct {
@@ -206,12 +253,94 @@ func New(opts ...Option) *System {
 		}
 		return storage.NewMemStore(cfg.indexPolicy)
 	}
-	return &System{
+	s := &System{
 		cfg:      cfg,
 		registry: vm.NewRegistry(),
 		edb:      newStore(),
 		temp:     newStore(),
 	}
+	if cfg.durDir != "" {
+		log, err := wal.Open(cfg.durDir, s.edb, wal.Options{
+			Fsync:           cfg.fsync,
+			CheckpointBytes: cfg.ckptBytes,
+		})
+		if err != nil {
+			s.durErr = fmt.Errorf("gluenail: opening durable EDB in %s: %w", cfg.durDir, err)
+		} else {
+			s.wlog = log
+			s.recorder = wal.NewRecorder()
+			s.edb.SetJournal(s.recorder)
+		}
+	}
+	return s
+}
+
+// Open creates a System whose EDB is durably persisted under dir (see
+// WithDurability), recovering any existing state first. The returned
+// system must be Closed to release the log; a system abandoned without
+// Close loses at most the unsynced fsync batch, never consistency.
+func Open(dir string, opts ...Option) (*System, error) {
+	s := New(append([]Option{WithDurability(dir)}, opts...)...)
+	if s.durErr != nil {
+		return nil, s.durErr
+	}
+	return s, nil
+}
+
+// commit seals the EDB deltas captured since the previous commit point
+// into one atomic WAL batch, checkpointing first if the log has grown
+// past the threshold. A no-op without durability or when nothing
+// changed.
+func (s *System) commit() error {
+	if s.wlog == nil {
+		return nil
+	}
+	ops := s.recorder.Take()
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := s.wlog.Commit(ops); err != nil {
+		return err
+	}
+	if s.wlog.ShouldCheckpoint() {
+		return s.wlog.Checkpoint(s.edb)
+	}
+	return nil
+}
+
+// Checkpoint serializes the EDB into a fresh snapshot and rotates the
+// write-ahead log. It may only be called between statements (never from
+// inside a Register callback). Without durability it reports an error.
+func (s *System) Checkpoint() error {
+	if s.durErr != nil {
+		return s.durErr
+	}
+	if s.wlog == nil {
+		return fmt.Errorf("gluenail: Checkpoint requires durability (use Open or WithDurability)")
+	}
+	if err := s.commit(); err != nil {
+		return err
+	}
+	return s.wlog.Checkpoint(s.edb)
+}
+
+// Close commits any pending deltas, syncs, and closes the write-ahead
+// log. A system without durability closes as a no-op. The system must
+// not be used after Close.
+func (s *System) Close() error {
+	if s.durErr != nil {
+		return s.durErr
+	}
+	if s.wlog == nil {
+		return nil
+	}
+	err := s.commit()
+	if cerr := s.wlog.Close(); err == nil {
+		err = cerr
+	}
+	s.edb.SetJournal(nil)
+	s.wlog, s.recorder = nil, nil
+	return err
 }
 
 // Register adds a foreign (Go) procedure callable from Glue as a subgoal:
@@ -268,6 +397,9 @@ func (s *System) LoadFile(path string) error {
 
 // ensure links and compiles all loaded sources.
 func (s *System) ensure() error {
+	if s.durErr != nil {
+		return s.durErr
+	}
 	if s.compiled {
 		return nil
 	}
@@ -301,6 +433,12 @@ func (s *System) ensure() error {
 	if len(prog.Modules) == 0 {
 		prog.Modules = append(prog.Modules, &ast.Module{Name: "main"})
 	}
+	// Module-declared EDB facts are in the store now; make them durable
+	// before compilation can fail (matching the in-memory semantics,
+	// where they persist regardless of compile errors).
+	if err := s.commit(); err != nil {
+		return err
+	}
 	lp, err := modsys.LinkWith(prog, modsys.Options{Known: s.registry.Has})
 	if err != nil {
 		return err
@@ -321,6 +459,9 @@ func (s *System) ensure() error {
 	s.machine.Parallelism = s.cfg.parallelism
 	s.machine.ParallelThreshold = s.cfg.parThreshold
 	s.machine.Trace = s.cfg.trace
+	if s.wlog != nil {
+		s.machine.Commit = s.commit
+	}
 	s.queries = make(map[string]compiledQuery)
 	s.compiled = true
 	return nil
@@ -361,6 +502,9 @@ func toTuple(row []any) (term.Tuple, error) {
 // with a different arity, the mismatch is reported instead of silently
 // creating a parallel relation.
 func (s *System) Assert(relation any, rows ...[]any) error {
+	if s.durErr != nil {
+		return s.durErr
+	}
 	name, err := toValue(relation)
 	if err != nil {
 		return err
@@ -379,11 +523,14 @@ func (s *System) Assert(relation any, rows ...[]any) error {
 		}
 		s.edb.Ensure(name, len(t)).Insert(t)
 	}
-	return nil
+	return s.commit()
 }
 
 // Retract removes facts from an EDB relation.
 func (s *System) Retract(relation any, rows ...[]any) error {
+	if s.durErr != nil {
+		return s.durErr
+	}
 	name, err := toValue(relation)
 	if err != nil {
 		return err
@@ -397,7 +544,7 @@ func (s *System) Retract(relation any, rows ...[]any) error {
 			rel.Delete(t)
 		}
 	}
-	return nil
+	return s.commit()
 }
 
 // Relation returns the current sorted contents of an EDB relation.
@@ -531,7 +678,15 @@ func (s *System) Procs() ([]string, error) {
 func (s *System) SaveEDB(path string) error { return storage.SaveFile(path, s.edb) }
 
 // LoadEDB reads an EDB image into the store.
-func (s *System) LoadEDB(path string) error { return storage.LoadFile(path, s.edb) }
+func (s *System) LoadEDB(path string) error {
+	if s.durErr != nil {
+		return s.durErr
+	}
+	if err := storage.LoadFile(path, s.edb); err != nil {
+		return err
+	}
+	return s.commit()
+}
 
 // Stats exposes executor and back-end counters for the experiments.
 type Stats struct {

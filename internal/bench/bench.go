@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 
 	"gluenail"
@@ -144,6 +145,54 @@ func NewJoinSystem(n, fanout int, opts ...gluenail.Option) *gluenail.System {
 // RunJoin executes the chain procedure once.
 func RunJoin(sys *gluenail.System) error {
 	_, err := sys.Call("main", "chain")
+	return err
+}
+
+// ---------- E11: durability (WAL-on vs WAL-off statement throughput) ----------
+
+// durableProgram runs EDB insert statements inside a repeat loop; every
+// top-level statement is a WAL commit point, so the loop measures commit
+// overhead rather than compile or assert cost.
+const durableProgram = `
+edb ev(X,Y);
+proc pump(Lo, Hi :)
+rels cursor(X);
+  cursor(X) := in(X, _).
+  repeat
+    ev(X, Y) += cursor(X) & Y = X * 2.
+    cursor(X) := cursor(Y) & X = Y + 1.
+  until cursor(X) & in(_, H) & X > H;
+  return(Lo, Hi :) := in(Lo, Hi).
+end
+`
+
+// NewDurableSystem builds the E11 workload system. dir == "" disables
+// durability (the WAL-off baseline); otherwise the directory is wiped
+// first so every run starts from an empty store.
+func NewDurableSystem(dir string, mode gluenail.FsyncMode, opts ...gluenail.Option) (*gluenail.System, error) {
+	var sys *gluenail.System
+	if dir == "" {
+		sys = gluenail.New(opts...)
+	} else {
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, err
+		}
+		var err error
+		sys, err = gluenail.Open(dir, append(opts, gluenail.WithFsync(mode))...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Load(durableProgram); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// RunDurable executes n loop iterations of EDB insert statements (each a
+// commit point when durability is on).
+func RunDurable(sys *gluenail.System, n int) error {
+	_, err := sys.Call("main", "pump", []any{0, n})
 	return err
 }
 

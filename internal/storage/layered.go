@@ -116,6 +116,13 @@ func (s *LayeredStore) Names() []RelName {
 // Stats implements Store.
 func (s *LayeredStore) Stats() *Stats { return s.inner.Stats() }
 
+// SetJournal implements Store; the hook attaches to the underlying
+// relations, so mutations made through layeredRel wrappers are observed.
+func (s *LayeredStore) SetJournal(j Journal) {
+	defer s.latch()()
+	s.inner.SetJournal(j)
+}
+
 // layeredRel wraps a Relation, charging the DBMS toll on every operation.
 type layeredRel struct {
 	store *LayeredStore

@@ -129,6 +129,9 @@ type Relation struct {
 
 	policy IndexPolicy
 	stats  *Stats
+	// journal, when non-nil, observes successful mutations (WAL capture);
+	// set through Store.SetJournal while no mutation is in flight.
+	journal Journal
 
 	// mu guards indexes, scanCredit, and onces so concurrent Lookups can
 	// share adaptive-index state. The write lock is held only for the
@@ -193,6 +196,9 @@ func (r *Relation) Insert(t term.Tuple) bool {
 	for _, ix := range r.indexes {
 		ix.add(t)
 	}
+	if r.journal != nil {
+		r.journal.JournalInsert(r.name, r.arity, t)
+	}
 	return true
 }
 
@@ -225,6 +231,9 @@ func (r *Relation) Delete(t term.Tuple) bool {
 		}
 		if r.dead > r.n && r.dead > 32 {
 			r.compact()
+		}
+		if r.journal != nil {
+			r.journal.JournalDelete(r.name, r.arity, u)
 		}
 		return true
 	}
@@ -273,6 +282,9 @@ func (r *Relation) Clear() {
 	r.scanCredit = nil
 	r.onces = nil
 	r.mu.Unlock()
+	if r.journal != nil {
+		r.journal.JournalClear(r.name, r.arity)
+	}
 }
 
 // Scan implements Rel; tuples are visited in insertion order.

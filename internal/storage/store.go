@@ -22,6 +22,28 @@ type Store interface {
 	Names() []RelName
 	// Stats returns the shared back-end counters.
 	Stats() *Stats
+	// SetJournal attaches j to every current and future relation of the
+	// store so successful mutations are observed for write-ahead logging;
+	// nil detaches. Attach only while no mutation is in flight (the
+	// executor mutates only at barriers and statement heads, which run
+	// sequentially).
+	SetJournal(j Journal)
+}
+
+// Journal observes successful EDB mutations. Callbacks fire only for
+// mutations that changed state: an Insert of a present tuple, a Delete of
+// a missing one, or a Clear of an empty relation is not reported. Tuples
+// are passed by reference and must not be mutated (the Rel contract
+// already forbids mutating stored tuples).
+type Journal interface {
+	// JournalCreate reports that a relation was created.
+	JournalCreate(name term.Value, arity int)
+	// JournalClear reports that a non-empty relation was emptied.
+	JournalClear(name term.Value, arity int)
+	// JournalInsert reports a tuple newly added to the relation.
+	JournalInsert(name term.Value, arity int, t term.Tuple)
+	// JournalDelete reports a tuple removed from the relation.
+	JournalDelete(name term.Value, arity int, t term.Tuple)
 }
 
 // RelName identifies a relation in a store.
@@ -42,9 +64,10 @@ func relKey(name term.Value, arity int) string {
 // MemStore is the tailored main-memory store (§10): no locking, no logging,
 // relations are created and dropped in constant time.
 type MemStore struct {
-	rels   map[string]*Relation
-	policy IndexPolicy
-	stats  Stats
+	rels    map[string]*Relation
+	policy  IndexPolicy
+	stats   Stats
+	journal Journal
 }
 
 // NewMemStore returns an empty store whose relations follow the given index
@@ -64,8 +87,12 @@ func (s *MemStore) ensure(name term.Value, arity int) *Relation {
 		return r
 	}
 	r := NewRelation(name, arity, s.policy, &s.stats)
+	r.journal = s.journal
 	s.rels[k] = r
 	atomic.AddInt64(&s.stats.RelsCreated, 1)
+	if s.journal != nil {
+		s.journal.JournalCreate(name, arity)
+	}
 	return r
 }
 
@@ -98,6 +125,14 @@ func (s *MemStore) Names() []RelName {
 
 // Stats implements Store.
 func (s *MemStore) Stats() *Stats { return &s.stats }
+
+// SetJournal implements Store.
+func (s *MemStore) SetJournal(j Journal) {
+	s.journal = j
+	for _, r := range s.rels {
+		r.journal = j
+	}
+}
 
 // String summarizes the store for diagnostics.
 func (s *MemStore) String() string {

@@ -19,13 +19,16 @@ type stmtState struct {
 func (f *frame) execStmt(st *plan.Stmt) error {
 	atomic.AddInt64(&f.m.Stats.StmtsExecuted, 1)
 	rows, err := f.runSteps(st.NRegs, st.Steps)
+	if err == nil {
+		if f.m.Trace != nil {
+			f.m.tracef("  [%s] %s -> %d row(s)", f.proc.ID, st.Label, len(rows))
+		}
+		err = f.applyHead(st, rows)
+	}
 	if err != nil {
-		return err
+		return fmt.Errorf("statement %q: %w", st.Label, err)
 	}
-	if f.m.Trace != nil {
-		f.m.tracef("  [%s] %s -> %d row(s)", f.proc.ID, st.Label, len(rows))
-	}
-	return f.applyHead(st, rows)
+	return nil
 }
 
 func (f *frame) evalCond(c *plan.Cond) (bool, error) {

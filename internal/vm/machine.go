@@ -67,9 +67,16 @@ type Machine struct {
 	// Trace, when non-nil, receives one line per statement execution and
 	// procedure call — the executor's narration of §3.2's evaluation.
 	Trace io.Writer
-	Stats ExecStats
+	// Commit, when non-nil, is invoked after every top-level statement —
+	// a statement executed at procedure-call depth 1 — marking the
+	// durability commit points: the write-ahead log seals the EDB deltas
+	// of the statement into one atomic batch. Statements of nested
+	// procedure calls commit with the outer statement that invoked them.
+	Commit func() error
+	Stats  ExecStats
 
-	frameID uint64
+	frameID   uint64
+	callDepth int
 }
 
 // New returns a machine over the program and EDB store, with frame-local
@@ -121,6 +128,8 @@ func (m *Machine) CallProc(id string, in []term.Tuple) ([]term.Tuple, error) {
 	}
 	m.tracef("call %s with %d input tuple(s)", id, len(in))
 	atomic.AddInt64(&m.Stats.ProcCalls, 1)
+	m.callDepth++
+	defer func() { m.callDepth-- }()
 	m.frameID++
 	f := &frame{m: m, proc: proc, id: m.frameID}
 	defer f.drop()
@@ -179,6 +188,9 @@ func (f *frame) execInstrs(instrs []plan.Instr) error {
 		switch in := in.(type) {
 		case *plan.ExecStmt:
 			if err := f.execStmt(in.S); err != nil {
+				return err
+			}
+			if err := f.m.commitPoint(); err != nil {
 				return err
 			}
 		case *plan.Loop:
@@ -282,4 +294,15 @@ func (m *Machine) fanOutThreshold() int {
 		return m.ParallelThreshold
 	}
 	return defaultParallelThreshold
+}
+
+// commitPoint runs the Commit hook if this is a top-level statement
+// boundary. A failed statement never reaches it, so its partial EDB
+// effects stay uncommitted and are lost on crash — recovery always lands
+// on a statement-boundary prefix.
+func (m *Machine) commitPoint() error {
+	if m.Commit == nil || m.callDepth != 1 {
+		return nil
+	}
+	return m.Commit()
 }

@@ -1,0 +1,338 @@
+package wal
+
+// Fault-injection harness ("walfault"): simulate a crash at every byte
+// boundary of the log — and at every phase of the checkpoint protocol —
+// and prove recovery always converges to a statement-boundary prefix of
+// the committed workload, never a torn state.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+// faultWorkload is the scripted sequence of committed statements. Each
+// step mutates the store through the journal and is sealed by one Commit,
+// so each step is one statement boundary. Every step changes visible
+// state, keeping the prefix states pairwise distinct (a stronger check).
+var faultWorkload = []func(st storage.Store){
+	func(st storage.Store) {
+		e := st.Ensure(name("edge"), 2)
+		e.Insert(tup(1, 2))
+		e.Insert(tup(2, 3))
+		e.Insert(tup(3, 4))
+	},
+	func(st storage.Store) {
+		st.Ensure(name("node"), 1).Insert(term.Tuple{term.NewString("α-node")})
+	},
+	func(st storage.Store) {
+		e, _ := st.Get(name("edge"), 2)
+		e.Delete(tup(2, 3))
+		e.Insert(tup(9, 9))
+	},
+	func(st storage.Store) {
+		st.Ensure(name("w"), 1).Insert(term.Tuple{term.NewFloat(2.5)})
+		st.Ensure(name("w"), 1).Insert(term.Tuple{term.Atom("f", term.NewInt(1))})
+	},
+	func(st storage.Store) {
+		w, _ := st.Get(name("w"), 1)
+		w.Clear()
+		w.Insert(term.Tuple{term.NewInt(0)})
+	},
+	func(st storage.Store) {
+		e, _ := st.Get(name("edge"), 2)
+		e.Delete(tup(1, 2))
+		e.Delete(tup(3, 4))
+		st.Ensure(name("node"), 1).Insert(term.Tuple{term.NewString("z")})
+	},
+}
+
+// runFaultWorkload executes the workload in dir, committing each step,
+// and returns the dump after every statement boundary (index 0 = empty
+// store) plus the final log bytes.
+func runFaultWorkload(t *testing.T, dir string) (prefixes []string, walBytes []byte) {
+	t.Helper()
+	st := newStore()
+	log, err := Open(dir, st, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	st.SetJournal(rec)
+	prefixes = append(prefixes, dump(t, st))
+	for i, step := range faultWorkload {
+		step(st)
+		if err := log.Commit(rec.Take()); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		d := dump(t, st)
+		if d == prefixes[len(prefixes)-1] {
+			t.Fatalf("step %d did not change visible state; workload steps must be distinguishable", i)
+		}
+		prefixes = append(prefixes, d)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err = os.ReadFile(filepath.Join(dir, walName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prefixes, walBytes
+}
+
+// prefixIndex locates got among the statement-boundary prefix states,
+// or -1 if the recovered state is torn.
+func prefixIndex(prefixes []string, got string) int {
+	for i, p := range prefixes {
+		if p == got {
+			return i
+		}
+	}
+	return -1
+}
+
+// recoverTruncated opens a fresh directory whose log is data and returns
+// the recovered store's dump.
+func recoverTruncated(t *testing.T, data []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := newStore()
+	log, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatalf("recovery must not fail on a torn tail: %v", err)
+	}
+	defer log.Close()
+	return dump(t, st)
+}
+
+// TestKillAtEveryOffset is the core acceptance test: crash the writer at
+// every byte boundary of the log and require recovery to land on a
+// statement-boundary prefix, monotone in the crash offset, reaching the
+// full state at the final offset.
+func TestKillAtEveryOffset(t *testing.T) {
+	prefixes, wal := runFaultWorkload(t, t.TempDir())
+	last := 0
+	for cut := 0; cut <= len(wal); cut++ {
+		got := recoverTruncated(t, wal[:cut])
+		idx := prefixIndex(prefixes, got)
+		if idx < 0 {
+			t.Fatalf("crash at offset %d/%d recovered a torn state:\n%q", cut, len(wal), got)
+		}
+		if idx < last {
+			t.Fatalf("crash at offset %d recovered prefix %d after offset %d had already reached %d (recovery must be monotone)",
+				cut, idx, cut-1, last)
+		}
+		last = idx
+	}
+	if last != len(prefixes)-1 {
+		t.Fatalf("crash at the final offset recovered prefix %d, want the full state %d", last, len(prefixes)-1)
+	}
+}
+
+// TestBitFlipRecoversToPrefix corrupts a single byte past the header at
+// every offset; the CRC must catch it and recovery must fall back to a
+// sealed prefix rather than apply damaged records.
+func TestBitFlipRecoversToPrefix(t *testing.T) {
+	prefixes, wal := runFaultWorkload(t, t.TempDir())
+	for off := len(walMagic); off < len(wal); off++ {
+		mut := append([]byte(nil), wal...)
+		mut[off] ^= 0x40
+		got := recoverTruncated(t, mut)
+		if prefixIndex(prefixes, got) < 0 {
+			t.Fatalf("bit flip at offset %d recovered a torn state:\n%q", off, got)
+		}
+	}
+}
+
+// TestReopenAfterCrashAcceptsAppends proves a recovered log is live: new
+// commits after crash recovery are themselves durable.
+func TestReopenAfterCrashAcceptsAppends(t *testing.T) {
+	_, wal := runFaultWorkload(t, t.TempDir())
+	// Crash in the middle of the log.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walName(1)), wal[:len(wal)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := newStore()
+	log, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	st.SetJournal(rec)
+	st.Ensure(name("post"), 1).Insert(tup(42))
+	if err := log.Commit(rec.Take()); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, st)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := newStore()
+	log2, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if got := dump(t, st2); got != want {
+		t.Errorf("append-after-recovery lost:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+// checkpointedDir runs the workload and a checkpoint, returning the
+// directory, the pre-checkpoint (= checkpointed) state dump, and the
+// snapshot bytes that the checkpoint wrote.
+func checkpointedDir(t *testing.T, extra bool) (dir, state string, snap []byte) {
+	t.Helper()
+	dir = t.TempDir()
+	st := newStore()
+	log, err := Open(dir, st, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	st.SetJournal(rec)
+	for _, step := range faultWorkload {
+		step(st)
+		if err := log.Commit(rec.Take()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	if extra {
+		st.Ensure(name("after"), 1).Insert(tup(7))
+		if err := log.Commit(rec.Take()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state = dump(t, st)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = os.ReadFile(filepath.Join(dir, snapName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, state, snap
+}
+
+// TestCheckpointCrashPhases simulates a crash at each phase of the
+// checkpoint protocol and requires recovery to converge either to the
+// pre-checkpoint state (snapshot not yet durable) or the checkpointed
+// state (snapshot durable) — never anything else.
+func TestCheckpointCrashPhases(t *testing.T) {
+	_, state, snap := checkpointedDir(t, false)
+
+	// Reconstruct the pre-checkpoint log bytes by re-running the workload.
+	preDir := t.TempDir()
+	prefixes, walBytes := runFaultWorkload(t, preDir)
+	full := prefixes[len(prefixes)-1]
+	if full != state {
+		t.Fatal("workload is not deterministic; harness broken")
+	}
+
+	// Phase 1: crash while writing the snapshot temp file, at every
+	// truncation point. The old generation is intact; recovery must land
+	// on the full pre-checkpoint state.
+	for _, cut := range []int{0, 1, len(snap) / 2, len(snap) - 1, len(snap)} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName(1)), walBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapName(2)+".tmp"), snap[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := newStore()
+		log, err := Open(dir, st, Options{})
+		if err != nil {
+			t.Fatalf("tmp cut %d: %v", cut, err)
+		}
+		if got := dump(t, st); got != state {
+			t.Errorf("tmp cut %d: recovered %q, want pre-checkpoint state", cut, got)
+		}
+		log.Close()
+		if _, err := os.Stat(filepath.Join(dir, snapName(2)+".tmp")); !os.IsNotExist(err) {
+			t.Errorf("tmp cut %d: leftover temp file must be removed", cut)
+		}
+	}
+
+	// Phase 2: snapshot renamed durable, crash before the new segment
+	// exists. Recovery starts generation 2 from the snapshot.
+	{
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName(1)), walBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapName(2)), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := newStore()
+		log, err := Open(dir, st, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dump(t, st); got != state {
+			t.Errorf("post-rename crash: recovered %q, want checkpointed state", got)
+		}
+		log.Close()
+		if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
+			t.Error("post-rename crash: stale wal-1 must be removed after recovery")
+		}
+	}
+
+	// Phase 3: new segment exists (possibly with a torn header), old
+	// generation not yet removed.
+	for _, hdr := range []int{0, len(walMagic) / 2, len(walMagic)} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName(1)), walBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapName(1)), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapName(2)), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName(2)), walMagic[:hdr], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := newStore()
+		log, err := Open(dir, st, Options{})
+		if err != nil {
+			t.Fatalf("header cut %d: %v", hdr, err)
+		}
+		if got := dump(t, st); got != state {
+			t.Errorf("header cut %d: recovered %q, want checkpointed state", hdr, got)
+		}
+		log.Close()
+		for _, stale := range []string{walName(1), snapName(1)} {
+			if _, err := os.Stat(filepath.Join(dir, stale)); !os.IsNotExist(err) {
+				t.Errorf("header cut %d: stale %s must be removed after recovery", hdr, stale)
+			}
+		}
+	}
+}
+
+// TestCheckpointThenAppendsRecover covers the completed-checkpoint path
+// with post-checkpoint commits in the new segment.
+func TestCheckpointThenAppendsRecover(t *testing.T) {
+	dir, state, _ := checkpointedDir(t, true)
+	st := newStore()
+	log, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if got := dump(t, st); got != state {
+		t.Errorf("recovered %q, want checkpointed state plus post-checkpoint commits %q", got, state)
+	}
+}

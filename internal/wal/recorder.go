@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"sync"
+
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+// Recorder implements storage.Journal: it captures the EDB deltas of the
+// statement in flight, coalescing runs of same-kind mutations on one
+// relation into tuple batches while preserving overall mutation order.
+// At a commit point the executor drains it with Take and hands the batch
+// to Log.Commit.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+var _ storage.Journal = (*Recorder)(nil)
+
+// JournalCreate implements storage.Journal.
+func (r *Recorder) JournalCreate(name term.Value, arity int) {
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{Kind: OpCreate, Name: name, Arity: arity})
+	r.mu.Unlock()
+}
+
+// JournalClear implements storage.Journal.
+func (r *Recorder) JournalClear(name term.Value, arity int) {
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{Kind: OpClear, Name: name, Arity: arity})
+	r.mu.Unlock()
+}
+
+// JournalInsert implements storage.Journal.
+func (r *Recorder) JournalInsert(name term.Value, arity int, t term.Tuple) {
+	r.add(OpInsert, name, arity, t)
+}
+
+// JournalDelete implements storage.Journal.
+func (r *Recorder) JournalDelete(name term.Value, arity int, t term.Tuple) {
+	r.add(OpDelete, name, arity, t)
+}
+
+func (r *Recorder) add(kind OpKind, name term.Value, arity int, t term.Tuple) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.ops); n > 0 {
+		last := &r.ops[n-1]
+		if last.Kind == kind && last.Arity == arity && last.Name.Equal(name) {
+			last.Tuples = append(last.Tuples, t)
+			return
+		}
+	}
+	r.ops = append(r.ops, Op{Kind: kind, Name: name, Arity: arity, Tuples: []term.Tuple{t}})
+}
+
+// Take drains and returns the captured deltas in mutation order.
+func (r *Recorder) Take() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := r.ops
+	r.ops = nil
+	return ops
+}
+
+// Pending returns the number of captured, not-yet-taken delta batches.
+func (r *Recorder) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"gluenail/internal/storage"
+)
+
+// Snapshots reuse the EDB image encoding of storage.Save (relation names
+// and tuples in term encoding, sorted for determinism), sealed in a
+// CRC-checked envelope so a damaged checkpoint is detected rather than
+// half-loaded:
+//
+//	magic | len(u64le) | crc32(u32le over payload) | payload(EDB image)
+
+var snapMagic = []byte("GLUENAIL-SNAP1\n")
+
+// encodeSnapshot serializes every relation of store into a sealed
+// snapshot image.
+func encodeSnapshot(store storage.Store) ([]byte, error) {
+	var body bytes.Buffer
+	if err := storage.Save(&body, store); err != nil {
+		return nil, err
+	}
+	payload := body.Bytes()
+	out := make([]byte, 0, len(snapMagic)+12+len(payload))
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...), nil
+}
+
+// WriteSnapshot atomically writes a sealed snapshot of store to path:
+// temp file, fsync, rename. The caller fsyncs the directory.
+func WriteSnapshot(path string, store storage.Store) error {
+	data, err := encodeSnapshot(store)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot verifies and loads the snapshot at path into store.
+func ReadSnapshot(path string, store storage.Store) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	head := len(snapMagic) + 12
+	if len(data) < head || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return fmt.Errorf("not a Glue-Nail snapshot")
+	}
+	plen := binary.LittleEndian.Uint64(data[len(snapMagic):])
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+8:])
+	payload := data[head:]
+	if uint64(len(payload)) != plen {
+		return fmt.Errorf("snapshot length %d, header says %d", len(payload), plen)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return fmt.Errorf("snapshot checksum mismatch")
+	}
+	return storage.Load(bytes.NewReader(payload), store)
+}
