@@ -300,6 +300,32 @@ func BenchmarkA1ReorderingAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkE12StatsOrdering measures the statistics-driven physical
+// planner on a skewed join where the compiler's static orderings (textual
+// and greedy coincide here — no constant arguments to score) scan the big
+// relation, while live row counts steer the run-time planner to start from
+// the tiny probe relation and index-probe only the matching slice of big.
+func BenchmarkE12StatsOrdering(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []gluenail.Option
+	}{
+		{"textual", []gluenail.Option{gluenail.WithoutReordering()}},
+		{"greedy", []gluenail.Option{gluenail.WithGreedyOrdering()}},
+		{"stats", nil},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := bench.NewSkewJoinSystem(20000, 100, 4, mode.opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bench.RunSkewJoin(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkF1CadSelect times the Figure 1 micro-CAD select interaction
 // end-to-end over a 10k-element drawing.
 func BenchmarkF1CadSelect(b *testing.B) {

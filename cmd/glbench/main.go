@@ -45,7 +45,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
-		{"E11", e11}, {"F1", f1}, {"A1", a1},
+		{"E11", e11}, {"E12", e12}, {"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -275,6 +275,47 @@ func e10() {
 		runtime.GOMAXPROCS(0)),
 		"partition segment input into morsels across a worker pool; results stay identical to sequential execution",
 		[]string{"workers", "ms", "seq/this"}, rows)
+}
+
+// e12 measures the statistics-driven physical planner on a skewed join
+// with no constant arguments: the compiler's static greedy scores tie, so
+// textual and greedy both scan the big relation, while live row counts
+// steer the run-time planner to start from the tiny probe side. Results
+// are verified byte-identical across all three orderings before timing.
+func e12() {
+	const rare, k = 100, 4
+	var rows [][]string
+	for _, n := range []int{5000, 20000, 80000} {
+		var ref string
+		for _, mode := range []struct {
+			name string
+			opts []gluenail.Option
+		}{
+			{"textual", []gluenail.Option{gluenail.WithoutReordering()}},
+			{"greedy", []gluenail.Option{gluenail.WithGreedyOrdering()}},
+			{"stats", nil},
+		} {
+			got, err := bench.SkewJoinResult(bench.NewSkewJoinSystem(n, rare, k, mode.opts...))
+			check(err)
+			if ref == "" {
+				ref = got
+			} else if got != ref {
+				check(fmt.Errorf("E12: %s ordering changed the join result at n=%d", mode.name, n))
+			}
+		}
+		textual := bench.NewSkewJoinSystem(n, rare, k, gluenail.WithoutReordering())
+		greedy := bench.NewSkewJoinSystem(n, rare, k, gluenail.WithGreedyOrdering())
+		stats := bench.NewSkewJoinSystem(n, rare, k)
+		dt := best(func() { check(bench.RunSkewJoin(textual)) })
+		dg := best(func() { check(bench.RunSkewJoin(greedy)) })
+		ds := best(func() { check(bench.RunSkewJoin(stats)) })
+		rows = append(rows, []string{
+			fmt.Sprint(n), ms(dt), ms(dg), ms(ds), ratio(ds, dt),
+		})
+	}
+	table("E12: statistics-driven physical ordering (skewed join, identical results)",
+		`§3.1 makes subgoal ordering the central optimisation; static scores cannot tell a 4-row probe from an 80k-row scan — live statistics can`,
+		[]string{"big rows", "textual ms", "greedy ms", "stats ms", "textual/stats"}, rows)
 }
 
 func a1() {

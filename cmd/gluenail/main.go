@@ -12,6 +12,11 @@
 //	-fsync mode   WAL fsync mode: batch (default), always, none
 //	-call m.proc  call an exported 0-bound procedure and print its results
 //	-q goals      evaluate one query conjunction and print the answers
+//	-explain      print the physical plan (estimated cardinalities) for
+//	              -q or -call instead of executing it
+//	-explain-analyze
+//	              execute -q or -call, then print the physical plan with
+//	              actual per-operator tuple counts next to the estimates
 //	-i            interactive query loop on stdin (default when no -call/-q)
 //	-module m     module scope for queries (default "main")
 //	-naive        use naive instead of semi-naive evaluation
@@ -49,6 +54,8 @@ func run() error {
 		naive       = flag.Bool("naive", false, "naive instead of semi-naive evaluation")
 		noMagic     = flag.Bool("no-magic", false, "disable magic-set rewriting")
 		explain     = flag.String("plan", "", "print the compiled plan of module.proc (or 'all') and exit")
+		explainPhys = flag.Bool("explain", false, "print the physical plan (estimated cardinalities) for -q or -call instead of executing")
+		explainAnal = flag.Bool("explain-analyze", false, "execute -q or -call and print the physical plan with actual per-op tuple counts")
 		trace       = flag.Bool("trace", false, "trace statement execution to stderr")
 		stats       = flag.Bool("stats", false, "print executor statistics after the run")
 		workers     = flag.Int("workers", 0, "worker pool size for intra-segment parallelism (0 = GOMAXPROCS)")
@@ -142,6 +149,36 @@ func run() error {
 		return nil
 	}
 	switch {
+	case (*explainPhys || *explainAnal) && *query != "":
+		var text string
+		var err error
+		if *explainAnal {
+			text, err = sys.ExplainAnalyzeIn(*module, *query)
+		} else {
+			text, err = sys.ExplainIn(*module, *query)
+		}
+		if err != nil {
+			return fmt.Errorf("explaining query %q: %w", *query, err)
+		}
+		fmt.Print(text)
+	case (*explainPhys || *explainAnal) && *call != "":
+		mod, proc, ok := strings.Cut(*call, ".")
+		if !ok {
+			mod, proc = "main", *call
+		}
+		var text string
+		var err error
+		if *explainAnal {
+			text, err = sys.ExplainAnalyzeCall(mod, proc)
+		} else {
+			text, err = sys.ExplainProcPhysical(mod, proc)
+		}
+		if err != nil {
+			return fmt.Errorf("explaining %s.%s: %w", mod, proc, err)
+		}
+		fmt.Print(text)
+	case *explainPhys || *explainAnal:
+		return fmt.Errorf("-explain/-explain-analyze need -q or -call")
 	case *call != "":
 		mod, proc, ok := strings.Cut(*call, ".")
 		if !ok {

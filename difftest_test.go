@@ -36,6 +36,7 @@ var allConfigs = map[string][]Option{
 	"materialized": {WithMaterializedExecution()},
 	"no-dedup":     {WithoutDupElimination()},
 	"no-reorder":   {WithoutReordering()},
+	"greedy-order": {WithGreedyOrdering()},
 	"no-magic":     {WithoutMagicSets()},
 	"naive":        {WithNaiveEvaluation()},
 	"no-narrow":    {WithoutDispatchNarrowing()},

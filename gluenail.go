@@ -77,6 +77,7 @@ type config struct {
 	loopLimit    int
 	parallelism  int
 	parThreshold int
+	greedyOrder  bool
 	planOpts     plan.Options
 	durDir       string
 	fsync        FsyncMode
@@ -114,9 +115,19 @@ func WithoutDupElimination() Option {
 	return func(c *config) { c.planOpts.NoDedup = true }
 }
 
-// WithoutReordering disables non-fixed subgoal reordering.
+// WithoutReordering disables non-fixed subgoal reordering entirely: the
+// compiler keeps the textual subgoal order and the run-time planner does
+// not reorder either (the full ablation baseline).
 func WithoutReordering() Option {
 	return func(c *config) { c.planOpts.NoReorder = true }
+}
+
+// WithGreedyOrdering executes the compiler's static greedy subgoal order,
+// disabling the statistics-driven physical reordering that is on by
+// default — the middle ablation point between textual order
+// (WithoutReordering) and the cost-based planner.
+func WithGreedyOrdering() Option {
+	return func(c *config) { c.greedyOrder = true }
 }
 
 // WithoutMagicSets disables magic-set rewriting of bound NAIL! calls (E9
@@ -458,6 +469,9 @@ func (s *System) ensure() error {
 	s.machine.LoopLimit = s.cfg.loopLimit
 	s.machine.Parallelism = s.cfg.parallelism
 	s.machine.ParallelThreshold = s.cfg.parThreshold
+	// Textual and greedy orderings are ablations: both must execute the
+	// compiled op order, so either disables run-time reordering.
+	s.machine.StatsOrdering = !s.cfg.greedyOrder && !s.cfg.planOpts.NoReorder
 	s.machine.Trace = s.cfg.trace
 	if s.wlog != nil {
 		s.machine.Commit = s.commit
@@ -582,21 +596,10 @@ func (s *System) QueryIn(module, goals string) (*Result, error) {
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
-	key := module + "\x00" + goals
-	cq, cached := s.queries[key]
-	if !cached {
-		gs, err := parser.ParseGoals(goals)
-		if err != nil {
-			return nil, err
-		}
-		id, vars, err := s.compiler.CompileQuery(module, gs)
-		if err != nil {
-			return nil, err
-		}
-		cq = compiledQuery{id: id, vars: vars}
-		s.queries[key] = cq
+	id, vars, err := s.prepareQuery(module, goals)
+	if err != nil {
+		return nil, err
 	}
-	id, vars := cq.id, cq.vars
 	tuples, err := s.machine.CallProc(id, []term.Tuple{{}})
 	if err != nil {
 		return nil, err
@@ -609,6 +612,116 @@ func (s *System) QueryIn(module, goals string) (*Result, error) {
 		res.Rows = append(res.Rows, []Value(t))
 	}
 	return res, nil
+}
+
+// prepareQuery compiles a goal conjunction into a query procedure (cached
+// per module and goal text) and returns its ID and output variable names.
+func (s *System) prepareQuery(module, goals string) (string, []string, error) {
+	key := module + "\x00" + goals
+	cq, cached := s.queries[key]
+	if !cached {
+		gs, err := parser.ParseGoals(goals)
+		if err != nil {
+			return "", nil, err
+		}
+		id, vars, err := s.compiler.CompileQuery(module, gs)
+		if err != nil {
+			return "", nil, err
+		}
+		cq = compiledQuery{id: id, vars: vars}
+		s.queries[key] = cq
+	}
+	return cq.id, cq.vars, nil
+}
+
+// Explain returns the physical plan the statistics-driven planner would
+// choose right now for a goal conjunction in the main module: per-segment
+// operator order, access paths, and estimated cardinalities, plus the
+// plans of every procedure the query transitively calls.
+func (s *System) Explain(goals string) (string, error) {
+	return s.ExplainIn("main", goals)
+}
+
+// ExplainIn is Explain scoped to the named module.
+func (s *System) ExplainIn(module, goals string) (string, error) {
+	return s.explainQuery(module, goals, false)
+}
+
+// ExplainAnalyze executes a goal conjunction in the main module and
+// returns its physical plan annotated with the per-operator actual tuple
+// counts observed during that execution (act_in/act_out) alongside the
+// planner's estimates.
+func (s *System) ExplainAnalyze(goals string) (string, error) {
+	return s.ExplainAnalyzeIn("main", goals)
+}
+
+// ExplainAnalyzeIn is ExplainAnalyze scoped to the named module.
+func (s *System) ExplainAnalyzeIn(module, goals string) (string, error) {
+	return s.explainQuery(module, goals, true)
+}
+
+func (s *System) explainQuery(module, goals string, analyze bool) (string, error) {
+	if err := s.ensure(); err != nil {
+		return "", err
+	}
+	id, _, err := s.prepareQuery(module, goals)
+	if err != nil {
+		return "", err
+	}
+	if analyze {
+		s.machine.ResetProfiles()
+		if _, err := s.machine.CallProc(id, []term.Tuple{{}}); err != nil {
+			return "", err
+		}
+	}
+	return s.renderPhysical(id, analyze)
+}
+
+// ExplainAnalyzeCall invokes an exported procedure like Call, then returns
+// its physical plan annotated with the per-operator actual tuple counts
+// observed during that invocation.
+func (s *System) ExplainAnalyzeCall(module, proc string, in ...[]any) (string, error) {
+	if err := s.ensure(); err != nil {
+		return "", err
+	}
+	s.machine.ResetProfiles()
+	if _, err := s.Call(module, proc, in...); err != nil {
+		return "", err
+	}
+	sym := s.lp.Resolve(module, proc)
+	return s.renderPhysical(sym.Module+"."+proc, true)
+}
+
+// ExplainProcPhysical renders a compiled procedure's physical plan (and
+// those of its transitive callees) with current-statistics estimates.
+func (s *System) ExplainProcPhysical(module, proc string) (string, error) {
+	if err := s.ensure(); err != nil {
+		return "", err
+	}
+	id := module + "." + proc
+	if _, ok := s.compiler.Program().Procs[id]; !ok {
+		return "", fmt.Errorf("gluenail: no compiled procedure %s", id)
+	}
+	return s.renderPhysical(id, false)
+}
+
+// renderPhysical renders the root procedure followed by every procedure it
+// transitively calls, in sorted order.
+func (s *System) renderPhysical(rootID string, analyze bool) (string, error) {
+	var sb strings.Builder
+	ids := append([]string{rootID},
+		plan.CalledProcs(s.compiler.Program(), rootID)...)
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		text, err := s.machine.ExplainPhysical(id, analyze)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(text)
+	}
+	return sb.String(), nil
 }
 
 // Call invokes an exported procedure with the given input tuples (nil for

@@ -199,3 +199,32 @@ func TestCadRunSelects(t *testing.T) {
 		t.Errorf("selection not deterministic: %q vs %q", key, key2)
 	}
 }
+
+// TestSkewJoinOrderingsAgree checks E12's correctness side: textual,
+// greedy, and statistics-driven orderings produce byte-identical join
+// results on the skewed workload.
+func TestSkewJoinOrderingsAgree(t *testing.T) {
+	modes := map[string][]gluenail.Option{
+		"textual": {gluenail.WithoutReordering()},
+		"greedy":  {gluenail.WithGreedyOrdering()},
+		"stats":   nil,
+	}
+	var ref, refName string
+	for name, opts := range modes {
+		sys := NewSkewJoinSystem(2000, 50, 3, opts...)
+		got, err := SkewJoinResult(sys)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got == "" {
+			t.Fatalf("%s: empty join result", name)
+		}
+		if ref == "" {
+			ref, refName = got, name
+			continue
+		}
+		if got != ref {
+			t.Errorf("%s result differs from %s", name, refName)
+		}
+	}
+}

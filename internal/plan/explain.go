@@ -1,0 +1,184 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rendering of physical plans for EXPLAIN and EXPLAIN ANALYZE: the logical
+// rendering of print.go extended with the planner's chosen order, access
+// paths, and cardinality estimates, plus the executor's observed per-op
+// actuals when a profile is present.
+
+// PhysFormatter renders procedures with their physical plans.
+type PhysFormatter struct {
+	// Plan supplies the physical segments for a statement body or an
+	// until-condition (st is nil for conditions).
+	Plan func(steps []Step, st *Stmt) []PhysStep
+	// Profile supplies observed actuals for EXPLAIN ANALYZE; nil (or a nil
+	// result) renders estimates only.
+	Profile func(st *Stmt) *StmtProfile
+}
+
+// Proc renders one procedure with physical plans.
+func (f *PhysFormatter) Proc(p *Proc) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "proc %s (%d:%d)", p.ID, p.Bound, p.Free)
+	if p.Fixed {
+		sb.WriteString(" fixed")
+	}
+	sb.WriteByte('\n')
+	if len(p.Locals) > 0 {
+		sb.WriteString("  locals:")
+		for _, l := range p.Locals {
+			fmt.Fprintf(&sb, " %s/%d", l.Name, l.Arity)
+		}
+		sb.WriteByte('\n')
+	}
+	f.writeInstrs(&sb, p.Body, 1)
+	return sb.String()
+}
+
+func (f *PhysFormatter) writeInstrs(sb *strings.Builder, instrs []Instr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, in := range instrs {
+		switch in := in.(type) {
+		case *ExecStmt:
+			st := in.S
+			sb.WriteString(ind)
+			fmt.Fprintf(sb, "stmt %s %s", headText(st.Head), st.Op)
+			if st.KeyMask != 0 {
+				fmt.Fprintf(sb, " key=%b", st.KeyMask)
+			}
+			fmt.Fprintf(sb, " (%d regs", st.NRegs)
+			if st.HasAgg {
+				sb.WriteString(", aggregates")
+			}
+			sb.WriteString(")\n")
+			var prof *StmtProfile
+			if f.Profile != nil {
+				prof = f.Profile(st)
+			}
+			f.writePhysSteps(sb, f.Plan(st.Steps, st), prof, depth+1)
+		case *Loop:
+			sb.WriteString(ind)
+			sb.WriteString("loop {\n")
+			f.writeInstrs(sb, in.Body, depth+1)
+			sb.WriteString(ind)
+			sb.WriteString("} until any of:\n")
+			for _, c := range in.Until {
+				sb.WriteString(ind)
+				fmt.Fprintf(sb, "  cond (%d regs):\n", c.NRegs)
+				f.writePhysSteps(sb, f.Plan(c.Steps, nil), nil, depth+2)
+			}
+		}
+	}
+}
+
+func (f *PhysFormatter) writePhysSteps(sb *strings.Builder, steps []PhysStep,
+	prof *StmtProfile, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for k, s := range steps {
+		sb.WriteString(ind)
+		fmt.Fprintf(sb, "segment %d", k)
+		if s.Step.Dedup {
+			fmt.Fprintf(sb, " dedup(live=%v)", s.Step.LiveRegs)
+		}
+		fmt.Fprintf(sb, " rows=%s", estText(s.EstIn))
+		if prof != nil && k < len(prof.Steps) && prof.Steps[k].BuildNs > 0 {
+			fmt.Fprintf(sb, " index-build=%.3fms", float64(prof.Steps[k].BuildNs)/1e6)
+		}
+		sb.WriteByte('\n')
+		for _, po := range s.Ops {
+			sb.WriteString(ind)
+			sb.WriteString("  ")
+			sb.WriteString(pipeOpText(po.Op))
+			fmt.Fprintf(sb, " [%s est=%s", po.Access, estText(po.EstOut))
+			if po.FromProfile {
+				sb.WriteString("*")
+			}
+			if prof != nil && k < len(prof.Steps) && po.LogIdx < len(prof.Steps[k].Ops) {
+				op := prof.Steps[k].Ops[po.LogIdx]
+				fmt.Fprintf(sb, " act_in=%d act_out=%d", op.In, op.Out)
+			}
+			sb.WriteString("]\n")
+		}
+		if s.Step.Barrier != nil {
+			sb.WriteString(ind)
+			sb.WriteString("  break: ")
+			sb.WriteString(barrierText(s.Step.Barrier))
+			sb.WriteByte('\n')
+		}
+	}
+}
+
+// estText renders a cardinality estimate compactly and stably: whole
+// numbers without a fraction, everything else with one decimal.
+func estText(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// CalledProcs returns the IDs of the procedures transitively called from
+// rootID (Call barriers and DynCall family candidates), excluding the root
+// itself, in sorted order — the set EXPLAIN renders alongside the root so
+// recursive NAIL! plans are visible.
+func CalledProcs(prog *Program, rootID string) []string {
+	seen := map[string]bool{rootID: true}
+	var visit func(id string)
+	var visitInstrs func(instrs []Instr)
+	visitSteps := func(steps []Step) {
+		for _, s := range steps {
+			switch b := s.Barrier.(type) {
+			case *Call:
+				if b.ProcID != "" && !seen[b.ProcID] {
+					seen[b.ProcID] = true
+					visit(b.ProcID)
+				}
+			case *DynCall:
+				for _, fc := range b.Families {
+					if !seen[fc.ProcID] {
+						seen[fc.ProcID] = true
+						visit(fc.ProcID)
+					}
+				}
+			}
+		}
+	}
+	visitInstrs = func(instrs []Instr) {
+		for _, in := range instrs {
+			switch in := in.(type) {
+			case *ExecStmt:
+				visitSteps(in.S.Steps)
+			case *Loop:
+				visitInstrs(in.Body)
+				for _, c := range in.Until {
+					visitSteps(c.Steps)
+				}
+			}
+		}
+	}
+	visit = func(id string) {
+		if p, ok := prog.Procs[id]; ok {
+			visitInstrs(p.Body)
+		}
+	}
+	visit(rootID)
+	delete(seen, rootID)
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

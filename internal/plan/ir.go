@@ -118,6 +118,11 @@ type Step struct {
 	// to pre-build decided indexes at the boundary of a parallel section,
 	// before worker goroutines fan out over the segment.
 	Hints []LookupHint
+	// BoundIn lists the registers already bound when the step's first pipe
+	// op runs (bound by earlier steps of the statement). The physical
+	// planner seeds its binding analysis from it when re-deriving masks
+	// after a cost-based reorder of Pipe.
+	BoundIn []int
 }
 
 // LookupHint pairs a pipe-op position with the bound-column mask that op

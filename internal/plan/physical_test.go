@@ -1,0 +1,251 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// tableStats is a StatsSource backed by a fixed name→estimate table.
+type tableStats map[string]RelEstimate
+
+func (s tableStats) RelStats(ref RelRef) (RelEstimate, bool) {
+	if !ref.Name.IsGround() {
+		return RelEstimate{}, false
+	}
+	name, err := ref.Name.Build(nil)
+	if err != nil {
+		return RelEstimate{}, false
+	}
+	re, ok := s[name.String()]
+	return re, ok
+}
+
+func physShape(ops []PhysOp) []string {
+	pipe := make([]PipeOp, len(ops))
+	for i, po := range ops {
+		pipe[i] = po.Op
+	}
+	return pipeShape(pipe)
+}
+
+// TestStatsReorderPicksSmallRelationFirst checks the planner's core
+// decision: with a tiny relation and a huge one in one segment, the
+// cost-based order starts from the tiny one even though the compiler's
+// static greedy order (which cannot see row counts) chose the other.
+func TestStatsReorderPicksSmallRelationFirst(t *testing.T) {
+	c := compileSrc(t, `
+edb big(X,Y), tiny(Y,Z), r(X,Z);
+proc go(:)
+  r(X,Z) := big(X,Y) & tiny(Y,Z).
+  return(:) := r(_,_).
+end
+`, Options{})
+	st := onlyStmt(t, c, "main.go")
+	stats := tableStats{
+		"big":  {Rows: 100000, Distinct: []int{1000, 2}},
+		"tiny": {Rows: 3, Distinct: []int{2, 3}},
+	}
+	pl := &Planner{Stats: stats, Reorder: true}
+	ps := pl.PlanStmt(st, nil)
+	got := physShape(ps.Steps[0].Ops)
+	want := []string{"match:tiny", "match:big"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("stats order = %v, want %v", got, want)
+	}
+	// The big match now runs with column Y bound; its clone must carry the
+	// re-derived mask while the shared logical op keeps the compile-time one.
+	bigOp := ps.Steps[0].Ops[1].Op.(*Match)
+	if bigOp.BoundMask == 0 {
+		t.Error("reordered big match should probe on the bound join column")
+	}
+	for _, op := range st.Steps[0].Pipe {
+		if m, ok := op.(*Match); ok && m == bigOp {
+			t.Error("physical plan must clone ops, not mutate the logical plan")
+		}
+	}
+	// Without Reorder the compiled order is kept but still annotated.
+	pl2 := &Planner{Stats: stats, Reorder: false}
+	ps2 := pl2.PlanStmt(st, nil)
+	got2 := physShape(ps2.Steps[0].Ops)
+	logical := pipeShape(st.Steps[0].Pipe)
+	if strings.Join(got2, ",") != strings.Join(logical, ",") {
+		t.Errorf("Reorder=false order = %v, want logical %v", got2, logical)
+	}
+}
+
+// TestPhysHintsMatchFinalMasks is the regression test for the executor's
+// index pre-build hints: after stats-driven reordering, every hint must
+// point at a *Match op in the physical op list whose final BoundMask equals
+// the hint's mask — a stale compile-time hint would pre-build the wrong
+// index (or probe an unbuilt one) after the order changed.
+func TestPhysHintsMatchFinalMasks(t *testing.T) {
+	c := compileSrc(t, `
+edb big(X,Y), tiny(Y,Z), other(X,W), r(X,Z);
+proc go(:)
+  r(W,Z) := big(X,Y) & tiny(Y,Z) & other(X,W) & !r(W,Z).
+  return(:) := r(_,_).
+end
+`, Options{})
+	st := onlyStmt(t, c, "main.go")
+	for name, stats := range map[string]tableStats{
+		"defaults": nil,
+		"skewed": {
+			"big":   {Rows: 50000, Distinct: []int{500, 2}},
+			"tiny":  {Rows: 2, Distinct: []int{2, 2}},
+			"other": {Rows: 400, Distinct: []int{400, 80}},
+		},
+		"inverse": {
+			"big":   {Rows: 2, Distinct: []int{2, 2}},
+			"tiny":  {Rows: 9000, Distinct: []int{10, 9000}},
+			"other": {Rows: 5, Distinct: []int{5, 5}},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			pl := &Planner{Stats: stats, Reorder: true}
+			for _, ps := range pl.PlanStmt(st, nil).Steps {
+				checkHints(t, ps)
+			}
+		})
+	}
+}
+
+func checkHints(t *testing.T, ps PhysStep) {
+	t.Helper()
+	want := map[int]uint32{}
+	for i, po := range ps.Ops {
+		if m, ok := po.Op.(*Match); ok && m.Rel.Name.IsGround() && m.BoundMask != 0 {
+			want[i] = m.BoundMask
+		}
+	}
+	got := map[int]uint32{}
+	for _, h := range ps.Hints {
+		m, ok := ps.Ops[h.Op].Op.(*Match)
+		if !ok {
+			t.Fatalf("hint %+v points at %T, want *Match", h, ps.Ops[h.Op].Op)
+		}
+		if m.BoundMask != h.Mask {
+			t.Fatalf("hint mask %b != op's final BoundMask %b at physical pos %d",
+				h.Mask, m.BoundMask, h.Op)
+		}
+		got[h.Op] = h.Mask
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hints cover %v, want every non-zero-mask match %v", got, want)
+	}
+}
+
+// TestProfileFeedbackOverridesModel checks the executor-feedback loop: an
+// observed selectivity replaces the static estimate when the op runs with
+// the mask it was measured under, and is ignored after the mask changes.
+func TestProfileFeedbackOverridesModel(t *testing.T) {
+	c := compileSrc(t, `
+edb a(X), b(X,Y), r(X,Y);
+proc go(:)
+  r(X,Y) := a(X) & b(X,Y).
+  return(:) := r(_,_).
+end
+`, Options{})
+	st := onlyStmt(t, c, "main.go")
+	pl := &Planner{Reorder: true}
+	base := pl.PlanStmt(st, nil)
+	prof := NewStmtProfile(st.Steps)
+	for k := range base.Steps {
+		for _, po := range base.Steps[k].Ops {
+			prof.Steps[k].Ops[po.LogIdx] = OpProfile{
+				In: 10, Out: 70, Mask: OpMask(po.Op),
+			}
+		}
+	}
+	fed := pl.PlanStmt(st, prof)
+	for _, po := range fed.Steps[0].Ops {
+		if !po.FromProfile {
+			t.Errorf("op %d: profile with matching mask not applied", po.LogIdx)
+		}
+		if po.Sel != 7 {
+			t.Errorf("op %d: Sel = %v, want observed 7", po.LogIdx, po.Sel)
+		}
+	}
+	// A mask mismatch (access path changed since measurement) must fall
+	// back to the static model.
+	for k := range prof.Steps {
+		for i := range prof.Steps[k].Ops {
+			prof.Steps[k].Ops[i].Mask ^= 1 << 20
+		}
+	}
+	stale := pl.PlanStmt(st, prof)
+	for _, po := range stale.Steps[0].Ops {
+		if po.FromProfile {
+			t.Errorf("op %d: stale profile (changed mask) applied", po.LogIdx)
+		}
+	}
+}
+
+// TestBoundInForwardPass checks the segment-entry bound sets the compiler
+// records for the physical planner: each segment's BoundIn must hold
+// exactly the registers bound by earlier segments.
+func TestBoundInForwardPass(t *testing.T) {
+	c := compileSrc(t, `
+edb temp(T), out(M,T);
+proc go(:)
+  out(M,T) := temp(T) & M = max(T).
+  return(:) := out(_,_).
+end
+`, Options{})
+	st := onlyStmt(t, c, "main.go")
+	if len(st.Steps) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(st.Steps))
+	}
+	if len(st.Steps[0].BoundIn) != 0 {
+		t.Errorf("segment 0 BoundIn = %v, want empty (sup_0 = {ε})", st.Steps[0].BoundIn)
+	}
+	if len(st.Steps[1].BoundIn) == 0 {
+		t.Error("segment 1 BoundIn empty; aggregate inputs should be bound")
+	}
+}
+
+// TestPlannerOrderIndependentResults checks the safety property the
+// reordering rests on (any runnable order yields the same rows) at the
+// plan level: every op appears exactly once, and each op's required
+// registers are bound by the ops placed before it.
+func TestPlannerOrderIndependentResults(t *testing.T) {
+	c := compileSrc(t, `
+edb a(X), b(X,Y), c(Y,Z), r(X,Z);
+proc go(:)
+  r(X,Z) := a(X) & b(X,Y) & c(Y,Z) & X != Z & !r(X,Z).
+  return(:) := r(_,_).
+end
+`, Options{})
+	st := onlyStmt(t, c, "main.go")
+	stats := tableStats{
+		"a": {Rows: 7, Distinct: []int{7}},
+		"b": {Rows: 900, Distinct: []int{30, 40}},
+		"c": {Rows: 13, Distinct: []int{5, 13}},
+	}
+	pl := &Planner{Stats: stats, Reorder: true}
+	ps := pl.PlanStmt(st, nil).Steps[0]
+	if len(ps.Ops) != len(st.Steps[0].Pipe) {
+		t.Fatalf("physical plan has %d ops, logical %d", len(ps.Ops), len(st.Steps[0].Pipe))
+	}
+	seen := map[int]bool{}
+	bound := map[int]bool{}
+	for _, r := range st.Steps[0].BoundIn {
+		bound[r] = true
+	}
+	for _, po := range ps.Ops {
+		if seen[po.LogIdx] {
+			t.Fatalf("logical op %d placed twice", po.LogIdx)
+		}
+		seen[po.LogIdx] = true
+		switch op := po.Op.(type) {
+		case *Match:
+			if op.Negated && len(op.Bind) > 0 {
+				t.Fatalf("negated match placed with unbound registers %v", op.Bind)
+			}
+		case *Compare:
+			if !exprBoundIn(op.L, bound) || !exprBoundIn(op.R, bound) {
+				t.Fatal("comparison placed before its registers are bound")
+			}
+		}
+		markOpBound(po.Op, bound)
+	}
+}

@@ -1147,6 +1147,48 @@ func finalize(st *Stmt, dedup bool) {
 		st.Steps[k].Hints = lookupHints(st.Steps[k].Pipe)
 		addPipe(st.Steps[k].Pipe)
 	}
+	// Forward pass: record the registers bound at entry to each step, so
+	// the physical planner can re-derive bound masks after reordering a
+	// step's pipe. Negated ops have empty Bind lists (all their registers
+	// are bound already), so unioning Bind across ops is exact.
+	bound := map[int]bool{}
+	for k := 0; k < n; k++ {
+		st.Steps[k].BoundIn = make([]int, 0, len(bound))
+		for r := range bound {
+			st.Steps[k].BoundIn = append(st.Steps[k].BoundIn, r)
+		}
+		sortInts(st.Steps[k].BoundIn)
+		for _, op := range st.Steps[k].Pipe {
+			switch op := op.(type) {
+			case *Match:
+				for _, r := range op.Bind {
+					bound[r] = true
+				}
+			case *DynMatch:
+				for _, r := range op.Bind {
+					bound[r] = true
+				}
+			case *MatchBind:
+				for _, r := range op.Bind {
+					bound[r] = true
+				}
+			}
+		}
+		switch b := st.Steps[k].Barrier.(type) {
+		case *Call:
+			for _, p := range b.FreeArgs {
+				for _, r := range p.Regs(nil) {
+					bound[r] = true
+				}
+			}
+		case *DynCall:
+			for _, r := range b.Bind {
+				bound[r] = true
+			}
+		case *Aggregate:
+			bound[b.Dest] = true
+		}
+	}
 }
 
 // lookupHints collects the bound-column masks of the statically named

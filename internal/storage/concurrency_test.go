@@ -143,3 +143,65 @@ func TestPrepareReadBelowThreshold(t *testing.T) {
 		t.Fatal("accumulated PrepareRead credit did not build the index")
 	}
 }
+
+// TestAdaptiveCreditAtomic hammers the adaptive credit counter itself: many
+// goroutines race single Lookups on a cold mask so the per-mask atomic
+// counter takes every increment concurrently. Exactly one index build must
+// result, and no credit may be lost — with adaptiveFactor scans' worth of
+// credit outstanding the index must exist afterwards. Run under -race this
+// is the regression test for the lock-free credit path.
+func TestAdaptiveCreditAtomic(t *testing.T) {
+	const goroutines = 32
+	for round := 0; round < 20; round++ {
+		stats := &Stats{}
+		rel := stressRelation(500, 25, IndexAdaptive, stats)
+		var ready, done sync.WaitGroup
+		start := make(chan struct{})
+		ready.Add(goroutines)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			go func() {
+				defer done.Done()
+				ready.Done()
+				<-start
+				key := term.Tuple{term.NewInt(int64(g % 25)), {}}
+				rel.Lookup(0b01, key, func(term.Tuple) bool { return true })
+			}()
+		}
+		ready.Wait()
+		close(start)
+		done.Wait()
+		if stats.IndexBuilds != 1 {
+			t.Fatalf("round %d: IndexBuilds = %d, want exactly 1", round, stats.IndexBuilds)
+		}
+		if !rel.HasIndex(0b01) {
+			t.Fatalf("round %d: index missing after %d concurrent lookups", round, goroutines)
+		}
+	}
+}
+
+// TestAdaptiveCreditNoLoss races exactly adaptiveFactor single-lookup
+// PrepareRead announcements: if any concurrent increment were lost, the
+// accumulated credit would fall short and no index would be built.
+func TestAdaptiveCreditNoLoss(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		rel := stressRelation(200, 10, IndexAdaptive, &Stats{})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < adaptiveFactor; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				rel.PrepareRead(0b01, 1)
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if !rel.HasIndex(0b01) {
+			t.Fatalf("round %d: %d racing announcements lost credit; index not built",
+				round, adaptiveFactor)
+		}
+	}
+}

@@ -192,6 +192,11 @@ func (r *layeredRel) PrepareRead(mask uint32, lookups int) {
 	r.inner.PrepareRead(mask, lookups)
 }
 
+func (r *layeredRel) DistinctEst(col int) int {
+	defer r.store.latch()()
+	return r.inner.DistinctEst(col)
+}
+
 func (r *layeredRel) UnionDiff(batch []term.Tuple) []term.Tuple {
 	var delta []term.Tuple
 	for _, t := range batch {

@@ -19,6 +19,7 @@
 package storage
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,95 @@ const (
 // index over a relation of n rows is built once roughly f*n rows have been
 // scanned on its behalf.
 const adaptiveFactor = 2
+
+// Column-distinct tracking: each column keeps an exact multiset of value
+// hashes while small, falling back to a fixed-size linear-counting sketch
+// once the exact map outgrows distinctExactLimit. The estimates drive the
+// physical planner's join-selectivity model, so they only need to be
+// roughly right — the sketch ignores deletions (estimates may stay high
+// until a Clear resets them), and 64-bit hash collisions conflate values
+// at a negligible rate.
+const (
+	// distinctExactLimit caps the exact per-column hash→multiplicity map.
+	distinctExactLimit = 256
+	// sketchBits is the linear-counting bitmap size (bits) used past the
+	// exact limit: estimate = -m·ln(zeroFraction), good to a few percent
+	// up to ~m distinct values.
+	sketchBits = 8192
+)
+
+// colStats estimates the number of distinct values in one column.
+type colStats struct {
+	exact  map[uint64]uint32 // value hash -> multiplicity, while small
+	sketch []uint64          // linear-counting bitmap once exact overflows
+	ones   int               // set bits in sketch
+}
+
+func (c *colStats) add(h uint64) {
+	if c.sketch == nil {
+		if c.exact == nil {
+			c.exact = make(map[uint64]uint32)
+		}
+		if _, ok := c.exact[h]; ok || len(c.exact) < distinctExactLimit {
+			c.exact[h]++
+			return
+		}
+		// Overflow: seed the sketch with the exact values, then fall through.
+		c.sketch = make([]uint64, sketchBits/64)
+		for eh := range c.exact {
+			c.set(eh)
+		}
+		c.exact = nil
+	}
+	c.set(h)
+}
+
+// mix64 is the splitmix64 finalizer: FNV's low bits are too regular on
+// short or sequential inputs for linear counting (the bitmap fills more
+// evenly than random, inflating the estimate), so the bit position is
+// drawn from a fully avalanched mix of the hash.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (c *colStats) set(h uint64) {
+	bit := mix64(h) % sketchBits
+	w, m := bit/64, uint64(1)<<(bit%64)
+	if c.sketch[w]&m == 0 {
+		c.sketch[w] |= m
+		c.ones++
+	}
+}
+
+func (c *colStats) remove(h uint64) {
+	if c.exact == nil {
+		return // sketches cannot forget; Clear resets them
+	}
+	if n, ok := c.exact[h]; ok {
+		if n <= 1 {
+			delete(c.exact, h)
+		} else {
+			c.exact[h] = n - 1
+		}
+	}
+}
+
+// estimate returns the distinct-value estimate for the column.
+func (c *colStats) estimate() int {
+	if c.sketch == nil {
+		return len(c.exact)
+	}
+	if c.ones >= sketchBits {
+		return sketchBits // saturated; a gross underestimate, but bounded
+	}
+	zero := float64(sketchBits-c.ones) / float64(sketchBits)
+	return int(-float64(sketchBits) * math.Log(zero))
+}
 
 // Stats accumulates back-end counters; a Store shares one Stats across its
 // relations so benchmarks can attribute work. Counters are updated with
@@ -100,6 +190,12 @@ type Rel interface {
 	// front, so a decided index is built once, sequentially, before the
 	// readers fan out rather than racing them.
 	PrepareRead(mask uint32, lookups int)
+	// DistinctEst estimates the number of distinct values in column col —
+	// exact while the column holds few distinct values, a fixed-size
+	// sketch estimate beyond that. The physical planner reads it at
+	// statement-prepare time (never concurrently with a writer, per the
+	// reader/writer contract above).
+	DistinctEst(col int) int
 	// UnionDiff inserts every tuple of batch and returns the sub-batch of
 	// tuples that were genuinely new — the delta needed by semi-naive
 	// evaluation (§10's uniondiff operator).
@@ -132,16 +228,22 @@ type Relation struct {
 	// journal, when non-nil, observes successful mutations (WAL capture);
 	// set through Store.SetJournal while no mutation is in flight.
 	journal Journal
+	// cols tracks per-column distinct-value estimates, maintained by the
+	// (single) writer on Insert/Delete/Clear and read by the physical
+	// planner between statements.
+	cols []colStats
 
 	// mu guards indexes, scanCredit, and onces so concurrent Lookups can
 	// share adaptive-index state. The write lock is held only for the
 	// short bookkeeping sections, never across a scan or an index build;
 	// builds are serialized per mask through onces so exactly one reader
 	// constructs an index while the others either wait on the Once or
-	// fall back to scanning.
+	// fall back to scanning. Scan-cost credit itself accumulates in atomic
+	// counters (mu only guards the map holding them), so concurrent morsel
+	// readers charge credit without losing or double-counting updates.
 	mu         sync.RWMutex
 	indexes    map[uint32]*hashIndex
-	scanCredit map[uint32]int64
+	scanCredit map[uint32]*atomic.Int64
 	onces      map[uint32]*sync.Once
 }
 
@@ -161,6 +263,7 @@ func NewRelation(name term.Value, arity int, policy IndexPolicy, stats *Stats) *
 		buckets: make(map[uint64][]int),
 		policy:  policy,
 		stats:   stats,
+		cols:    make([]colStats, arity),
 	}
 }
 
@@ -175,6 +278,14 @@ func (r *Relation) Len() int { return r.n }
 
 // Version implements Rel.
 func (r *Relation) Version() uint64 { return r.version }
+
+// DistinctEst implements Rel.
+func (r *Relation) DistinctEst(col int) int {
+	if col < 0 || col >= len(r.cols) {
+		return 0
+	}
+	return r.cols[col].estimate()
+}
 
 // Insert implements Rel.
 func (r *Relation) Insert(t term.Tuple) bool {
@@ -192,6 +303,11 @@ func (r *Relation) Insert(t term.Tuple) bool {
 	r.tuples = append(r.tuples, t)
 	r.n++
 	r.version++
+	for i := range t {
+		if i < len(r.cols) {
+			r.cols[i].add(t[i].Hash())
+		}
+	}
 	atomic.AddInt64(&r.stats.Inserts, 1)
 	for _, ix := range r.indexes {
 		ix.add(t)
@@ -225,6 +341,11 @@ func (r *Relation) Delete(t term.Tuple) bool {
 		}
 		r.n--
 		r.version++
+		for ci := range u {
+			if ci < len(r.cols) {
+				r.cols[ci].remove(u[ci].Hash())
+			}
+		}
 		atomic.AddInt64(&r.stats.Deletes, 1)
 		for _, ix := range r.indexes {
 			ix.remove(u)
@@ -277,6 +398,7 @@ func (r *Relation) Clear() {
 	r.n = 0
 	r.dead = 0
 	r.version++
+	r.cols = make([]colStats, r.arity)
 	r.mu.Lock()
 	r.indexes = nil
 	r.scanCredit = nil
@@ -372,39 +494,58 @@ func (r *Relation) index(mask uint32) *hashIndex {
 
 // creditScan charges `scans` full scans' worth of rows toward adaptive
 // index construction on mask. When the policy decides the index should now
-// exist it returns the per-mask build guard; nil means keep scanning.
+// exist it returns the per-mask build guard; nil means keep scanning. The
+// credit itself lives in an atomic counter, so concurrent morsel readers
+// accrue it without losing or double-counting updates; mu is held only to
+// look up or install the counter and the build guard.
 func (r *Relation) creditScan(mask uint32, scans int64) *sync.Once {
-	build := false
-	r.mu.Lock()
+	r.mu.RLock()
 	if _, ok := r.indexes[mask]; ok {
 		// Published while we were deciding: return the (completed) build
 		// guard so the caller re-reads the index instead of rebuilding.
 		once := r.onces[mask]
-		r.mu.Unlock()
+		r.mu.RUnlock()
 		return once
 	}
+	c := r.scanCredit[mask]
+	r.mu.RUnlock()
 	switch r.policy {
+	case IndexNever:
+		return nil
 	case IndexAlways:
-		build = true
-	case IndexAdaptive:
-		if r.scanCredit == nil {
-			r.scanCredit = make(map[uint32]int64)
-		}
-		r.scanCredit[mask] += scans * int64(r.n)
-		build = r.scanCredit[mask] >= adaptiveFactor*int64(r.n)
+		return r.buildGuard(mask)
 	}
-	var once *sync.Once
-	if build {
-		if r.onces == nil {
-			r.onces = make(map[uint32]*sync.Once)
+	if c == nil {
+		r.mu.Lock()
+		if c = r.scanCredit[mask]; c == nil {
+			if r.scanCredit == nil {
+				r.scanCredit = make(map[uint32]*atomic.Int64)
+			}
+			c = new(atomic.Int64)
+			r.scanCredit[mask] = c
 		}
-		once = r.onces[mask]
-		if once == nil {
-			once = new(sync.Once)
-			r.onces[mask] = once
-		}
+		r.mu.Unlock()
 	}
-	r.mu.Unlock()
+	if c.Add(scans*int64(r.n)) >= adaptiveFactor*int64(r.n) {
+		return r.buildGuard(mask)
+	}
+	return nil
+}
+
+// buildGuard returns the per-mask sync.Once that serializes index builds,
+// creating it if needed. If the index was published meanwhile, the existing
+// (completed) guard is returned so callers re-read instead of rebuilding.
+func (r *Relation) buildGuard(mask uint32) *sync.Once {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.onces == nil {
+		r.onces = make(map[uint32]*sync.Once)
+	}
+	once := r.onces[mask]
+	if once == nil {
+		once = new(sync.Once)
+		r.onces[mask] = once
+	}
 	return once
 }
 

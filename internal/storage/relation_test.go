@@ -366,3 +366,52 @@ func TestQuickIndexedLookupMatchesScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDistinctEstExact checks the per-column distinct estimates while the
+// exact multiset is in range: inserts, duplicate values, deletes, and Clear
+// must all be reflected precisely.
+func TestDistinctEstExact(t *testing.T) {
+	rel := NewRelation(term.NewString("d"), 2, IndexNever, &Stats{})
+	for i := 0; i < 100; i++ {
+		rel.Insert(term.Tuple{term.NewInt(int64(i % 5)), term.NewInt(int64(i))})
+	}
+	if got := rel.DistinctEst(0); got != 5 {
+		t.Fatalf("DistinctEst(0) = %d, want 5", got)
+	}
+	if got := rel.DistinctEst(1); got != 100 {
+		t.Fatalf("DistinctEst(1) = %d, want 100", got)
+	}
+	// Deleting one row of a duplicated value keeps the value counted;
+	// deleting all rows with value 4 drops it.
+	rel.Delete(term.Tuple{term.NewInt(0), term.NewInt(0)})
+	if got := rel.DistinctEst(0); got != 5 {
+		t.Fatalf("after one delete DistinctEst(0) = %d, want 5", got)
+	}
+	for i := 4; i < 100; i += 5 {
+		rel.Delete(term.Tuple{term.NewInt(4), term.NewInt(int64(i))})
+	}
+	if got := rel.DistinctEst(0); got != 4 {
+		t.Fatalf("after deleting value 4 DistinctEst(0) = %d, want 4", got)
+	}
+	rel.Clear()
+	if got := rel.DistinctEst(0); got != 0 {
+		t.Fatalf("after Clear DistinctEst(0) = %d, want 0", got)
+	}
+	if got := rel.DistinctEst(7); got != 0 {
+		t.Fatalf("out-of-range column estimated %d, want 0", got)
+	}
+}
+
+// TestDistinctEstSketch pushes a column past the exact limit and checks the
+// linear-counting fallback stays within a loose relative error.
+func TestDistinctEstSketch(t *testing.T) {
+	rel := NewRelation(term.NewString("d"), 1, IndexNever, &Stats{})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		rel.Insert(term.Tuple{term.NewInt(int64(i))})
+	}
+	got := rel.DistinctEst(0)
+	if got < n*8/10 || got > n*12/10 {
+		t.Fatalf("sketch estimate %d for %d distinct values (want within 20%%)", got, n)
+	}
+}

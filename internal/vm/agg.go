@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gluenail/internal/ast"
 	"gluenail/internal/plan"
@@ -142,6 +143,12 @@ func aggregate(op string, vals []term.Value) (term.Value, error) {
 				allInt = false
 			}
 		}
+		// Canonical fold order: floating-point folds are not associative,
+		// and the row order within a group depends on the join order the
+		// physical planner chose. Sorting the values first makes every
+		// ordering (textual, greedy, stats-driven) produce bit-identical
+		// aggregates.
+		sort.Float64s(fs)
 		switch op {
 		case "sum":
 			s := 0.0

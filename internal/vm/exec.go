@@ -18,7 +18,15 @@ type stmtState struct {
 
 func (f *frame) execStmt(st *plan.Stmt) error {
 	atomic.AddInt64(&f.m.Stats.StmtsExecuted, 1)
-	rows, err := f.runSteps(st.NRegs, st.Steps)
+	// Re-plan on every execution: planning is O(ops²) over live statistics,
+	// so repeat-loop iterations adapt their op order as semi-naive deltas
+	// shrink, and observed selectivities from earlier executions feed the
+	// cost model.
+	prof := f.m.profileFor(st)
+	pp := f.planner().PlanStmt(st, prof)
+	f.m.lastPhys[st] = pp
+	prof.Execs++
+	rows, err := f.runSteps(st.NRegs, pp.Steps, prof)
 	if err == nil {
 		if f.m.Trace != nil {
 			f.m.tracef("  [%s] %s -> %d row(s)", f.proc.ID, st.Label, len(rows))
@@ -32,7 +40,8 @@ func (f *frame) execStmt(st *plan.Stmt) error {
 }
 
 func (f *frame) evalCond(c *plan.Cond) (bool, error) {
-	rows, err := f.runSteps(c.NRegs, c.Steps)
+	psteps := f.planner().PlanSteps(c.Steps, nil)
+	rows, err := f.runSteps(c.NRegs, psteps, nil)
 	if err != nil {
 		return false, err
 	}
@@ -42,25 +51,30 @@ func (f *frame) evalCond(c *plan.Cond) (bool, error) {
 // runSteps executes the pipeline segments over the supplementary relation,
 // starting from sup_0 = {ε}. Execution stops early when a supplementary
 // relation becomes empty (§3.2), skipping any remaining side effects.
-func (f *frame) runSteps(nregs int, steps []plan.Step) ([][]term.Value, error) {
+// prof (may be nil) accumulates per-op tuple counters.
+func (f *frame) runSteps(nregs int, steps []plan.PhysStep, prof *plan.StmtProfile) ([][]term.Value, error) {
 	rows := [][]term.Value{make([]term.Value, nregs)}
 	state := &stmtState{}
 	for i := range steps {
 		step := &steps[i]
+		var sprof *plan.StepProfile
+		if prof != nil && i < len(prof.Steps) {
+			sprof = &prof.Steps[i]
+		}
 		var err error
-		rows, err = f.runPipe(step, rows, nregs)
+		rows, err = f.runPipe(step, rows, sprof)
 		if err != nil {
 			return nil, err
 		}
 		if len(rows) == 0 {
 			return nil, nil
 		}
-		if step.Dedup {
-			rows = f.dedupRows(rows, step.LiveRegs)
+		if step.Step.Dedup {
+			rows = f.dedupRows(rows, step.Step.LiveRegs)
 		}
-		if step.Barrier != nil {
+		if step.Step.Barrier != nil {
 			atomic.AddInt64(&f.m.Stats.PipelineBreaks, 1)
-			rows, err = f.applyBarrier(step.Barrier, rows, state)
+			rows, err = f.applyBarrier(step.Step.Barrier, rows, state)
 			if err != nil {
 				return nil, err
 			}
@@ -87,10 +101,14 @@ func cloneRow(row []term.Value) []term.Value {
 // enough rows and the machine allows more than one worker, execution fans
 // out over morsels (parallel.go); small segments keep the exact
 // single-threaded path so micro-queries pay no goroutine overhead.
-func (f *frame) runPipe(step *plan.Step, rows [][]term.Value, nregs int) ([][]term.Value, error) {
-	ops := step.Pipe
-	if len(ops) == 0 {
+func (f *frame) runPipe(step *plan.PhysStep, rows [][]term.Value, sprof *plan.StepProfile) ([][]term.Value, error) {
+	pops := step.Ops
+	if len(pops) == 0 {
 		return rows, nil
+	}
+	ops := make([]plan.PipeOp, len(pops))
+	for i := range pops {
+		ops[i] = pops[i].Op
 	}
 	rels := make([]storage.Rel, len(ops))
 	have := make([]bool, len(ops))
@@ -103,9 +121,28 @@ func (f *frame) runPipe(step *plan.Step, rows [][]term.Value, nregs int) ([][]te
 			rels[i], have[i] = rel, true
 		}
 	}
+	// cnt[i] counts tuples entering op i; cnt[len(ops)] counts segment
+	// output. The flush attributes them to each op's logical index, so
+	// feedback stays attached across re-orderings.
+	cnt := make([]int64, len(ops)+1)
+	defer func() {
+		if sprof == nil {
+			return
+		}
+		for j := range pops {
+			if pops[j].LogIdx >= len(sprof.Ops) {
+				continue
+			}
+			op := &sprof.Ops[pops[j].LogIdx]
+			op.In += cnt[j]
+			op.Out += cnt[j+1]
+			op.Mask = plan.OpMask(pops[j].Op)
+		}
+	}()
 	if f.m.Materialized {
 		cur := rows
 		for i, op := range ops {
+			cnt[i] += int64(len(cur))
 			out, err := f.materializeOp(op, rels[i], have[i], cur)
 			if err != nil {
 				return nil, err
@@ -115,17 +152,19 @@ func (f *frame) runPipe(step *plan.Step, rows [][]term.Value, nregs int) ([][]te
 				return nil, nil
 			}
 		}
+		cnt[len(ops)] += int64(len(cur))
 		return cur, nil
 	}
 	if workers := f.m.workerCount(); workers > 1 {
 		thr := f.m.fanOutThreshold()
 		if projectedRows(ops, rels, have, len(rows), thr) >= thr {
-			return f.runPipeParallel(step, rels, have, rows, workers)
+			return f.runPipeParallel(step, ops, rels, have, rows, workers, sprof, cnt)
 		}
 	}
 	var out [][]term.Value
 	var rec func(i int, row []term.Value) error
 	rec = func(i int, row []term.Value) error {
+		cnt[i]++
 		if i == len(ops) {
 			out = append(out, cloneRow(row))
 			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)

@@ -64,6 +64,12 @@ type Machine struct {
 	// segments stay sequential so micro-queries don't pay goroutine
 	// overhead.
 	ParallelThreshold int
+	// StatsOrdering enables cost-based reordering of each segment's pipe
+	// ops at statement-prepare time, driven by live relation statistics and
+	// observed per-op selectivities; New enables it. Disabled, the compiled
+	// (greedy or textual) op order executes — still through the
+	// physical-plan layer, so instrumentation is identical.
+	StatsOrdering bool
 	// Trace, when non-nil, receives one line per statement execution and
 	// procedure call — the executor's narration of §3.2's evaluation.
 	Trace io.Writer
@@ -77,6 +83,13 @@ type Machine struct {
 
 	frameID   uint64
 	callDepth int
+	// profiles accumulates per-statement execution feedback (per-op tuple
+	// counts); lastPhys remembers the physical plan each statement last
+	// executed with. Both are touched only by the executing goroutine —
+	// statement-level execution is sequential, parallelism lives inside
+	// segments.
+	profiles map[*plan.Stmt]*plan.StmtProfile
+	lastPhys map[*plan.Stmt]*plan.PhysPlan
 }
 
 // New returns a machine over the program and EDB store, with frame-local
@@ -90,13 +103,59 @@ func New(prog *plan.Program, edb, temp storage.Store, reg *Registry) *Machine {
 		reg = NewRegistry()
 	}
 	return &Machine{
-		Prog:     prog,
-		EDB:      edb,
-		Temp:     temp,
-		Builtins: reg,
-		Out:      os.Stdout,
-		In:       bufio.NewReader(strings.NewReader("")),
+		Prog:          prog,
+		EDB:           edb,
+		Temp:          temp,
+		Builtins:      reg,
+		Out:           os.Stdout,
+		In:            bufio.NewReader(strings.NewReader("")),
+		StatsOrdering: true,
+		profiles:      make(map[*plan.Stmt]*plan.StmtProfile),
+		lastPhys:      make(map[*plan.Stmt]*plan.PhysPlan),
 	}
+}
+
+// ResetProfiles clears the accumulated per-op execution counters and the
+// cached physical plans, so EXPLAIN ANALYZE measures exactly one run.
+func (m *Machine) ResetProfiles() {
+	m.profiles = make(map[*plan.Stmt]*plan.StmtProfile)
+	m.lastPhys = make(map[*plan.Stmt]*plan.PhysPlan)
+}
+
+// profileFor returns (allocating on first use) the feedback profile of a
+// statement.
+func (m *Machine) profileFor(st *plan.Stmt) *plan.StmtProfile {
+	p := m.profiles[st]
+	if p == nil {
+		p = plan.NewStmtProfile(st.Steps)
+		m.profiles[st] = p
+	}
+	return p
+}
+
+// planner builds the frame's physical planner: statistics resolve against
+// the frame's relation namespace (locals shadow the EDB), so repeat-loop
+// re-planning sees semi-naive deltas shrink.
+func (f *frame) planner() *plan.Planner {
+	return &plan.Planner{Stats: f, Reorder: f.m.StatsOrdering}
+}
+
+// RelStats implements plan.StatsSource for statement-prepare-time planning.
+// Never called concurrently with a writer: planning happens between
+// statements, on the executing goroutine.
+func (f *frame) RelStats(ref plan.RelRef) (plan.RelEstimate, bool) {
+	if !ref.Name.IsGround() {
+		return plan.RelEstimate{}, false
+	}
+	rel, err := f.resolveRead(ref, nil)
+	if err != nil || rel == nil {
+		return plan.RelEstimate{}, false
+	}
+	re := plan.RelEstimate{Rows: rel.Len(), Distinct: make([]int, rel.Arity())}
+	for i := range re.Distinct {
+		re.Distinct[i] = rel.DistinctEst(i)
+	}
+	return re, true
 }
 
 // RuntimeError wraps an execution failure with procedure context.

@@ -15,6 +15,7 @@ package vm
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gluenail/internal/plan"
 	"gluenail/internal/storage"
@@ -132,14 +133,18 @@ func (f *frame) materializeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 // A sequential prefix of ops first expands the supplementary relation until
 // it is big enough to split (typically the leading relation scan — the
 // driver table of the morsel model); decided indexes for the remaining ops
-// are pre-built via PrepareRead so workers never race an adaptive index
-// build; then the remaining ops run per worker over disjoint morsels.
-func (f *frame) runPipeParallel(step *plan.Step, rels []storage.Rel, have []bool,
-	rows [][]term.Value, workers int) ([][]term.Value, error) {
-	ops := step.Pipe
+// are pre-built via the physical plan's hints (masks re-derived for the
+// executed order) so workers never race an adaptive index build; then the
+// remaining ops run per worker over disjoint morsels. cnt is the caller's
+// per-op tuple counter array (len(ops)+1): the prefix accounts whole row
+// sets, morsel workers merge their local counters with atomic adds.
+func (f *frame) runPipeParallel(step *plan.PhysStep, ops []plan.PipeOp,
+	rels []storage.Rel, have []bool, rows [][]term.Value, workers int,
+	sprof *plan.StepProfile, cnt []int64) ([][]term.Value, error) {
 	thr := f.m.fanOutThreshold()
 	start := 0
 	for start < len(ops) && len(rows) < thr {
+		cnt[start] += int64(len(rows))
 		out, err := f.materializeOp(ops[start], rels[start], have[start], rows)
 		if err != nil {
 			return nil, err
@@ -151,13 +156,19 @@ func (f *frame) runPipeParallel(step *plan.Step, rels []storage.Rel, have []bool
 		}
 	}
 	if start == len(ops) {
+		cnt[len(ops)] += int64(len(rows))
 		return rows, nil
 	}
+	buildStart := time.Now()
 	for _, h := range step.Hints {
 		if h.Op >= start && have[h.Op] && rels[h.Op] != nil {
 			rels[h.Op].PrepareRead(h.Mask, len(rows))
 		}
 	}
+	if sprof != nil {
+		sprof.BuildNs += time.Since(buildStart).Nanoseconds()
+	}
+	opBase := start
 	ops, rels, have = ops[start:], rels[start:], have[start:]
 
 	ms := morsels(len(rows), workers)
@@ -170,8 +181,10 @@ func (f *frame) runPipeParallel(step *plan.Step, rels []storage.Rel, have []bool
 		}
 		var out [][]term.Value
 		var stored int64
+		local := make([]int64, len(ops)+1)
 		var rec func(i int, row []term.Value) error
 		rec = func(i int, row []term.Value) error {
+			local[i]++
 			if i == len(ops) {
 				out = append(out, cloneRow(row))
 				stored++
@@ -188,6 +201,11 @@ func (f *frame) runPipeParallel(step *plan.Step, rels []storage.Rel, have []bool
 			}
 		}
 		results[mi] = out
+		for i, c := range local {
+			if c != 0 {
+				atomic.AddInt64(&cnt[opBase+i], c)
+			}
+		}
 		atomic.AddInt64(&f.m.Stats.TuplesMaterialized, stored)
 	})
 	total := 0
