@@ -337,3 +337,34 @@ func BenchmarkF1CadSelect(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE13HashKernels measures the tuple-level hot paths — duplicate
+// elimination inside a semi-naive repeat loop, aggregation grouping, and
+// head-insert probes — on a dedup-heavy transitive-closure + group-by
+// workload over string-labelled nodes. Reported allocs/op is the headline
+// metric (BENCH_E13.json, EXPERIMENTS.md): the hash-first kernels must
+// hold it at a fraction of the string-key baseline. The string-key variant
+// runs the legacy materializing kernels for comparison.
+func BenchmarkE13HashKernels(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []gluenail.Option
+	}{
+		{"hash-first/seq", nil},
+		{"hash-first/4-workers", []gluenail.Option{
+			gluenail.WithParallelism(4), gluenail.WithParallelThreshold(64),
+		}},
+		{"string-key/seq", []gluenail.Option{gluenail.WithStringKeyKernels()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := bench.NewTCGroupSystem(120, 240, 7, mode.opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bench.RunTCGroup(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"text/tabwriter"
 	"time"
 
@@ -28,11 +31,40 @@ var (
 	workers = flag.Int("workers", 0, "max worker count swept by E10 (0 = GOMAXPROCS)")
 	dataDir = flag.String("data-dir", "", "directory for E11's durable stores (default: a temp dir; point at a real disk to measure its fsync cost)")
 	fsyncE  = flag.String("fsync", "", "restrict E11 to one WAL fsync mode: always, batch, or none (default: sweep all)")
+	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	sel := flag.String("e", "", "comma-separated experiments to run (default all)")
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "glbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "glbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "glbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "glbench: memprofile:", err)
+			}
+		}()
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*sel, ",") {
 		if e != "" {
@@ -45,7 +77,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
-		{"E11", e11}, {"E12", e12}, {"F1", f1}, {"A1", a1},
+		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -316,6 +348,87 @@ func e12() {
 	table("E12: statistics-driven physical ordering (skewed join, identical results)",
 		`§3.1 makes subgoal ordering the central optimisation; static scores cannot tell a 4-row probe from an 80k-row scan — live statistics can`,
 		[]string{"big rows", "textual ms", "greedy ms", "stats ms", "textual/stats"}, rows)
+}
+
+// e13 measures the hash-first tuple kernels (interned atoms, cached row
+// hashes, open-addressing dedup/group/probe tables) against the legacy
+// string-key kernels on the dedup-heavy closure + group-by workload.
+// Allocations per run are the headline metric — the kernels exist to stop
+// materializing a key string per row — and the runs are recorded in
+// BENCH_E13.json so CI can track them. All variants must produce
+// byte-identical results.
+func e13() {
+	const n, m, seed = 120, 240, 7
+	modes := []struct {
+		name string
+		opts []gluenail.Option
+	}{
+		{"hash-first/seq", nil},
+		{"hash-first/4-workers", []gluenail.Option{
+			gluenail.WithParallelism(4), gluenail.WithParallelThreshold(64),
+		}},
+		{"string-key/seq", []gluenail.Option{gluenail.WithStringKeyKernels()}},
+	}
+	type rec struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+	}
+	var recs []rec
+	var rows [][]string
+	var ref string
+	for _, mode := range modes {
+		sys := bench.NewTCGroupSystem(n, m, seed, mode.opts...)
+		check(bench.RunTCGroup(sys))
+		got, err := bench.TCGroupResult(sys)
+		check(err)
+		if ref == "" {
+			ref = got
+		} else if got != ref {
+			check(fmt.Errorf("E13: %s changed the reach relation", mode.name))
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				check(bench.RunTCGroup(sys))
+			}
+		})
+		recs = append(recs, rec{
+			Name:        mode.name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		rows = append(rows, []string{
+			mode.name,
+			ms(time.Duration(res.NsPerOp())),
+			fmt.Sprint(res.AllocsPerOp()),
+			fmt.Sprint(res.AllocedBytesPerOp()),
+		})
+	}
+	last := &recs[len(recs)-1]
+	rows[len(rows)-1] = append(rows[len(rows)-1],
+		fmt.Sprintf("%.2fx", float64(last.AllocsPerOp)/float64(recs[0].AllocsPerOp)))
+	for i := range rows[:len(rows)-1] {
+		rows[i] = append(rows[i], "-")
+	}
+	table("E13: hash-first hot-path kernels (closure + group-by, identical results)",
+		`§10 reports evaluation cost dominated by low-level tuple operations; encoding a key string per row for dedup/group/probe was exactly such a cost`,
+		[]string{"kernels", "time/op", "allocs/op", "bytes/op", "allocs vs hash-first/seq"}, rows)
+	out := struct {
+		Experiment string `json:"experiment"`
+		Workload   string `json:"workload"`
+		Modes      []rec  `json:"modes"`
+	}{
+		Experiment: "E13 hash-first hot-path kernels",
+		Workload:   fmt.Sprintf("transitive closure + group_by count, %d string nodes, %d edges", n, m),
+		Modes:      recs,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_E13.json", append(data, '\n'), 0o644))
+	fmt.Println("   wrote BENCH_E13.json")
 }
 
 func a1() {

@@ -22,6 +22,8 @@
 //	-naive        use naive instead of semi-naive evaluation
 //	-no-magic     disable magic-set rewriting
 //	-workers n    worker pool size for intra-segment parallelism
+//	-cpuprofile f write a CPU profile to f (inspect with go tool pprof)
+//	-memprofile f write a heap profile to f on exit
 package main
 
 import (
@@ -29,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,6 +63,8 @@ func run() error {
 		trace       = flag.Bool("trace", false, "trace statement execution to stderr")
 		stats       = flag.Bool("stats", false, "print executor statistics after the run")
 		workers     = flag.Int("workers", 0, "worker pool size for intra-segment parallelism (0 = GOMAXPROCS)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	var loadCSVs, saveCSVs []string
 	flag.Func("load-csv", "load rel=file.csv into the EDB (repeatable)", func(v string) error {
@@ -72,6 +78,31 @@ func run() error {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		return fmt.Errorf("no source files; usage: gluenail [flags] file.glue...")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gluenail: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gluenail: memprofile:", err)
+			}
+		}()
 	}
 	var opts []gluenail.Option
 	opts = append(opts, gluenail.WithOutput(os.Stdout), gluenail.WithInput(os.Stdin))

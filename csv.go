@@ -39,7 +39,7 @@ func (s *System) LoadCSV(relation string, r io.Reader) error {
 		n++
 		if arity == -1 {
 			arity = len(rec)
-			rel = s.edb.Ensure(term.NewString(relation), arity)
+			rel = s.edb.Ensure(term.Intern(relation), arity)
 		}
 		if len(rec) != arity {
 			return fmt.Errorf("gluenail: csv %s record %d has %d fields, want %d",
@@ -67,7 +67,7 @@ func (s *System) LoadCSVFile(relation, path string) error {
 // a string and are stripped.
 func csvValue(f string) term.Value {
 	if len(f) >= 2 && f[0] == '\'' && f[len(f)-1] == '\'' {
-		return term.NewString(f[1 : len(f)-1])
+		return term.Intern(f[1 : len(f)-1])
 	}
 	if i, err := strconv.ParseInt(f, 10, 64); err == nil {
 		return term.NewInt(i)
@@ -75,14 +75,14 @@ func csvValue(f string) term.Value {
 	if x, err := strconv.ParseFloat(f, 64); err == nil {
 		return term.NewFloat(x)
 	}
-	return term.NewString(f)
+	return term.Intern(f)
 }
 
 // SaveCSV writes the named relation's tuples to w as CSV, sorted, one field
 // per column. Compound values render in source syntax; strings that would
 // re-load as numbers are single-quoted so a round trip preserves types.
 func (s *System) SaveCSV(relation string, arity int, w io.Writer) error {
-	rel, ok := s.edb.Get(term.NewString(relation), arity)
+	rel, ok := s.edb.Get(term.Intern(relation), arity)
 	if !ok {
 		return fmt.Errorf("gluenail: no relation %s/%d", relation, arity)
 	}

@@ -41,6 +41,7 @@ var allConfigs = map[string][]Option{
 	"naive":        {WithNaiveEvaluation()},
 	"no-narrow":    {WithoutDispatchNarrowing()},
 	"layered":      {WithLayeredBackend()},
+	"string-keys":  {WithStringKeyKernels()},
 }
 
 func TestQuickClosureMatchesReference(t *testing.T) {

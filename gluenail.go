@@ -57,7 +57,7 @@ func Int(i int64) Value { return term.NewInt(i) }
 func Float(f float64) Value { return term.NewFloat(f) }
 
 // Str builds a string/atom value.
-func Str(s string) Value { return term.NewString(s) }
+func Str(s string) Value { return term.Intern(s) }
 
 // Compound builds a compound term with an atom functor, e.g.
 // Compound("students", Str("cs99")) is the set name students(cs99).
@@ -78,6 +78,7 @@ type config struct {
 	parallelism  int
 	parThreshold int
 	greedyOrder  bool
+	stringKeys   bool
 	planOpts     plan.Options
 	durDir       string
 	fsync        FsyncMode
@@ -129,6 +130,13 @@ func WithoutReordering() Option {
 func WithGreedyOrdering() Option {
 	return func(c *config) { c.greedyOrder = true }
 }
+
+// WithStringKeyKernels runs duplicate elimination, aggregation grouping,
+// and call-barrier probing on the legacy string-key kernels (every row
+// encoded into a freshly allocated map key) instead of the hash-first
+// open-addressing kernels — the E13 ablation baseline. Results are
+// byte-identical either way.
+func WithStringKeyKernels() Option { return func(c *config) { c.stringKeys = true } }
 
 // WithoutMagicSets disables magic-set rewriting of bound NAIL! calls (E9
 // baseline).
@@ -423,7 +431,7 @@ func (s *System) ensure() error {
 		}
 		for _, m := range p.Modules {
 			for _, fact := range modsys.ExtractEDBFacts(m) {
-				s.edb.Ensure(term.NewString(fact.Name), len(fact.Tuple)).Insert(fact.Tuple)
+				s.edb.Ensure(term.Intern(fact.Name), len(fact.Tuple)).Insert(fact.Tuple)
 			}
 			if m.Name == "main" {
 				if mainMod == nil {
@@ -469,6 +477,7 @@ func (s *System) ensure() error {
 	s.machine.LoopLimit = s.cfg.loopLimit
 	s.machine.Parallelism = s.cfg.parallelism
 	s.machine.ParallelThreshold = s.cfg.parThreshold
+	s.machine.StringKeyKernels = s.cfg.stringKeys
 	// Textual and greedy orderings are ablations: both must execute the
 	// compiled op order, so either disables run-time reordering.
 	s.machine.StatsOrdering = !s.cfg.greedyOrder && !s.cfg.planOpts.NoReorder
@@ -493,7 +502,7 @@ func toValue(v any) (Value, error) {
 	case float64:
 		return term.NewFloat(v), nil
 	case string:
-		return term.NewString(v), nil
+		return term.Intern(v), nil
 	}
 	return Value{}, fmt.Errorf("gluenail: cannot convert %T to a value", v)
 }

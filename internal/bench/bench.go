@@ -660,6 +660,75 @@ func SkewJoinResult(sys *gluenail.System) (string, error) {
 	return sb.String(), nil
 }
 
+// ---------- E13: hash-first hot-path kernels ----------
+
+// tcGroupProgram is the E13 workload: hand-written semi-naive transitive
+// closure followed by a group-by count. Every repeat iteration funnels the
+// join output through duplicate elimination (the projection X,Z has one
+// row per path), the closure feeds an aggregation grouping, and the head
+// inserts probe the tc relation — together the tuple-level hot paths the
+// hash-first data layer (interned atoms, cached row hashes,
+// open-addressing kernels) attacks.
+const tcGroupProgram = `
+edb edge(X,Y), reach(X,C);
+proc spread(:)
+rels tc(X,Y), delta(X,Y), nxt(X,Y);
+  tc(X,Y) := edge(X,Y).
+  delta(X,Y) := edge(X,Y).
+  repeat
+    nxt(X,Z) := delta(X,Y) & edge(Y,Z) & !tc(X,Z).
+    tc(X,Z) += nxt(X,Z).
+    delta(X,Z) := nxt(X,Z).
+  until empty(nxt(_,_));
+  reach(X,C) := tc(X,Y) & group_by(X) & C = count(Y).
+  return(:) := reach(_,_).
+end
+`
+
+// NewTCGroupSystem builds the E13 system: a random graph over n
+// string-labelled nodes (atoms, so tuple hashing exercises the string
+// path) with m edges.
+func NewTCGroupSystem(n, m int, seed int64, opts ...gluenail.Option) *gluenail.System {
+	sys := gluenail.New(opts...)
+	if err := sys.Load(tcGroupProgram); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]any, 0, m)
+	for i := 0; i < m; i++ {
+		rows = append(rows, []any{
+			fmt.Sprintf("n%03d", rng.Intn(n)),
+			fmt.Sprintf("n%03d", rng.Intn(n)),
+		})
+	}
+	must(sys.Assert("edge", rows...))
+	return sys
+}
+
+// RunTCGroup executes the closure + group-by procedure once.
+func RunTCGroup(sys *gluenail.System) error {
+	_, err := sys.Call("main", "spread")
+	return err
+}
+
+// TCGroupResult renders the reach relation in sorted order, for checking
+// that kernel variants and worker counts agree byte-for-byte.
+func TCGroupResult(sys *gluenail.System) (string, error) {
+	rows, err := sys.Relation("reach", 2)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, row := range rows {
+		for _, v := range row {
+			sb.WriteString(v.String())
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String(), nil
+}
+
 func must(err error) {
 	if err != nil {
 		panic(err)

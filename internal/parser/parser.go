@@ -481,7 +481,7 @@ func (p *parser) parseAssign() (ast.Stmt, error) {
 			a.HeadBound = 0
 		}
 		a.Head = &ast.AtomTerm{
-			Pred: &ast.Const{Val: term.NewString("return"), Pos: pos},
+			Pred: &ast.Const{Val: term.Intern("return"), Pos: pos},
 			Args: args, Pos: pos,
 		}
 	} else {
@@ -875,11 +875,11 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 		return &ast.TermExpr{T: &ast.Const{Val: term.NewFloat(t.F), Pos: pos}}, nil
 	case lexer.Str:
 		p.next()
-		e := ast.Expr(&ast.TermExpr{T: &ast.Const{Val: term.NewString(t.Text), Pos: pos}})
+		e := ast.Expr(&ast.TermExpr{T: &ast.Const{Val: term.Intern(t.Text), Pos: pos}})
 		return p.parseApplications(e)
 	case lexer.Ident:
 		p.next()
-		e := ast.Expr(&ast.TermExpr{T: &ast.Const{Val: term.NewString(t.Text), Pos: pos}})
+		e := ast.Expr(&ast.TermExpr{T: &ast.Const{Val: term.Intern(t.Text), Pos: pos}})
 		return p.parseApplications(e)
 	case lexer.Var:
 		p.next()

@@ -146,7 +146,7 @@ func goalVars(goals []ast.Goal) []string {
 }
 
 func constStr(s string) *ast.Const {
-	return &ast.Const{Val: term.NewString(s)}
+	return &ast.Const{Val: term.Intern(s)}
 }
 
 // computeFixedness runs the call-graph fixpoint of §3.1: a procedure is

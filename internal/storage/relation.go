@@ -217,8 +217,20 @@ type Relation struct {
 	name   term.Value
 	arity  int
 	tuples []term.Tuple // insertion order; nil entries are tombstones
-	// buckets maps a tuple hash to the indices of its tuples.
-	buckets map[uint64][]int
+	// hashes caches each tuple's whole-tuple hash, parallel to tuples:
+	// computed once at Insert and reused by compaction, chain probes, and
+	// anything else that would otherwise re-hash stored rows. A
+	// tombstone's slot keeps its stale hash; it is never read (tombstones
+	// are unlinked from their chain and skipped via the nil tuple). Only
+	// the single writer mutates it, like tuples itself.
+	hashes []uint64
+	// buckets chains tuples by whole-tuple hash without per-bucket slice
+	// allocations: buckets[h] holds slot+1 of the most recently inserted
+	// tuple hashing to h (0 = none), and next[i] holds the slot+1 of the
+	// previous same-hash tuple — an intrusive chain through the parallel
+	// next slice. Slots are int32 (a relation holds < 2^31 tuples).
+	buckets map[uint64]int32
+	next    []int32
 	n       int // live tuples
 	dead    int // tombstones in tuples
 	version uint64
@@ -260,7 +272,7 @@ func NewRelation(name term.Value, arity int, policy IndexPolicy, stats *Stats) *
 	return &Relation{
 		name:    name,
 		arity:   arity,
-		buckets: make(map[uint64][]int),
+		buckets: make(map[uint64]int32),
 		policy:  policy,
 		stats:   stats,
 		cols:    make([]colStats, arity),
@@ -293,14 +305,15 @@ func (r *Relation) Insert(t term.Tuple) bool {
 		t = term.Tuple{} // nil is reserved for tombstones
 	}
 	h := t.Hash()
-	bucket := r.buckets[h]
-	for _, i := range bucket {
-		if u := r.tuples[i]; u != nil && u.Equal(t) {
+	for i := r.buckets[h]; i != 0; i = r.next[i-1] {
+		if u := r.tuples[i-1]; u != nil && u.Equal(t) {
 			return false
 		}
 	}
-	r.buckets[h] = append(bucket, len(r.tuples))
+	r.next = append(r.next, r.buckets[h])
+	r.buckets[h] = int32(len(r.tuples)) + 1
 	r.tuples = append(r.tuples, t)
+	r.hashes = append(r.hashes, h)
 	r.n++
 	r.version++
 	for i := range t {
@@ -323,21 +336,23 @@ func (r *Relation) Insert(t term.Tuple) bool {
 // tombstones outnumber live tuples.
 func (r *Relation) Delete(t term.Tuple) bool {
 	h := t.Hash()
-	bucket := r.buckets[h]
-	for bi, i := range bucket {
-		u := r.tuples[i]
+	prev := int32(0)
+	for i := r.buckets[h]; i != 0; prev, i = i, r.next[i-1] {
+		u := r.tuples[i-1]
 		if u == nil || !u.Equal(t) {
 			continue
 		}
-		r.tuples[i] = nil
+		r.tuples[i-1] = nil
 		r.dead++
-		last := len(bucket) - 1
-		bucket[bi] = bucket[last]
-		bucket = bucket[:last]
-		if len(bucket) == 0 {
-			delete(r.buckets, h)
+		// Unlink the slot from its hash chain.
+		if prev == 0 {
+			if r.next[i-1] == 0 {
+				delete(r.buckets, h)
+			} else {
+				r.buckets[h] = r.next[i-1]
+			}
 		} else {
-			r.buckets[h] = bucket
+			r.next[prev-1] = r.next[i-1]
 		}
 		r.n--
 		r.version++
@@ -365,23 +380,30 @@ func (r *Relation) Delete(t term.Tuple) bool {
 // buckets; survivor order is unchanged. Runs only from a writer.
 func (r *Relation) compact() {
 	live := make([]term.Tuple, 0, r.n)
-	buckets := make(map[uint64][]int, len(r.buckets))
-	for _, t := range r.tuples {
+	liveHashes := make([]uint64, 0, r.n)
+	next := make([]int32, 0, r.n)
+	buckets := make(map[uint64]int32, r.n)
+	for i, t := range r.tuples {
 		if t == nil {
 			continue
 		}
-		buckets[t.Hash()] = append(buckets[t.Hash()], len(live))
+		h := r.hashes[i] // cached at Insert; no re-hashing on compaction
+		next = append(next, buckets[h])
+		buckets[h] = int32(len(live)) + 1
 		live = append(live, t)
+		liveHashes = append(liveHashes, h)
 	}
 	r.tuples = live
+	r.hashes = liveHashes
+	r.next = next
 	r.buckets = buckets
 	r.dead = 0
 }
 
 // Contains implements Rel.
 func (r *Relation) Contains(t term.Tuple) bool {
-	for _, i := range r.buckets[t.Hash()] {
-		if u := r.tuples[i]; u != nil && u.Equal(t) {
+	for i := r.buckets[t.Hash()]; i != 0; i = r.next[i-1] {
+		if u := r.tuples[i-1]; u != nil && u.Equal(t) {
 			return true
 		}
 	}
@@ -394,7 +416,9 @@ func (r *Relation) Clear() {
 		return
 	}
 	r.tuples = nil
-	r.buckets = make(map[uint64][]int)
+	r.hashes = nil
+	r.next = nil
+	r.buckets = make(map[uint64]int32)
 	r.n = 0
 	r.dead = 0
 	r.version++
@@ -434,10 +458,10 @@ func (r *Relation) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bo
 		return
 	}
 	if mask == r.fullMask() {
-		// Whole-tuple lookup: answer from the primary hash directly.
+		// Whole-tuple lookup: answer from the primary hash chain directly.
 		atomic.AddInt64(&r.stats.RowsProbed, 1)
-		for _, i := range r.buckets[key.Hash()] {
-			if u := r.tuples[i]; u != nil && u.Equal(key) {
+		for i := r.buckets[key.Hash()]; i != 0; i = r.next[i-1] {
+			if u := r.tuples[i-1]; u != nil && u.Equal(key) {
 				if !yield(u) {
 					return
 				}

@@ -89,7 +89,10 @@ func ReadValue(r *bufio.Reader) (Value, error) {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return Value{}, err
 		}
-		return NewString(string(buf)), nil
+		// Intern decoded atoms: snapshot/WAL recovery and EDB loads feed
+		// relations directly, so strings re-enter the hot paths carrying
+		// their cached hash and interned identity.
+		return Intern(string(buf)), nil
 	case tagCompound:
 		fn, err := ReadValue(r)
 		if err != nil {

@@ -1,0 +1,62 @@
+package term
+
+import "sync"
+
+// internEntry is the canonical record for one distinct interned string.
+// Every Value built by Intern for the same string points at the same
+// entry, so Equal can compare entry pointers and hashInto can reuse the
+// precomputed content hash instead of re-folding the bytes.
+type internEntry struct {
+	s string
+	h uint64
+}
+
+// interned maps string -> *internEntry. A sync.Map because interning
+// happens on parse, recovery, and API boundaries that may run concurrently
+// with expression evaluation inside parallel morsel workers; the table is
+// read-mostly after warm-up, which is sync.Map's fast case.
+var interned sync.Map
+
+// Intern returns an atom/string value whose identity is shared with every
+// other interned copy of s: equal interned strings carry the same entry
+// pointer (O(1) Equal) and a precomputed content hash (O(1) hashing).
+// Interning is idempotent and safe for concurrent use. Non-interned values
+// built by NewString remain fully interoperable — they compare equal to
+// and hash identically with interned copies.
+func Intern(s string) Value {
+	if e, ok := interned.Load(s); ok {
+		ent := e.(*internEntry)
+		return Value{kind: Str, s: ent.s, ie: ent}
+	}
+	ent := &internEntry{s: s, h: hashString(fnvOffset, s)}
+	if prev, loaded := interned.LoadOrStore(ent.s, ent); loaded {
+		ent = prev.(*internEntry)
+	}
+	return Value{kind: Str, s: ent.s, ie: ent}
+}
+
+// InternValue returns v with any Str content interned: Str values are
+// replaced by their interned form, compound terms intern their functor and
+// arguments recursively, and other kinds pass through unchanged. Used at
+// load boundaries (decode, CSV) so stored atoms enter the hot paths with
+// cached hashes.
+func InternValue(v Value) Value {
+	switch v.kind {
+	case Str:
+		if v.ie != nil {
+			return v
+		}
+		return Intern(v.s)
+	case Compound:
+		fn := InternValue(*v.fn)
+		args := make([]Value, len(v.args))
+		for i := range v.args {
+			args[i] = InternValue(v.args[i])
+		}
+		return NewCompound(fn, args...)
+	}
+	return v
+}
+
+// Interned reports whether v is an interned Str value (used by tests).
+func (v Value) Interned() bool { return v.ie != nil }

@@ -1,0 +1,87 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestInternParity is the contract that lets interned and non-interned
+// strings mix freely in one relation: equal contents must compare Equal in
+// every direction and fold to identical hashes, whether the value came
+// from Intern, NewString, or a decoded buffer.
+func TestInternParity(t *testing.T) {
+	check := func(s string) bool {
+		in, plain := Intern(s), NewString(s)
+		if !in.Interned() || plain.Interned() {
+			return false
+		}
+		if !in.Equal(plain) || !plain.Equal(in) || !in.Equal(in) {
+			return false
+		}
+		if in.Hash() != plain.Hash() {
+			return false
+		}
+		if in.HashInto(12345) != plain.HashInto(12345) {
+			return false
+		}
+		// Interning is idempotent and canonical: same entry both times.
+		again := Intern(s)
+		return again.Equal(in) && again.Hash() == in.Hash() && again.Interned()
+	}
+	for _, s := range []string{"", "a", "n042", "hello world", "\x00\xff"} {
+		if !check(s) {
+			t.Errorf("intern parity broken for %q", s)
+		}
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInternDistinct guards the other direction: distinct contents stay
+// unequal after interning.
+func TestInternDistinct(t *testing.T) {
+	if Intern("a").Equal(Intern("b")) {
+		t.Error("distinct interned strings compare equal")
+	}
+	if Intern("a").Equal(NewString("ab")) {
+		t.Error("interned \"a\" equals plain \"ab\"")
+	}
+}
+
+// TestInternValueRecursive checks that InternValue reaches the functor and
+// string arguments of compound terms without changing term identity.
+func TestInternValueRecursive(t *testing.T) {
+	v := NewCompound(NewString("f"), NewString("x"), NewInt(7),
+		NewCompound(NewString("g"), NewString("y")))
+	iv := InternValue(v)
+	if !iv.Equal(v) || iv.Hash() != v.Hash() {
+		t.Fatal("InternValue changed term identity")
+	}
+	if !iv.Functor().Interned() {
+		t.Error("functor not interned")
+	}
+	if !iv.Args()[0].Interned() {
+		t.Error("string argument not interned")
+	}
+	if !iv.Args()[2].Functor().Interned() {
+		t.Error("nested functor not interned")
+	}
+	if !InternValue(NewInt(3)).Equal(NewInt(3)) {
+		t.Error("non-string value changed by InternValue")
+	}
+}
+
+// TestInternedEqualAllocs pins the fast path: comparing two interned copies
+// of the same atom is pointer equality — no byte comparison, no allocation.
+func TestInternedEqualAllocs(t *testing.T) {
+	a, b := Intern("some-reasonably-long-atom-name"), Intern("some-reasonably-long-atom-name")
+	if got := testing.AllocsPerRun(100, func() {
+		if !a.Equal(b) {
+			t.Fail()
+		}
+		_ = a.Hash()
+	}); got != 0 {
+		t.Errorf("interned Equal+Hash: %.1f allocs, want 0", got)
+	}
+}

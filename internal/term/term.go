@@ -61,6 +61,10 @@ type Value struct {
 	i    int64
 	f    float64
 	s    string
+	// ie is the interner entry when this Str value was built by Intern:
+	// it carries the precomputed content hash and gives Equal a pointer
+	// identity fast path. nil for non-interned strings and other kinds.
+	ie   *internEntry
 	fn   *Value
 	args []Value
 }
@@ -82,10 +86,11 @@ func NewCompound(functor Value, args ...Value) Value {
 	return Value{kind: Compound, fn: &f, args: args}
 }
 
-// Atom is shorthand for NewCompound(NewString(name), args...), the common
-// first-order case.
+// Atom is shorthand for NewCompound(Intern(name), args...), the common
+// first-order case. The functor is interned: atom functors name relations
+// and HiLog dispatch targets, so they are compared and hashed constantly.
 func Atom(name string, args ...Value) Value {
-	return NewCompound(NewString(name), args...)
+	return NewCompound(Intern(name), args...)
 }
 
 // Kind reports the value's kind.
@@ -175,6 +180,12 @@ func (v Value) Equal(w Value) bool {
 	case Float:
 		return v.f == w.f
 	case Str:
+		// Two interned strings are equal iff they share the interner entry
+		// (one entry per distinct string); mixed or non-interned pairs fall
+		// back to byte comparison.
+		if v.ie != nil && w.ie != nil {
+			return v.ie == w.ie
+		}
 		return v.s == w.s
 	case Compound:
 		if len(v.args) != len(w.args) || !v.fn.Equal(*w.fn) {
@@ -261,6 +272,17 @@ func hashString(h uint64, s string) uint64 {
 	return h
 }
 
+// strHash returns the 64-bit content hash of a Str value: the interner's
+// precomputed hash when available, the same FNV-1a fold computed on the
+// spot otherwise — so interned and non-interned copies of one string
+// always hash identically.
+func (v Value) strHash() uint64 {
+	if v.ie != nil {
+		return v.ie.h
+	}
+	return hashString(fnvOffset, v.s)
+}
+
 func (v Value) hashInto(h uint64) uint64 {
 	h = hashUint64(h, uint64(v.kind))
 	switch v.kind {
@@ -269,7 +291,10 @@ func (v Value) hashInto(h uint64) uint64 {
 	case Float:
 		h = hashUint64(h, math.Float64bits(v.f))
 	case Str:
-		h = hashString(h, v.s)
+		// Fold the string's own 64-bit content hash rather than its bytes:
+		// the content hash is position-independent, so the interner can
+		// precompute it once per distinct string.
+		h = hashUint64(h, v.strHash())
 	case Compound:
 		h = v.fn.hashInto(h)
 		h = hashUint64(h, uint64(len(v.args)))
@@ -282,6 +307,16 @@ func (v Value) hashInto(h uint64) uint64 {
 
 // Hash returns a 64-bit FNV-1a hash of the value; equal values hash equal.
 func (v Value) Hash() uint64 { return v.hashInto(fnvOffset) }
+
+// HashSeed is the initial accumulator for incremental hashing with
+// HashInto; Hash() is HashInto(HashSeed).
+const HashSeed uint64 = fnvOffset
+
+// HashInto folds v into a running 64-bit hash, for callers (the VM's
+// dedup/group kernels) that hash several live registers without building a
+// tuple. Unbound (Invalid) values fold their kind tag, so an unbound
+// register hashes differently from every ground value.
+func (v Value) HashInto(h uint64) uint64 { return v.hashInto(h) }
 
 // needsQuote reports whether an atom requires single quotes when printed.
 func needsQuote(s string) bool {

@@ -22,37 +22,19 @@ func (f *frame) applyAggregate(b *plan.Aggregate, rows [][]term.Value,
 	state *stmtState) ([][]term.Value, error) {
 	workers := f.m.workerCount()
 	par := workers > 1 && len(rows) >= f.m.fanOutThreshold()
-	keys := make([]string, len(rows))
-	if par && len(state.groupRegs) > 0 {
-		ms := morsels(len(rows), workers)
-		f.m.runMorsels(ms, workers, func(mi int) {
-			var buf []byte
-			for ri := ms[mi].start; ri < ms[mi].end; ri++ {
-				buf = buf[:0]
-				for _, r := range state.groupRegs {
-					buf = term.AppendValue(buf, rows[ri][r])
-				}
-				keys[ri] = string(buf)
-			}
-		})
-	} else {
-		var buf []byte
-		for ri, row := range rows {
-			buf = buf[:0]
-			for _, r := range state.groupRegs {
-				buf = term.AppendValue(buf, row[r])
-			}
-			keys[ri] = string(buf)
+	var groups [][]int // row indices per group, groups in first-seen order
+	switch {
+	case len(state.groupRegs) == 0:
+		// No group_by in effect: every row is in the single group.
+		all := make([]int, len(rows))
+		for ri := range all {
+			all[ri] = ri
 		}
-	}
-	groups := map[string][]int{}
-	var order []string
-	for ri := range rows {
-		k := keys[ri]
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], ri)
+		groups = [][]int{all}
+	case f.m.StringKeyKernels:
+		groups = f.groupRowsStringKey(rows, state.groupRegs, par, workers)
+	default:
+		groups = f.groupRows(rows, state.groupRegs, par, workers)
 	}
 	vals := make([]term.Value, len(rows))
 	evalRow := func(ri int, row []term.Value, _ func([]term.Value)) error {
@@ -75,8 +57,7 @@ func (f *frame) applyAggregate(b *plan.Aggregate, rows [][]term.Value,
 		}
 	}
 	var out [][]term.Value
-	for _, k := range order {
-		idxs := groups[k]
+	for _, idxs := range groups {
 		gv := make([]term.Value, len(idxs))
 		for i, ri := range idxs {
 			gv[i] = vals[ri]
@@ -103,6 +84,41 @@ func (f *frame) applyAggregate(b *plan.Aggregate, rows [][]term.Value,
 		}
 	}
 	return out, nil
+}
+
+// groupRows partitions row indices by the values of the grouping
+// registers, groups in first-seen order — the hash-first kernel: rows are
+// hashed in place (a parallel pass for large row sets), a pooled
+// open-addressing table maps each hash to its group, and collisions
+// compare the live registers directly. No group-key bytes are built.
+func (f *frame) groupRows(rows [][]term.Value, regs []int, par bool, workers int) [][]int {
+	hashes := make([]uint64, len(rows))
+	if par {
+		ms := morsels(len(rows), workers)
+		f.m.runMorsels(ms, workers, func(mi int) {
+			for ri := ms[mi].start; ri < ms[mi].end; ri++ {
+				hashes[ri] = rowHashLive(rows[ri], regs)
+			}
+		})
+	} else {
+		for ri := range rows {
+			hashes[ri] = rowHashLive(rows[ri], regs)
+		}
+	}
+	t := f.grabTable(len(rows))
+	var groups [][]int
+	cand := 0
+	eq := func(g int32) bool { return rowsEqualLive(rows[groups[g][0]], rows[cand], regs) }
+	for ri := range rows {
+		cand = ri
+		if g, found := t.findOrAdd(hashes[ri], int32(len(groups)), eq); found {
+			groups[g] = append(groups[g], ri)
+		} else {
+			groups = append(groups, []int{ri})
+		}
+	}
+	f.releaseTable(t)
+	return groups
 }
 
 // aggregate computes one aggregate operator over the value list (§3.3).

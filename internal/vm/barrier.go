@@ -83,9 +83,18 @@ func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, er
 	nb := len(b.BoundArgs)
 	workers := f.m.workerCount()
 	par := workers > 1 && len(rows) >= f.m.fanOutThreshold()
-	// Distinct input tuples, with each row's key.
+	stringKeys := f.m.StringKeyKernels
+	// Build each row's input tuple; the hash-first kernel caches the
+	// tuple's 64-bit hash per row (reused by both the distinct pass and
+	// the join-back probe), the legacy kernel its encoded string key.
 	tuples := make([]term.Tuple, len(rows))
-	rowKeys := make([]string, len(rows))
+	var rowKeys []string
+	var rowHashes []uint64
+	if stringKeys {
+		rowKeys = make([]string, len(rows))
+	} else {
+		rowHashes = make([]uint64, len(rows))
+	}
 	buildIn := func(ri int, row []term.Value, _ func([]term.Value)) error {
 		tup := make(term.Tuple, nb)
 		for i := range b.BoundArgs {
@@ -96,7 +105,11 @@ func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, er
 			tup[i] = v
 		}
 		tuples[ri] = tup
-		rowKeys[ri] = tupleKey(tup)
+		if stringKeys {
+			rowKeys[ri] = tupleKey(tup)
+		} else {
+			rowHashes[ri] = tup.Hash()
+		}
 		return nil
 	}
 	if par {
@@ -110,13 +123,27 @@ func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, er
 			}
 		}
 	}
+	// Distinct input tuples, in first-seen order (then sorted).
 	var inTuples []term.Tuple
-	seen := map[string]bool{}
-	for ri := range rows {
-		if k := rowKeys[ri]; !seen[k] {
-			seen[k] = true
-			inTuples = append(inTuples, tuples[ri])
+	if stringKeys {
+		seen := map[string]bool{}
+		for ri := range rows {
+			if k := rowKeys[ri]; !seen[k] {
+				seen[k] = true
+				inTuples = append(inTuples, tuples[ri])
+			}
 		}
+	} else {
+		t := f.grabTable(len(rows))
+		cand := 0
+		eq := func(r int32) bool { return inTuples[r].Equal(tuples[cand]) }
+		for ri := range rows {
+			cand = ri
+			if _, found := t.findOrAdd(rowHashes[ri], int32(len(inTuples)), eq); !found {
+				inTuples = append(inTuples, tuples[ri])
+			}
+		}
+		f.releaseTable(t)
 	}
 	sortTuples(inTuples)
 	var results []term.Tuple
@@ -133,18 +160,35 @@ func (f *frame) applyCall(b *plan.Call, rows [][]term.Value) ([][]term.Value, er
 	if err != nil {
 		return nil, err
 	}
-	// Index results by bound prefix.
+	// Index results by bound prefix. The prefixIndex is built
+	// sequentially here and only probed (closure-free, read-only) inside
+	// joinRow, which may run on concurrent morsel workers.
 	wantArity := nb + len(b.FreeArgs)
-	byPrefix := map[string][]term.Tuple{}
+	var byPrefix map[string][]term.Tuple
+	var px prefixIndex
+	if stringKeys {
+		byPrefix = map[string][]term.Tuple{}
+	} else {
+		px.init(len(results))
+	}
 	for _, r := range results {
 		if len(r) != wantArity {
 			return nil, fmt.Errorf("call result arity %d, want %d", len(r), wantArity)
 		}
-		k := tupleKey(r[:nb])
-		byPrefix[k] = append(byPrefix[k], r)
+		if stringKeys {
+			k := tupleKey(r[:nb])
+			byPrefix[k] = append(byPrefix[k], r)
+		} else {
+			px.add(r[:nb], r)
+		}
 	}
 	joinRow := func(ri int, row []term.Value, emit func([]term.Value)) error {
-		rs := byPrefix[rowKeys[ri]]
+		var rs []term.Tuple
+		if stringKeys {
+			rs = byPrefix[rowKeys[ri]]
+		} else {
+			rs = px.get(rowHashes[ri], tuples[ri])
+		}
 		if b.Negated {
 			exists := false
 			for _, r := range rs {
@@ -202,6 +246,7 @@ func (f *frame) applyDynCall(b *plan.DynCall, rows [][]term.Value) ([][]term.Val
 		return nil
 	}
 	var out [][]term.Value
+	var dynKey term.Tuple
 	for _, row := range rows {
 		name, err := b.Pred.Build(row)
 		if err != nil {
@@ -243,7 +288,7 @@ func (f *frame) applyDynCall(b *plan.DynCall, rows [][]term.Value) ([][]term.Val
 		} else {
 			rel := f.dynResolve(name, len(b.Args), b.Narrowed, b.Candidates)
 			if rel != nil {
-				err := f.scanRel(rel, b.Bind, 0, b.Args, row, func() error {
+				err := f.scanRel(rel, &dynKey, b.Bind, 0, b.Args, row, func() error {
 					emit(cloneRow(row))
 					return nil
 				})
@@ -257,12 +302,4 @@ func (f *frame) applyDynCall(b *plan.DynCall, rows [][]term.Value) ([][]term.Val
 		}
 	}
 	return out, nil
-}
-
-func tupleKey(t term.Tuple) string {
-	var buf []byte
-	for i := range t {
-		buf = term.AppendValue(buf, t[i])
-	}
-	return string(buf)
 }

@@ -162,6 +162,10 @@ func (f *frame) runPipe(step *plan.PhysStep, rows [][]term.Value, sprof *plan.St
 		}
 	}
 	var out [][]term.Value
+	// One probe-key scratch per op: ops at different pipeline depths hold
+	// their keys live simultaneously, but a single op reuses its key
+	// across all the rows that reach it.
+	scratch := make([]term.Tuple, len(ops))
 	var rec func(i int, row []term.Value) error
 	rec = func(i int, row []term.Value) error {
 		cnt[i]++
@@ -170,7 +174,7 @@ func (f *frame) runPipe(step *plan.PhysStep, rows [][]term.Value, sprof *plan.St
 			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)
 			return nil
 		}
-		return f.applyPipeOp(ops[i], rels[i], have[i], row, func() error { return rec(i+1, row) })
+		return f.applyPipeOp(ops[i], rels[i], have[i], &scratch[i], row, func() error { return rec(i+1, row) })
 	}
 	for _, row := range rows {
 		if err := rec(0, row); err != nil {
@@ -190,12 +194,22 @@ func unbind(regs []term.Value, bind []int) {
 }
 
 // buildKey constructs the index-lookup key for the bound argument
-// positions.
-func buildKey(mask uint32, args []term.Pattern, regs []term.Value, arity int) (term.Tuple, error) {
+// positions in *sk, reusing its backing array across the rows of one op
+// (the per-row probe-key allocation used to dominate bound probes). Safe
+// because the storage layer never retains a lookup key past Lookup, and
+// only mask-selected slots of the key are ever read — an op's mask is
+// fixed, so stale unselected slots from a previous row are never seen.
+func buildKey(sk *term.Tuple, mask uint32, args []term.Pattern, regs []term.Value, arity int) (term.Tuple, error) {
 	if mask == 0 {
 		return nil, nil
 	}
-	key := make(term.Tuple, arity)
+	var key term.Tuple
+	if cap(*sk) >= arity {
+		key = (*sk)[:arity]
+	} else {
+		key = make(term.Tuple, arity)
+		*sk = key
+	}
 	for i := range args {
 		if mask&(1<<uint(i)) != 0 {
 			v, err := args[i].Build(regs)
@@ -221,12 +235,12 @@ func matchArgs(args []term.Pattern, t term.Tuple, regs []term.Value) bool {
 // scanRel iterates matching tuples of rel, calling emit with the op's
 // registers bound per tuple; the op's bind set is zeroed between tuples
 // and before returning.
-func (f *frame) scanRel(rel storage.Rel, bind []int, mask uint32, args []term.Pattern,
-	regs []term.Value, emit func() error) error {
+func (f *frame) scanRel(rel storage.Rel, sk *term.Tuple, bind []int, mask uint32,
+	args []term.Pattern, regs []term.Value, emit func() error) error {
 	if rel == nil {
 		return nil
 	}
-	key, err := buildKey(mask, args, regs, rel.Arity())
+	key, err := buildKey(sk, mask, args, regs, rel.Arity())
 	if err != nil {
 		return err
 	}
@@ -248,12 +262,12 @@ func (f *frame) scanRel(rel storage.Rel, bind []int, mask uint32, args []term.Pa
 // existsIn reports whether any tuple of rel matches the (fully bound or
 // wildcarded) patterns; negated ops have no unbound registers, so there is
 // nothing to restore.
-func (f *frame) existsIn(rel storage.Rel, mask uint32, args []term.Pattern,
-	regs []term.Value) (bool, error) {
+func (f *frame) existsIn(rel storage.Rel, sk *term.Tuple, mask uint32,
+	args []term.Pattern, regs []term.Value) (bool, error) {
 	if rel == nil {
 		return false, nil
 	}
-	key, err := buildKey(mask, args, regs, rel.Arity())
+	key, err := buildKey(sk, mask, args, regs, rel.Arity())
 	if err != nil {
 		return false, err
 	}
@@ -271,7 +285,7 @@ func (f *frame) existsIn(rel storage.Rel, mask uint32, args []term.Pattern,
 // applyPipeOp runs one streaming operator on one row. rel/haveRel carry a
 // segment-level pre-resolved relation for statically named matches.
 func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
-	regs []term.Value, emit func() error) error {
+	sk *term.Tuple, regs []term.Value, emit func() error) error {
 	switch op := op.(type) {
 	case *plan.Match:
 		if !haveRel {
@@ -282,7 +296,7 @@ func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 			}
 		}
 		if op.Negated {
-			found, err := f.existsIn(rel, op.BoundMask, op.Args, regs)
+			found, err := f.existsIn(rel, sk, op.BoundMask, op.Args, regs)
 			if err != nil {
 				return err
 			}
@@ -291,7 +305,7 @@ func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 			}
 			return nil
 		}
-		return f.scanRel(rel, op.Bind, op.BoundMask, op.Args, regs, emit)
+		return f.scanRel(rel, sk, op.Bind, op.BoundMask, op.Args, regs, emit)
 	case *plan.DynMatch:
 		name, err := op.Pred.Build(regs)
 		if err != nil {
@@ -299,7 +313,7 @@ func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 		}
 		rel := f.dynResolve(name, op.Arity, op.Narrowed, op.Candidates)
 		if op.Negated {
-			found, err := f.existsIn(rel, op.BoundMask, op.Args, regs)
+			found, err := f.existsIn(rel, sk, op.BoundMask, op.Args, regs)
 			if err != nil {
 				return err
 			}
@@ -308,7 +322,7 @@ func (f *frame) applyPipeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 			}
 			return nil
 		}
-		return f.scanRel(rel, op.Bind, op.BoundMask, op.Args, regs, emit)
+		return f.scanRel(rel, sk, op.Bind, op.BoundMask, op.Args, regs, emit)
 	case *plan.Compare:
 		l, err := evalExpr(op.L, regs)
 		if err != nil {
@@ -391,116 +405,153 @@ func (f *frame) dynResolve(name term.Value, arity int, narrowed bool,
 	return nil
 }
 
-// appendDedupKey encodes the live registers of a row as a dedup key. An
-// unbound register is marked with term.NonTag, a byte no value encoding
-// starts with, so an unbound slot can never alias a bound value's
-// encoding.
-func appendDedupKey(buf []byte, row []term.Value, live []int) []byte {
-	for _, r := range live {
-		if row[r].IsZero() {
-			buf = append(buf, term.NonTag)
-			continue
-		}
-		buf = term.AppendValue(buf, row[r])
-	}
-	return buf
-}
-
 // dedupRows removes rows that agree on the live registers (§9: duplicate
 // elimination at pipeline breaks). Large row sets shard the work across
 // the worker pool; either path keeps the first occurrence of each key in
-// input order.
+// input order. The hash-first kernel probes a pooled open-addressing
+// table with the 64-bit hash of the live registers and compares rows
+// directly on collision; no key bytes are materialized.
 func (f *frame) dedupRows(rows [][]term.Value, live []int) [][]term.Value {
 	if len(rows) < 2 {
 		return rows
 	}
-	if workers := f.m.workerCount(); workers > 1 && len(rows) >= f.m.fanOutThreshold() {
+	workers := f.m.workerCount()
+	par := workers > 1 && len(rows) >= f.m.fanOutThreshold()
+	if f.m.StringKeyKernels {
+		if par {
+			return f.dedupRowsParallelStringKey(rows, live, workers)
+		}
+		return f.dedupRowsStringKey(rows, live)
+	}
+	if par {
 		return f.dedupRowsParallel(rows, live, workers)
 	}
-	seen := make(map[string]bool, len(rows))
+	t := f.grabTable(len(rows))
 	out := rows[:0]
-	var buf []byte
+	var cand []term.Value
+	eq := func(r int32) bool { return rowsEqualLive(out[r], cand, live) }
+	var removed int64
 	for _, row := range rows {
-		buf = appendDedupKey(buf[:0], row, live)
-		k := string(buf)
-		if seen[k] {
-			atomic.AddInt64(&f.m.Stats.RowsDeduped, 1)
+		cand = row
+		h := rowHashLive(row, live)
+		if _, found := t.findOrAdd(h, int32(len(out)), eq); found {
+			removed++
 			continue
 		}
-		seen[k] = true
 		out = append(out, row)
+	}
+	f.releaseTable(t)
+	if removed != 0 {
+		atomic.AddInt64(&f.m.Stats.RowsDeduped, removed)
 	}
 	return out
 }
 
+// buildHeadTuple builds the head tuple for one row.
+func buildHeadTuple(st *plan.Stmt, row []term.Value) (term.Tuple, error) {
+	tup := make(term.Tuple, len(st.Head.Args))
+	for i := range st.Head.Args {
+		v, err := st.Head.Args[i].Build(row)
+		if err != nil {
+			return nil, err
+		}
+		tup[i] = v
+	}
+	return tup, nil
+}
+
+// applyHeadOp applies the statement's assignment operator to one target
+// relation.
+func applyHeadOp(st *plan.Stmt, rel storage.Rel, tuples []term.Tuple) {
+	switch st.Op {
+	case ast.OpAssign:
+		rel.Clear()
+		for _, t := range tuples {
+			rel.Insert(t)
+		}
+	case ast.OpInsert:
+		for _, t := range tuples {
+			rel.Insert(t)
+		}
+	case ast.OpDelete:
+		for _, t := range tuples {
+			rel.Delete(t)
+		}
+	case ast.OpModify:
+		rel.ModifyByKey(st.KeyMask, tuples)
+	}
+}
+
 // applyHead applies the statement's assignment operator to the target
 // relation(s). HiLog heads may address several relations in one statement;
-// rows are grouped by computed relation name.
+// rows are grouped by computed relation name. A statically named head — by
+// far the common case — resolves its single target once per statement
+// execution and skips grouping entirely; computed names group through a
+// pooled hash table on the name value, so the per-row canonical name key
+// (term.Key) of the legacy kernel is gone from the hot path.
 func (f *frame) applyHead(st *plan.Stmt, rows [][]term.Value) error {
-	type target struct {
-		rel    storage.Rel
-		tuples []term.Tuple
+	if f.m.StringKeyKernels {
+		return f.applyHeadStringKey(st, rows)
 	}
-	groups := map[string]*target{}
-	order := []string{}
-	ensure := func(regs []term.Value) (*target, error) {
-		name, err := st.Head.Ref.Name.Build(regs)
-		if err != nil {
-			return nil, err
-		}
-		k := term.Key(name)
-		if g, ok := groups[k]; ok {
-			return g, nil
-		}
-		rel, err := f.resolveWrite(st.Head.Ref, regs)
-		if err != nil {
-			return nil, err
-		}
-		groups[k] = &target{rel: rel}
-		order = append(order, k)
-		return groups[k], nil
-	}
-	// A statically named target participates even with an empty body
-	// (":=" clears it); a computed name cannot be known without rows.
 	if st.Head.Ref.Name.IsGround() {
-		if _, err := ensure(nil); err != nil {
-			return err
-		}
-	}
-	for _, row := range rows {
-		g, err := ensure(row)
+		// One static target for the whole statement: it participates even
+		// with an empty body (":=" clears it).
+		rel, err := f.resolveWrite(st.Head.Ref, nil)
 		if err != nil {
 			return err
 		}
-		tup := make(term.Tuple, len(st.Head.Args))
-		for i := range st.Head.Args {
-			v, err := st.Head.Args[i].Build(row)
+		var tuples []term.Tuple
+		if len(rows) > 0 {
+			tuples = make([]term.Tuple, 0, len(rows))
+		}
+		for _, row := range rows {
+			tup, err := buildHeadTuple(st, row)
 			if err != nil {
 				return err
 			}
-			tup[i] = v
+			tuples = append(tuples, tup)
+		}
+		applyHeadOp(st, rel, tuples)
+		if st.Head.IsReturn {
+			f.returned = true
+		}
+		return nil
+	}
+	type target struct {
+		name   term.Value
+		rel    storage.Rel
+		tuples []term.Tuple
+	}
+	var targets []*target
+	t := f.grabTable(len(rows))
+	var candName term.Value
+	eq := func(r int32) bool { return targets[r].name.Equal(candName) }
+	for _, row := range rows {
+		name, err := st.Head.Ref.Name.Build(row)
+		if err != nil {
+			return err
+		}
+		candName = name
+		var g *target
+		if gi, found := t.findOrAdd(name.Hash(), int32(len(targets)), eq); found {
+			g = targets[gi]
+		} else {
+			rel, err := f.resolveWrite(st.Head.Ref, row)
+			if err != nil {
+				return err
+			}
+			g = &target{name: name, rel: rel}
+			targets = append(targets, g)
+		}
+		tup, err := buildHeadTuple(st, row)
+		if err != nil {
+			return err
 		}
 		g.tuples = append(g.tuples, tup)
 	}
-	for _, k := range order {
-		g := groups[k]
-		switch st.Op {
-		case ast.OpAssign:
-			g.rel.Clear()
-			for _, t := range g.tuples {
-				g.rel.Insert(t)
-			}
-		case ast.OpInsert:
-			for _, t := range g.tuples {
-				g.rel.Insert(t)
-			}
-		case ast.OpDelete:
-			for _, t := range g.tuples {
-				g.rel.Delete(t)
-			}
-		case ast.OpModify:
-			g.rel.ModifyByKey(st.KeyMask, g.tuples)
-		}
+	f.releaseTable(t)
+	for _, g := range targets {
+		applyHeadOp(st, g.rel, g.tuples)
 	}
 	if st.Head.IsReturn {
 		f.returned = true

@@ -70,6 +70,12 @@ type Machine struct {
 	// (greedy or textual) op order executes — still through the
 	// physical-plan layer, so instrumentation is identical.
 	StatsOrdering bool
+	// StringKeyKernels routes duplicate elimination, aggregation grouping,
+	// and call-barrier probing through the legacy kernels that materialize
+	// an encoded string key per row, instead of the hash-first
+	// open-addressing kernels. Kept as the E13 ablation baseline; results
+	// are byte-identical either way.
+	StringKeyKernels bool
 	// Trace, when non-nil, receives one line per statement execution and
 	// procedure call — the executor's narration of §3.2's evaluation.
 	Trace io.Writer
@@ -224,6 +230,10 @@ type frame struct {
 	// unchanged holds per-site version memory for the unchanged builtin.
 	unchanged map[int]uint64
 	returned  bool
+	// scratch pools open-addressing hash tables (hashkit.go) across the
+	// statements — and repeat-loop iterations — this frame executes;
+	// statements run sequentially per frame, so no locking.
+	scratch []*hashTable
 }
 
 // relName builds the unique temp-store name for a frame-local relation.

@@ -116,8 +116,9 @@ func projectedRows(ops []plan.PipeOp, rels []storage.Rel, have []bool, rows, cap
 func (f *frame) materializeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 	rows [][]term.Value) ([][]term.Value, error) {
 	var out [][]term.Value
+	var sk term.Tuple
 	for _, row := range rows {
-		err := f.applyPipeOp(op, rel, haveRel, row, func() error {
+		err := f.applyPipeOp(op, rel, haveRel, &sk, row, func() error {
 			out = append(out, cloneRow(row))
 			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)
 			return nil
@@ -182,6 +183,7 @@ func (f *frame) runPipeParallel(step *plan.PhysStep, ops []plan.PipeOp,
 		var out [][]term.Value
 		var stored int64
 		local := make([]int64, len(ops)+1)
+		scratch := make([]term.Tuple, len(ops)) // per-worker probe keys
 		var rec func(i int, row []term.Value) error
 		rec = func(i int, row []term.Value) error {
 			local[i]++
@@ -190,7 +192,7 @@ func (f *frame) runPipeParallel(step *plan.PhysStep, ops []plan.PipeOp,
 				stored++
 				return nil
 			}
-			return f.applyPipeOp(ops[i], rels[i], have[i], row,
+			return f.applyPipeOp(ops[i], rels[i], have[i], &scratch[i], row,
 				func() error { return rec(i+1, row) })
 		}
 		for _, row := range rows[ms[mi].start:ms[mi].end] {
@@ -261,32 +263,19 @@ func (f *frame) parMapRows(rows [][]term.Value, workers int,
 	return merged, nil
 }
 
-// fnvHash is FNV-1a over the key bytes, used to shard dedup keys.
-func fnvHash(s string) uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	return h
-}
-
 // dedupRowsParallel removes duplicate rows with hash-partitioned workers:
-// one parallel pass encodes the dedup key per row, then each worker owns a
-// shard of the key space and marks the later duplicates within it (shards
-// touch disjoint entries of the dup vector), and a final in-order
-// compaction keeps exactly the rows the sequential pass would keep.
+// one parallel pass hashes each row's live registers in place (no key
+// bytes), then each worker owns a shard of the hash space and marks the
+// later duplicates within it (shards touch disjoint entries of the dup
+// vector) using a private open-addressing table that compares rows
+// directly on hash collision, and a final in-order compaction keeps
+// exactly the rows the sequential pass would keep.
 func (f *frame) dedupRowsParallel(rows [][]term.Value, live []int, workers int) [][]term.Value {
-	keys := make([]string, len(rows))
 	hashes := make([]uint64, len(rows))
 	ms := morsels(len(rows), workers)
 	f.m.runMorsels(ms, workers, func(mi int) {
-		var buf []byte
 		for i := ms[mi].start; i < ms[mi].end; i++ {
-			buf = appendDedupKey(buf[:0], rows[i], live)
-			keys[i] = string(buf)
-			hashes[i] = fnvHash(keys[i])
+			hashes[i] = rowHashLive(rows[i], live)
 		}
 	})
 	shards := workers
@@ -297,17 +286,19 @@ func (f *frame) dedupRowsParallel(rows [][]term.Value, live []int, workers int) 
 	for p := 0; p < shards; p++ {
 		go func(p int) {
 			defer wg.Done()
-			seen := make(map[string]bool, len(rows)/shards+1)
+			var t hashTable
+			t.reset(len(rows)/shards + 1)
+			cand := 0
+			eq := func(r int32) bool { return rowsEqualLive(rows[r], rows[cand], live) }
 			var local int64
 			for i, h := range hashes {
 				if int(h%uint64(shards)) != p {
 					continue
 				}
-				if seen[keys[i]] {
+				cand = i
+				if _, found := t.findOrAdd(h, int32(i), eq); found {
 					dup[i] = true
 					local++
-				} else {
-					seen[keys[i]] = true
 				}
 			}
 			atomic.AddInt64(&removed, local)
