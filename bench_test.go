@@ -7,6 +7,7 @@ package gluenail_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"gluenail"
 	"gluenail/internal/bench"
@@ -355,6 +356,41 @@ func BenchmarkE13HashKernels(b *testing.B) {
 			gluenail.WithParallelism(4), gluenail.WithParallelThreshold(64),
 		}},
 		{"string-key/seq", []gluenail.Option{gluenail.WithStringKeyKernels()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := bench.NewTCGroupSystem(120, 240, 7, mode.opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bench.RunTCGroup(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14GovernorOverhead measures what the execution governor costs
+// when it never fires: the E13 closure + group-by workload run ungoverned
+// versus under a far-away wall-clock deadline and tuple budget (which is
+// what arms the per-instruction / per-8192-rows cancellation checks).
+// EXPERIMENTS.md target: governed within 2% of ungoverned time/op.
+func BenchmarkE14GovernorOverhead(b *testing.B) {
+	governed := gluenail.WithBudget(gluenail.Budget{
+		Timeout:   time.Hour,
+		MaxTuples: 1 << 40,
+	})
+	par := []gluenail.Option{
+		gluenail.WithParallelism(4), gluenail.WithParallelThreshold(64),
+	}
+	for _, mode := range []struct {
+		name string
+		opts []gluenail.Option
+	}{
+		{"seq/ungoverned", nil},
+		{"seq/governed", []gluenail.Option{governed}},
+		{"4-workers/ungoverned", par},
+		{"4-workers/governed", append(append([]gluenail.Option{}, par...), governed)},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			sys := bench.NewTCGroupSystem(120, 240, 7, mode.opts...)

@@ -1,0 +1,267 @@
+package gluenail_test
+
+// Cancellation-fault harness ("cancelfault"): the governor's durability
+// contract is that an aborted call always leaves the on-disk state at a
+// clean statement boundary — the WAL prefix of exactly the statements
+// that completed before the abort, never a torn statement. This suite
+// injects cancellation deterministically at every statement boundary
+// (by counting trace lines) and nondeterministically at randomized
+// points inside parallel segments, then recovers the directory and
+// checks the durable contents against precomputed statement prefixes.
+// It is the governor counterpart of the byte-level WAL fault harness in
+// internal/wal/fault_test.go.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gluenail"
+)
+
+// cancelStmts are the six bookkeeping statements of the fault workload.
+// Statement j derives rows tagged j in their first column, so the set of
+// tags present in the durable mark relation identifies exactly which
+// statement prefix committed. Statement 4 reads statement 3's output and
+// statement 5 is a cross product — big enough to fan out over morsel
+// workers at a low parallel threshold.
+var cancelStmts = []string{
+	"  mark(1, X) += seed(X).",
+	"  mark(2, X) += seed(X) & X > 1.",
+	"  mark(3, Y) += seed(X) & Y = X * 10.",
+	"  mark(4, Y) += mark(3, X) & Y = X + 1.",
+	"  mark(5, Y) += seed(X) & seed(Z) & Y = X * 100 + Z.",
+	"  mark(6, X) += seed(X).",
+}
+
+// cancelProg builds the workload with only the first n mark statements,
+// so uninterrupted runs of truncated programs give the ground-truth
+// prefix states. Truncation is sound because statement j reads only seed
+// and (for j=4) statement 3's output.
+func cancelProg(n int) string {
+	var sb strings.Builder
+	sb.WriteString("edb mark(S, X);\nedb seed(X);\n\nproc work(:)\n")
+	for i := 0; i < n; i++ {
+		sb.WriteString(cancelStmts[i])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  return(:) := seed(_).\nend\n")
+	return sb.String()
+}
+
+func seedCancel(t *testing.T, sys *gluenail.System, n int64) {
+	t.Helper()
+	rows := make([][]any, 0, n)
+	for i := int64(1); i <= n; i++ {
+		rows = append(rows, []any{i})
+	}
+	if err := sys.Assert("seed", rows...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cancelPrefixes runs each truncated program to completion in memory and
+// returns prefixes[k] = durable mark contents after exactly k statements.
+func cancelPrefixes(t *testing.T, seedN int64) []string {
+	t.Helper()
+	prefixes := make([]string, len(cancelStmts)+1)
+	for k := 0; k <= len(cancelStmts); k++ {
+		mem := gluenail.New()
+		if err := mem.Load(cancelProg(k)); err != nil {
+			t.Fatalf("load prefix %d: %v", k, err)
+		}
+		seedCancel(t, mem, seedN)
+		if _, err := mem.Call("main", "work", []any{}); err != nil {
+			t.Fatalf("prefix %d run: %v", k, err)
+		}
+		prefixes[k] = relDump(t, mem, "mark", 2)
+	}
+	return prefixes
+}
+
+// stmtCancelWriter is a trace sink that cancels a context as soon as it
+// has seen k statement trace lines. Statement lines start with "  ["
+// (see vm.execStmt); "call"/"return from" frame lines are ignored. The
+// trace line for statement k is emitted after its pipeline ran but
+// before its head is applied and committed — and the governor's next
+// check site is the following instruction boundary — so cancelling on
+// line k lets statement k commit and aborts strictly before k+1.
+type stmtCancelWriter struct {
+	mu     sync.Mutex
+	buf    []byte
+	k      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (w *stmtCancelWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := string(w.buf[:i])
+		w.buf = w.buf[i+1:]
+		if strings.HasPrefix(line, "  [") {
+			w.seen++
+			if w.seen == w.k {
+				w.cancel()
+			}
+		}
+	}
+}
+
+// TestCancelAtStatementBoundaryPrefix is the deterministic suite: for
+// every statement index k and worker count, cancel the call right after
+// statement k's trace line, crash (abandon without Close), recover the
+// directory, and require the durable state to be byte-identical to the
+// uninterrupted run of the k-statement prefix. Then re-run the recovered
+// system to completion and require byte-identity with a full run.
+func TestCancelAtStatementBoundaryPrefix(t *testing.T) {
+	const seedN = 3
+	prefixes := cancelPrefixes(t, seedN)
+	full := prefixes[len(cancelStmts)]
+
+	// k ranges over 0 (cancel before any statement) .. 7 (cancel on the
+	// return statement's line, after every mark statement committed).
+	for _, workers := range []int{1, 2, 4, 8} {
+		for k := 0; k <= len(cancelStmts)+1; k++ {
+			t.Run(fmt.Sprintf("workers=%d/k=%d", workers, k), func(t *testing.T) {
+				dir := t.TempDir()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				cw := &stmtCancelWriter{k: k, cancel: cancel}
+				sys, err := gluenail.Open(dir,
+					gluenail.WithFsync(gluenail.FsyncAlways),
+					gluenail.WithTrace(cw),
+					gluenail.WithParallelism(workers),
+					gluenail.WithParallelThreshold(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Load(cancelProg(len(cancelStmts))); err != nil {
+					t.Fatal(err)
+				}
+				seedCancel(t, sys, seedN)
+				if k == 0 {
+					cancel()
+				}
+				_, callErr := sys.CallContext(ctx, "main", "work", []any{})
+				if k <= len(cancelStmts) {
+					if !errors.Is(callErr, gluenail.ErrCanceled) {
+						t.Fatalf("want ErrCanceled at k=%d, got %v", k, callErr)
+					}
+				} else if callErr != nil && !errors.Is(callErr, gluenail.ErrCanceled) {
+					// Cancelling on the final (return) statement's line may
+					// race the call finishing; either is a clean outcome.
+					t.Fatalf("unexpected error at k=%d: %v", k, callErr)
+				}
+
+				// Simulated crash: abandon without Close, recover the dir.
+				want := prefixes[min(k, len(cancelStmts))]
+				re, err := gluenail.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := relDump(t, re, "mark", 2); got != want {
+					t.Fatalf("recovered state is not the statement-%d prefix:\ngot:\n%swant:\n%s",
+						min(k, len(cancelStmts)), got, want)
+				}
+
+				// Resume: the recovered system re-run to completion must be
+				// byte-identical to a never-interrupted run.
+				if err := re.Load(cancelProg(len(cancelStmts))); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := re.Call("main", "work", []any{}); err != nil {
+					t.Fatal(err)
+				}
+				if got := relDump(t, re, "mark", 2); got != full {
+					t.Fatalf("resumed run diverged from uninterrupted run:\ngot:\n%swant:\n%s", got, full)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestRandomizedCancelLandsOnPrefix is the nondeterministic suite:
+// cancellation and deadline faults injected at arbitrary wall-clock
+// points — including mid-statement, inside morsel-parallel segments —
+// must still recover to SOME clean statement prefix, never a torn state.
+func TestRandomizedCancelLandsOnPrefix(t *testing.T) {
+	const seedN = 24 // statement 5 derives 24x24 rows across morsels
+	prefixes := cancelPrefixes(t, seedN)
+	prefixSet := make(map[string]int, len(prefixes))
+	for k, p := range prefixes {
+		prefixSet[p] = k
+	}
+
+	const trials = 14
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			workers := 1 + trial%8
+			dir := t.TempDir()
+			opts := []gluenail.Option{
+				gluenail.WithFsync(gluenail.FsyncAlways),
+				gluenail.WithParallelism(workers),
+				gluenail.WithParallelThreshold(1),
+				gluenail.WithOutput(io.Discard),
+			}
+			// Alternate fault kind: even trials cancel after a staggered
+			// delay, odd trials inject a context deadline.
+			delay := time.Duration(200+700*trial) * time.Microsecond
+			if trial%2 == 1 {
+				opts = append(opts, gluenail.WithTimeout(delay))
+			}
+			sys, err := gluenail.Open(dir, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Load(cancelProg(len(cancelStmts))); err != nil {
+				t.Fatal(err)
+			}
+			seedCancel(t, sys, seedN)
+			ctx, cancel := context.WithCancel(context.Background())
+			if trial%2 == 0 {
+				go func() {
+					time.Sleep(delay)
+					cancel()
+				}()
+			}
+			_, callErr := sys.CallContext(ctx, "main", "work", []any{})
+			cancel()
+			if callErr != nil &&
+				!errors.Is(callErr, gluenail.ErrCanceled) &&
+				!errors.Is(callErr, gluenail.ErrTimeout) {
+				t.Fatalf("unexpected error kind: %v", callErr)
+			}
+
+			re, err := gluenail.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := relDump(t, re, "mark", 2)
+			k, ok := prefixSet[got]
+			if !ok {
+				t.Fatalf("recovered state matches no statement prefix (torn commit?):\n%s", got)
+			}
+			t.Logf("workers=%d delay=%v err=%v -> recovered at statement prefix %d", workers, delay, callErr, k)
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,14 @@ var (
 	fsyncE  = flag.String("fsync", "", "restrict E11 to one WAL fsync mode: always, batch, or none (default: sweep all)")
 	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+	// Governor budget armed on E14's governed runs. The defaults are far
+	// away on purpose: E14 measures what the always-on cancellation checks
+	// cost when nothing ever trips, which is the price every governed
+	// production query pays.
+	govTimeout = flag.Duration("timeout", time.Hour, "E14: wall-clock deadline armed on governed runs")
+	govTuples  = flag.Int64("max-tuples", 1<<40, "E14: tuple budget armed on governed runs")
+	govDepth   = flag.Int("max-depth", 0, "E14: recursion-depth limit on governed runs (0 = library default)")
 )
 
 func main() {
@@ -77,7 +86,8 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
-		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"F1", f1}, {"A1", a1},
+		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"E14", e14},
+		{"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -88,7 +98,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E11,F1,A1")
+		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E14,F1,A1")
 		os.Exit(1)
 	}
 }
@@ -429,6 +439,154 @@ func e13() {
 	check(err)
 	check(os.WriteFile("BENCH_E13.json", append(data, '\n'), 0o644))
 	fmt.Println("   wrote BENCH_E13.json")
+}
+
+// e14SpinSrc is an infinite repeat/until whose body re-derives a cross
+// product — wide enough to fan out over morsel workers — used to measure
+// how quickly a wall-clock deadline actually stops a runaway program.
+const e14SpinSrc = `
+edb e(X), big(X,Y);
+
+proc spin(:)
+  repeat
+    big(X,Y) := e(X) & e(Y).
+  until empty(e(_));
+  return(:) := e(_).
+end
+`
+
+// e14 measures the execution governor two ways. Overhead: the E13
+// closure + group-by workload run ungoverned versus under a never-firing
+// deadline + tuple budget (-timeout/-max-tuples/-max-depth set the armed
+// budget), which prices the per-instruction and per-8192-row cancellation
+// checks; the target recorded in EXPERIMENTS.md is <2%. Abort latency: an
+// infinite repeat/until loop under a short deadline must return
+// ErrTimeout within 2x the deadline at every worker count 1-8 — the
+// acceptance bound for cooperative cancellation granularity.
+func e14() {
+	const n, m, seed = 120, 240, 7
+	budget := gluenail.Budget{
+		Timeout:   *govTimeout,
+		MaxTuples: *govTuples,
+		MaxDepth:  *govDepth,
+	}
+	par := []gluenail.Option{
+		gluenail.WithParallelism(4), gluenail.WithParallelThreshold(64),
+	}
+	modes := []struct {
+		name     string
+		governed bool
+		opts     []gluenail.Option
+	}{
+		{"seq/ungoverned", false, nil},
+		{"seq/governed", true, []gluenail.Option{gluenail.WithBudget(budget)}},
+		{"4-workers/ungoverned", false, par},
+		{"4-workers/governed", true,
+			append(append([]gluenail.Option{}, par...), gluenail.WithBudget(budget))},
+	}
+	type rec struct {
+		Name        string  `json:"name"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		OverheadPct float64 `json:"overhead_pct_vs_ungoverned"`
+	}
+	var recs []rec
+	var rows [][]string
+	var ref string
+	var baseNs int64
+	for _, mode := range modes {
+		sys := bench.NewTCGroupSystem(n, m, seed, mode.opts...)
+		check(bench.RunTCGroup(sys))
+		got, err := bench.TCGroupResult(sys)
+		check(err)
+		if ref == "" {
+			ref = got
+		} else if got != ref {
+			check(fmt.Errorf("E14: %s changed the reach relation", mode.name))
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				check(bench.RunTCGroup(sys))
+			}
+		})
+		r := rec{Name: mode.name, NsPerOp: res.NsPerOp()}
+		over := "-"
+		if mode.governed {
+			r.OverheadPct = 100 * (float64(r.NsPerOp) - float64(baseNs)) / float64(baseNs)
+			over = fmt.Sprintf("%+.2f%%", r.OverheadPct)
+		} else {
+			baseNs = r.NsPerOp
+		}
+		recs = append(recs, r)
+		rows = append(rows, []string{
+			mode.name, ms(time.Duration(r.NsPerOp)), over,
+		})
+	}
+	table("E14: governor overhead on the E13 workload (armed, never fires)",
+		`a production governor is only free if its cancellation checks vanish against tuple work; target <2% overhead`,
+		[]string{"mode", "time/op", "overhead vs ungoverned"}, rows)
+
+	// Abort latency: the governor's cooperative checks bound how long a
+	// runaway loop survives past its deadline.
+	const smokeDeadline = 150 * time.Millisecond
+	type smokeRec struct {
+		Workers    int     `json:"workers"`
+		DeadlineMs float64 `json:"deadline_ms"`
+		ElapsedMs  float64 `json:"elapsed_ms"`
+		Within2x   bool    `json:"within_2x"`
+	}
+	var smoke []smokeRec
+	var srows [][]string
+	for w := 1; w <= 8; w++ {
+		sys := gluenail.New(
+			gluenail.WithBudget(gluenail.Budget{Timeout: smokeDeadline, MaxLoopIters: -1}),
+			gluenail.WithParallelism(w),
+			gluenail.WithParallelThreshold(1))
+		check(sys.Load(e14SpinSrc))
+		var es [][]any
+		for i := int64(0); i < 64; i++ {
+			es = append(es, []any{i})
+		}
+		check(sys.Assert("e", es...))
+		start := time.Now()
+		_, err := sys.Call("main", "spin", []any{})
+		elapsed := time.Since(start)
+		if !errors.Is(err, gluenail.ErrTimeout) {
+			check(fmt.Errorf("E14 smoke: want ErrTimeout at %d workers, got %v", w, err))
+		}
+		sr := smokeRec{
+			Workers:    w,
+			DeadlineMs: float64(smokeDeadline) / 1e6,
+			ElapsedMs:  float64(elapsed) / 1e6,
+			Within2x:   elapsed <= 2*smokeDeadline,
+		}
+		smoke = append(smoke, sr)
+		srows = append(srows, []string{
+			fmt.Sprint(w), ms(smokeDeadline), ms(elapsed), fmt.Sprint(sr.Within2x),
+		})
+	}
+	table("E14b: timeout abort latency on an infinite repeat/until loop",
+		`a deadline is only a guarantee if cooperative checks fire often enough; acceptance bound is abort within 2x the deadline at 1-8 workers`,
+		[]string{"workers", "deadline", "aborted after", "within 2x"}, srows)
+
+	out := struct {
+		Experiment string     `json:"experiment"`
+		Workload   string     `json:"workload"`
+		TargetPct  float64    `json:"target_overhead_pct"`
+		Modes      []rec      `json:"modes"`
+		Smoke      []smokeRec `json:"timeout_smoke"`
+	}{
+		Experiment: "E14 execution governor overhead + abort latency",
+		Workload: fmt.Sprintf(
+			"transitive closure + group_by count, %d string nodes, %d edges; smoke: infinite cross-product repeat at %v deadline",
+			n, m, smokeDeadline),
+		TargetPct: 2,
+		Modes:     recs,
+		Smoke:     smoke,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_E14.json", append(data, '\n'), 0o644))
+	fmt.Println("   wrote BENCH_E14.json")
 }
 
 func a1() {

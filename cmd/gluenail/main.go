@@ -22,6 +22,12 @@
 //	-naive        use naive instead of semi-naive evaluation
 //	-no-magic     disable magic-set rewriting
 //	-workers n    worker pool size for intra-segment parallelism
+//	-timeout d    wall-clock budget per query/call (e.g. -timeout 30s);
+//	              an expired call fails with a timeout error at a clean
+//	              statement boundary
+//	-max-tuples n max tuples inserted per query/call (memory budget)
+//	-max-depth n  max procedure-call recursion depth
+//	-max-iters n  max repeat-loop iterations (negative = unlimited)
 //	-cpuprofile f write a CPU profile to f (inspect with go tool pprof)
 //	-memprofile f write a heap profile to f on exit
 package main
@@ -65,6 +71,10 @@ func run() error {
 		workers     = flag.Int("workers", 0, "worker pool size for intra-segment parallelism (0 = GOMAXPROCS)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget per query/call (e.g. 30s; 0 = none)")
+		maxTuples   = flag.Int64("max-tuples", 0, "max tuples inserted per query/call (0 = unlimited)")
+		maxDepth    = flag.Int("max-depth", 0, "max procedure-call recursion depth (0 = default, negative = unlimited)")
+		maxIters    = flag.Int("max-iters", 0, "max repeat-loop iterations (0 = default, negative = unlimited)")
 	)
 	var loadCSVs, saveCSVs []string
 	flag.Func("load-csv", "load rel=file.csv into the EDB (repeatable)", func(v string) error {
@@ -117,6 +127,14 @@ func run() error {
 	}
 	if *workers != 0 {
 		opts = append(opts, gluenail.WithParallelism(*workers))
+	}
+	if *timeout != 0 || *maxTuples != 0 || *maxDepth != 0 || *maxIters != 0 {
+		opts = append(opts, gluenail.WithBudget(gluenail.Budget{
+			Timeout:      *timeout,
+			MaxTuples:    *maxTuples,
+			MaxDepth:     *maxDepth,
+			MaxLoopIters: *maxIters,
+		}))
 	}
 	var sys *gluenail.System
 	if *dataDir != "" {

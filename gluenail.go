@@ -29,12 +29,15 @@ package gluenail
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"gluenail/internal/ast"
 	"gluenail/internal/modsys"
@@ -83,6 +86,7 @@ type config struct {
 	durDir       string
 	fsync        FsyncMode
 	ckptBytes    int64
+	budget       Budget
 }
 
 // Option configures a System.
@@ -159,6 +163,66 @@ func WithoutDispatchNarrowing() Option {
 // WithLoopLimit bounds repeat-loop iterations; 0 means unlimited. The
 // default is 1,000,000.
 func WithLoopLimit(n int) Option { return func(c *config) { c.loopLimit = n } }
+
+// Execution-governor errors, re-exported for errors.Is classification.
+// Every governed failure is a *GovernorError wrapping exactly one of
+// these sentinels and carrying the active procedure and statement label.
+var (
+	ErrCanceled     = vm.ErrCanceled     // the call's context was canceled
+	ErrTimeout      = vm.ErrTimeout      // the wall-clock budget expired
+	ErrMemoryBudget = vm.ErrMemoryBudget // a tuple or cardinality budget tripped
+	ErrDepthLimit   = vm.ErrDepthLimit   // procedure calls nested too deep
+	ErrLoopLimit    = vm.ErrLoopLimit    // a repeat loop ran too long
+	ErrPanic        = vm.ErrPanic        // an internal panic was contained
+	ErrPoisoned     = vm.ErrPoisoned     // the system was poisoned by a panic
+)
+
+// GovernorError is the typed failure raised by the execution governor;
+// see the vm package for field documentation.
+type GovernorError = vm.GovernorError
+
+// DefaultMaxDepth is the procedure-call recursion limit applied when no
+// budget overrides it.
+const DefaultMaxDepth = vm.DefaultMaxDepth
+
+// Budget bounds the resources one governed call may consume. The zero
+// value of each field keeps that dimension at its default; a negative
+// MaxDepth or MaxLoopIters lifts the corresponding default limit
+// entirely.
+type Budget struct {
+	// Timeout is the wall-clock budget per Query/Call (0 = none): the
+	// governor cancels the call's context after this duration and the
+	// call fails with ErrTimeout at the next cooperative check.
+	Timeout time.Duration
+	// MaxTuples bounds the total tuples inserted (EDB + scratch) during
+	// one call (0 = unlimited), enforced from the storage layer's insert
+	// counters; exceeding it fails with ErrMemoryBudget.
+	MaxTuples int64
+	// MaxRelRows bounds the cardinality of any single relation the
+	// program writes (0 = unlimited); exceeding it fails with
+	// ErrMemoryBudget naming the relation.
+	MaxRelRows int
+	// MaxDepth bounds procedure-call nesting (0 = DefaultMaxDepth,
+	// negative = unlimited); exceeding it fails with ErrDepthLimit.
+	MaxDepth int
+	// MaxLoopIters bounds repeat-loop iterations (0 = keep the
+	// WithLoopLimit setting, negative = unlimited); exceeding it fails
+	// with ErrLoopLimit.
+	MaxLoopIters int
+}
+
+// WithBudget installs resource budgets enforced by the execution
+// governor. Budgeted calls fail with a typed *GovernorError instead of
+// hanging or exhausting memory; the system stays usable afterwards.
+func WithBudget(b Budget) Option { return func(c *config) { c.budget = b } }
+
+// WithTimeout sets the wall-clock budget per Query/Call (shorthand for
+// WithBudget(Budget{Timeout: d})); an expired call fails with ErrTimeout
+// at a clean statement boundary — committed statements stay durable, the
+// interrupted statement's effects are discarded from the WAL.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.budget.Timeout = d }
+}
 
 // WithParallelism sets the worker count for intra-segment morsel
 // parallelism: 0 (the default) uses GOMAXPROCS, 1 forces fully sequential
@@ -405,6 +469,38 @@ func (s *System) Load(src string) error {
 	return nil
 }
 
+// LoadContext is Load under the caller's context: an already-cancelled or
+// expired context fails with a *GovernorError before any source is
+// accepted, so batch loaders can share one deadline across loads and
+// queries.
+func (s *System) LoadContext(ctx context.Context, src string) error {
+	if err := ctxGovErr(ctx); err != nil {
+		return err
+	}
+	return s.Load(src)
+}
+
+// execCtx layers the configured wall-clock budget onto the caller's
+// context; the returned cancel must run when the call finishes.
+func (s *System) execCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.budget.Timeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.budget.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// ctxGovErr converts a context failure into the governor's typed error.
+func ctxGovErr(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &GovernorError{Limit: ErrTimeout}
+	default:
+		return &GovernorError{Limit: ErrCanceled}
+	}
+}
+
 // LoadFile loads source from a file.
 func (s *System) LoadFile(path string) error {
 	data, err := os.ReadFile(path)
@@ -475,6 +571,22 @@ func (s *System) ensure() error {
 	s.machine.In = bufio.NewReader(s.cfg.in)
 	s.machine.Materialized = s.cfg.materialized
 	s.machine.LoopLimit = s.cfg.loopLimit
+	switch {
+	case s.cfg.budget.MaxLoopIters > 0:
+		s.machine.LoopLimit = s.cfg.budget.MaxLoopIters
+	case s.cfg.budget.MaxLoopIters < 0:
+		s.machine.LoopLimit = 0
+	}
+	switch {
+	case s.cfg.budget.MaxDepth > 0:
+		s.machine.MaxDepth = s.cfg.budget.MaxDepth
+	case s.cfg.budget.MaxDepth < 0:
+		s.machine.MaxDepth = 0
+	default:
+		s.machine.MaxDepth = vm.DefaultMaxDepth
+	}
+	s.machine.MaxTuples = s.cfg.budget.MaxTuples
+	s.machine.MaxRelRows = s.cfg.budget.MaxRelRows
 	s.machine.Parallelism = s.cfg.parallelism
 	s.machine.ParallelThreshold = s.cfg.parThreshold
 	s.machine.StringKeyKernels = s.cfg.stringKeys
@@ -484,6 +596,10 @@ func (s *System) ensure() error {
 	s.machine.Trace = s.cfg.trace
 	if s.wlog != nil {
 		s.machine.Commit = s.commit
+		// A failed or cancelled top-level statement discards its partial
+		// WAL deltas, so the next commit seals only whole statements and
+		// recovery stays a statement-boundary prefix.
+		s.machine.Abort = s.recorder.Discard
 	}
 	s.queries = make(map[string]compiledQuery)
 	s.compiled = true
@@ -597,11 +713,24 @@ type Result struct {
 
 // Query evaluates a goal conjunction in the main module's scope.
 func (s *System) Query(goals string) (*Result, error) {
-	return s.QueryIn("main", goals)
+	return s.QueryInContext(context.Background(), "main", goals)
+}
+
+// QueryContext is Query under the caller's context: cancellation or an
+// expired deadline aborts evaluation at a clean statement boundary with a
+// *GovernorError (ErrCanceled / ErrTimeout). The configured WithTimeout
+// budget, if any, also applies.
+func (s *System) QueryContext(ctx context.Context, goals string) (*Result, error) {
+	return s.QueryInContext(ctx, "main", goals)
 }
 
 // QueryIn evaluates a goal conjunction in the named module's scope.
 func (s *System) QueryIn(module, goals string) (*Result, error) {
+	return s.QueryInContext(context.Background(), module, goals)
+}
+
+// QueryInContext is QueryIn under the caller's context; see QueryContext.
+func (s *System) QueryInContext(ctx context.Context, module, goals string) (*Result, error) {
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -609,7 +738,9 @@ func (s *System) QueryIn(module, goals string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tuples, err := s.machine.CallProc(id, []term.Tuple{{}})
+	ctx, cancel := s.execCtx(ctx)
+	defer cancel()
+	tuples, err := s.machine.CallProcContext(ctx, id, []term.Tuple{{}})
 	if err != nil {
 		return nil, err
 	}
@@ -679,7 +810,9 @@ func (s *System) explainQuery(module, goals string, analyze bool) (string, error
 	}
 	if analyze {
 		s.machine.ResetProfiles()
-		if _, err := s.machine.CallProc(id, []term.Tuple{{}}); err != nil {
+		ctx, cancel := s.execCtx(context.Background())
+		defer cancel()
+		if _, err := s.machine.CallProcContext(ctx, id, []term.Tuple{{}}); err != nil {
 			return "", err
 		}
 	}
@@ -736,6 +869,15 @@ func (s *System) renderPhysical(rootID string, analyze bool) (string, error) {
 // Call invokes an exported procedure with the given input tuples (nil for
 // a procedure with no bound arguments) and returns its sorted results.
 func (s *System) Call(module, proc string, in ...[]any) ([][]Value, error) {
+	return s.CallContext(context.Background(), module, proc, in...)
+}
+
+// CallContext is Call under the caller's context: cancellation or an
+// expired deadline aborts the procedure at a clean statement boundary
+// with a *GovernorError — every statement committed before the abort
+// stays durable, the interrupted statement's effects are discarded from
+// the WAL. The configured WithTimeout budget, if any, also applies.
+func (s *System) CallContext(ctx context.Context, module, proc string, in ...[]any) ([][]Value, error) {
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -754,7 +896,9 @@ func (s *System) Call(module, proc string, in ...[]any) ([][]Value, error) {
 		}
 		tuples = append(tuples, t)
 	}
-	results, err := s.machine.CallProc(sym.Module+"."+proc, tuples)
+	ctx, cancel := s.execCtx(ctx)
+	defer cancel()
+	results, err := s.machine.CallProcContext(ctx, sym.Module+"."+proc, tuples)
 	if err != nil {
 		return nil, err
 	}

@@ -155,6 +155,13 @@ type Stats struct {
 	CatalogProbes int64 // layered backend only
 }
 
+// TuplesInserted returns the cumulative insert count with an atomic load,
+// so the execution governor can poll the tuple budget from morsel workers
+// while other goroutines account their inserts.
+func (s *Stats) TuplesInserted() int64 {
+	return atomic.LoadInt64(&s.Inserts)
+}
+
 // Rel is the interface the executor uses to talk to a relation, satisfied by
 // both the tailored main-memory implementation and the layered baseline.
 type Rel interface {

@@ -100,6 +100,13 @@ func (f *frame) groupRows(rows [][]term.Value, regs []int, par bool, workers int
 				hashes[ri] = rowHashLive(rows[ri], regs)
 			}
 		})
+		if f.m.govTripped() {
+			// Drained pool may have skipped morsels; redo sequentially so
+			// grouping stays correct until the abort surfaces.
+			for ri := range rows {
+				hashes[ri] = rowHashLive(rows[ri], regs)
+			}
+		}
 	} else {
 		for ri := range rows {
 			hashes[ri] = rowHashLive(rows[ri], regs)

@@ -37,6 +37,9 @@ func (f *frame) applyBarrier(b plan.BarrierOp, rows [][]term.Value,
 			switch b.Kind {
 			case ast.UpdateInsert:
 				rel.Insert(tup)
+				if err := f.checkRelBudget(rel); err != nil {
+					return nil, err
+				}
 			case ast.UpdateDelete:
 				rel.Delete(tup)
 			}

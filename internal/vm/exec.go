@@ -18,6 +18,13 @@ type stmtState struct {
 
 func (f *frame) execStmt(st *plan.Stmt) error {
 	atomic.AddInt64(&f.m.Stats.StmtsExecuted, 1)
+	// Track the active statement for governor errors and panic
+	// containment. Restored only on success — a restore during panic
+	// unwinding (a defer) would erase the label before the recover at the
+	// CallProcContext boundary reads it, and on the error path the failing
+	// statement is exactly the right label to keep.
+	prevProc, prevStmt := f.m.curProc, f.m.curStmt
+	f.m.curProc, f.m.curStmt = f.proc.ID, st.Label
 	// Re-plan on every execution: planning is O(ops²) over live statistics,
 	// so repeat-loop iterations adapt their op order as semi-naive deltas
 	// shrink, and observed selectivities from earlier executions feed the
@@ -36,6 +43,7 @@ func (f *frame) execStmt(st *plan.Stmt) error {
 	if err != nil {
 		return fmt.Errorf("statement %q: %w", st.Label, err)
 	}
+	f.m.curProc, f.m.curStmt = prevProc, prevStmt
 	return nil
 }
 
@@ -172,6 +180,11 @@ func (f *frame) runPipe(step *plan.PhysStep, rows [][]term.Value, sprof *plan.St
 		if i == len(ops) {
 			out = append(out, cloneRow(row))
 			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)
+			// Periodic in-segment governor check: a runaway cross product
+			// must not outrun the statement-boundary checks.
+			if len(out)&(govCheckRows-1) == 0 {
+				return f.m.pollGovernor()
+			}
 			return nil
 		}
 		return f.applyPipeOp(ops[i], rels[i], have[i], &scratch[i], row, func() error { return rec(i+1, row) })
@@ -512,6 +525,9 @@ func (f *frame) applyHead(st *plan.Stmt, rows [][]term.Value) error {
 			tuples = append(tuples, tup)
 		}
 		applyHeadOp(st, rel, tuples)
+		if err := f.checkRelBudget(rel); err != nil {
+			return err
+		}
 		if st.Head.IsReturn {
 			f.returned = true
 		}
@@ -552,6 +568,9 @@ func (f *frame) applyHead(st *plan.Stmt, rows [][]term.Value) error {
 	f.releaseTable(t)
 	for _, g := range targets {
 		applyHeadOp(st, g.rel, g.tuples)
+		if err := f.checkRelBudget(g.rel); err != nil {
+			return err
+		}
 	}
 	if st.Head.IsReturn {
 		f.returned = true

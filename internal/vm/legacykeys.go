@@ -77,14 +77,26 @@ func (f *frame) dedupRowsParallelStringKey(rows [][]term.Value, live []int, work
 			hashes[i] = fnvHash(keys[i])
 		}
 	})
+	if f.m.govTripped() {
+		// Drained pool may have skipped morsels; redo sequentially so the
+		// dedup stays correct until the abort surfaces at the caller.
+		var buf []byte
+		for i := range rows {
+			buf = appendDedupKey(buf[:0], rows[i], live)
+			keys[i] = string(buf)
+			hashes[i] = fnvHash(keys[i])
+		}
+	}
 	shards := workers
 	dup := make([]bool, len(rows))
 	var removed int64
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(shards)
 	for p := 0; p < shards; p++ {
 		go func(p int) {
 			defer wg.Done()
+			defer box.capture()
 			seen := make(map[string]bool, len(rows)/shards+1)
 			var local int64
 			for i, h := range hashes {
@@ -102,6 +114,7 @@ func (f *frame) dedupRowsParallelStringKey(rows [][]term.Value, live []int, work
 		}(p)
 	}
 	wg.Wait()
+	box.rethrow()
 	out := rows[:0]
 	for i, row := range rows {
 		if !dup[i] {
@@ -129,6 +142,18 @@ func (f *frame) groupRowsStringKey(rows [][]term.Value, regs []int, par bool, wo
 				keys[ri] = string(buf)
 			}
 		})
+		if f.m.govTripped() {
+			// Drained pool may have skipped morsels; redo sequentially so
+			// grouping stays correct until the abort surfaces.
+			var buf []byte
+			for ri, row := range rows {
+				buf = buf[:0]
+				for _, r := range regs {
+					buf = term.AppendValue(buf, row[r])
+				}
+				keys[ri] = string(buf)
+			}
+		}
 	} else {
 		var buf []byte
 		for ri, row := range rows {
@@ -209,6 +234,9 @@ func (f *frame) applyHeadStringKey(st *plan.Stmt, rows [][]term.Value) error {
 	for _, k := range order {
 		g := groups[k]
 		applyHeadOp(st, g.rel, g.tuples)
+		if err := f.checkRelBudget(g.rel); err != nil {
+			return err
+		}
 	}
 	if st.Head.IsReturn {
 		f.returned = true

@@ -9,6 +9,7 @@ package vm
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -36,6 +37,9 @@ type ExecStats struct {
 	RowsDeduped        int64
 	ProcCalls          int64
 	DynDispatches      int64
+	// GovernorChecks counts cooperative governor polls (cancellation +
+	// budget checks); E14 uses it to attribute the governor's overhead.
+	GovernorChecks int64
 }
 
 // Machine executes a compiled program against an EDB store.
@@ -85,10 +89,41 @@ type Machine struct {
 	// of the statement into one atomic batch. Statements of nested
 	// procedure calls commit with the outer statement that invoked them.
 	Commit func() error
-	Stats  ExecStats
+	// Abort, when non-nil, is invoked when a top-level statement fails
+	// (error, cancellation, budget trip, or contained panic): the WAL
+	// recorder discards the statement's partial EDB deltas so the next
+	// commit seals only whole statements.
+	Abort func()
+	// MaxDepth bounds procedure-call nesting (0 = unlimited): a
+	// self-recursive procedure fails with ErrDepthLimit instead of
+	// overflowing the goroutine stack. The public API defaults it to
+	// DefaultMaxDepth.
+	MaxDepth int
+	// MaxTuples bounds the total tuples inserted (EDB + temp) during one
+	// top-level call (0 = unlimited); exceeding it fails with
+	// ErrMemoryBudget at the next governor check.
+	MaxTuples int64
+	// MaxRelRows bounds the cardinality of any single relation written by
+	// the program (0 = unlimited); checked after every head application
+	// and in-body update.
+	MaxRelRows int
+	Stats      ExecStats
 
 	frameID   uint64
 	callDepth int
+	// gov is the active execution governor, installed for the duration of
+	// one top-level CallProcContext; nil when the call is ungoverned.
+	// curProc/curStmt track the active statement for error labelling.
+	// poisoned marks the machine unusable after a contained panic: the
+	// panic may have unwound mid-mutation, so storage invariants are no
+	// longer trusted and further calls are rejected with ErrPoisoned.
+	// Governor and budget errors do NOT poison — they abort at clean
+	// boundaries and the machine stays reusable.
+	gov          *governor
+	curProc      string
+	curStmt      string
+	poisoned     bool
+	poisonDetail string
 	// profiles accumulates per-statement execution feedback (per-op tuple
 	// counts); lastPhys remembers the physical plan each statement last
 	// executed with. Both are touched only by the executing goroutine —
@@ -187,6 +222,44 @@ func (m *Machine) tracef(format string, args ...any) {
 // of the procedure's in relation (for a 0-bound procedure pass a single
 // empty tuple). It returns the tuples assigned to return.
 func (m *Machine) CallProc(id string, in []term.Tuple) ([]term.Tuple, error) {
+	return m.CallProcContext(context.Background(), id, in)
+}
+
+// CallProcContext is CallProc under an execution governor: the context's
+// cancellation/deadline and the machine's budgets are polled cooperatively
+// at instruction boundaries, repeat-loop iterations, morsel claims, and
+// every govCheckRows emitted rows, and a trip aborts at a clean statement
+// boundary (the failed statement's WAL deltas are discarded via Abort, so
+// durable state stays a statement-boundary prefix). A top-level call also
+// arms panic containment: an internal panic is converted to a
+// *GovernorError wrapping ErrPanic that carries the active statement
+// label, and the machine is poisoned — subsequent calls fail with
+// ErrPoisoned because the panic may have unwound mid-mutation. Governor
+// and budget failures do not poison; the machine stays reusable.
+func (m *Machine) CallProcContext(ctx context.Context, id string, in []term.Tuple) (out []term.Tuple, err error) {
+	if m.callDepth == 0 {
+		if m.poisoned {
+			return nil, &GovernorError{Limit: ErrPoisoned, Detail: m.poisonDetail}
+		}
+		m.installGovernor(ctx)
+		defer func() {
+			m.gov = nil
+			if r := recover(); r != nil {
+				m.poisoned = true
+				m.poisonDetail = fmt.Sprint(r)
+				if m.Abort != nil {
+					m.Abort()
+				}
+				out, err = nil, &GovernorError{Limit: ErrPanic,
+					Proc: m.curProc, Stmt: m.curStmt, Detail: fmt.Sprint(r)}
+			}
+			m.curProc, m.curStmt = "", ""
+		}()
+	}
+	return m.callProc(id, in)
+}
+
+func (m *Machine) callProc(id string, in []term.Tuple) ([]term.Tuple, error) {
 	proc, ok := m.Prog.Procs[id]
 	if !ok {
 		return nil, fmt.Errorf("vm: no procedure %q", id)
@@ -195,6 +268,10 @@ func (m *Machine) CallProc(id string, in []term.Tuple) ([]term.Tuple, error) {
 	atomic.AddInt64(&m.Stats.ProcCalls, 1)
 	m.callDepth++
 	defer func() { m.callDepth-- }()
+	if m.MaxDepth > 0 && m.callDepth > m.MaxDepth {
+		return nil, &RuntimeError{ProcID: id, Err: m.govErr(ErrDepthLimit,
+			fmt.Sprintf("call depth %d exceeds limit %d", m.callDepth, m.MaxDepth))}
+	}
 	m.frameID++
 	f := &frame{m: m, proc: proc, id: m.frameID}
 	defer f.drop()
@@ -254,9 +331,16 @@ func (f *frame) execInstrs(instrs []plan.Instr) error {
 		if f.returned {
 			return nil
 		}
+		// Instruction boundaries are the governor's primary check sites:
+		// they bracket every statement and every WAL commit point, so a
+		// cancelled call always aborts with whole statements committed.
+		if err := f.m.pollGovernor(); err != nil {
+			return err
+		}
 		switch in := in.(type) {
 		case *plan.ExecStmt:
 			if err := f.execStmt(in.S); err != nil {
+				f.m.abortPoint()
 				return err
 			}
 			if err := f.m.commitPoint(); err != nil {
@@ -268,7 +352,11 @@ func (f *frame) execInstrs(instrs []plan.Instr) error {
 				atomic.AddInt64(&f.m.Stats.LoopIterations, 1)
 				iters++
 				if f.m.LoopLimit > 0 && iters > f.m.LoopLimit {
-					return fmt.Errorf("repeat loop exceeded %d iterations", f.m.LoopLimit)
+					return &GovernorError{Limit: ErrLoopLimit, Proc: f.proc.ID,
+						Detail: fmt.Sprintf("repeat loop exceeded %d iterations", f.m.LoopLimit)}
+				}
+				if err := f.m.pollGovernor(); err != nil {
+					return err
 				}
 				if err := f.execInstrs(in.Body); err != nil {
 					return err

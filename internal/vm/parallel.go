@@ -59,9 +59,40 @@ func morsels(n, workers int) []morsel {
 	return ms
 }
 
+// panicBox carries the first panic out of a worker pool to the caller's
+// goroutine: workers `defer box.capture()`, the caller calls rethrow after
+// the pool has joined. Re-raising on the caller means the single recover
+// at the CallProcContext boundary contains worker panics too, with no
+// goroutine left running or leaked.
+type panicBox struct {
+	p atomic.Pointer[panicVal]
+}
+
+type panicVal struct{ v any }
+
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		b.p.CompareAndSwap(nil, &panicVal{v: r})
+	}
+}
+
+func (b *panicBox) tripped() bool { return b.p.Load() != nil }
+
+func (b *panicBox) rethrow() {
+	if pv := b.p.Load(); pv != nil {
+		panic(pv.v)
+	}
+}
+
 // runMorsels drains the morsel list with up to `workers` goroutines, each
 // pulling the next morsel index from a shared cursor. fn runs once per
 // morsel; callers keep per-morsel state and merge it in index order.
+// Every worker re-checks the governor and the pool's panic flag before
+// claiming a morsel, so on cancellation or a sibling's panic the pool
+// drains: workers stop claiming, the caller joins all of them in wg.Wait,
+// and only then does the first panic re-raise on the caller's goroutine.
+// All exits — success, error, cancel, panic — pass through wg.Wait, so no
+// error path leaks a worker goroutine.
 func (m *Machine) runMorsels(ms []morsel, workers int, fn func(mi int)) {
 	if len(ms) == 1 {
 		fn(0)
@@ -71,12 +102,17 @@ func (m *Machine) runMorsels(ms []morsel, workers int, fn func(mi int)) {
 		workers = len(ms)
 	}
 	var next atomic.Int64
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer box.capture()
 			for {
+				if box.tripped() || m.govTripped() {
+					return
+				}
 				mi := int(next.Add(1)) - 1
 				if mi >= len(ms) {
 					return
@@ -86,6 +122,7 @@ func (m *Machine) runMorsels(ms []morsel, workers int, fn func(mi int)) {
 		}()
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // projectedRows estimates how many driver rows the segment will produce,
@@ -121,6 +158,9 @@ func (f *frame) materializeOp(op plan.PipeOp, rel storage.Rel, haveRel bool,
 		err := f.applyPipeOp(op, rel, haveRel, &sk, row, func() error {
 			out = append(out, cloneRow(row))
 			atomic.AddInt64(&f.m.Stats.TuplesMaterialized, 1)
+			if len(out)&(govCheckRows-1) == 0 {
+				return f.m.pollGovernor()
+			}
 			return nil
 		})
 		if err != nil {
@@ -190,6 +230,9 @@ func (f *frame) runPipeParallel(step *plan.PhysStep, ops []plan.PipeOp,
 			if i == len(ops) {
 				out = append(out, cloneRow(row))
 				stored++
+				if stored&(govCheckRows-1) == 0 {
+					return f.m.pollGovernor()
+				}
 				return nil
 			}
 			return f.applyPipeOp(ops[i], rels[i], have[i], &scratch[i], row,
@@ -216,6 +259,11 @@ func (f *frame) runPipeParallel(step *plan.PhysStep, ops []plan.PipeOp,
 			return nil, errs[mi]
 		}
 		total += len(results[mi])
+	}
+	// A governor trip drains the pool mid-list, leaving skipped morsels'
+	// results empty; surface the abort before anyone consumes the merge.
+	if err := f.m.pollGovernor(); err != nil {
+		return nil, err
 	}
 	merged := make([][]term.Value, 0, total)
 	for _, r := range results {
@@ -256,6 +304,12 @@ func (f *frame) parMapRows(rows [][]term.Value, workers int,
 		}
 		total += len(results[mi])
 	}
+	// Skipped morsels from a governor drain must not merge as silently
+	// missing rows (callers like applyCall rely on fn's side effects for
+	// every row index).
+	if err := f.m.pollGovernor(); err != nil {
+		return nil, err
+	}
 	merged := make([][]term.Value, 0, total)
 	for _, r := range results {
 		merged = append(merged, r...)
@@ -278,14 +332,24 @@ func (f *frame) dedupRowsParallel(rows [][]term.Value, live []int, workers int) 
 			hashes[i] = rowHashLive(rows[i], live)
 		}
 	})
+	if f.m.govTripped() {
+		// The pool may have drained mid-pass, leaving zero hashes; dedup
+		// has no error path, so redo the pass sequentially — the governed
+		// abort itself surfaces at the caller's next check.
+		for i := range rows {
+			hashes[i] = rowHashLive(rows[i], live)
+		}
+	}
 	shards := workers
 	dup := make([]bool, len(rows))
 	var removed int64
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(shards)
 	for p := 0; p < shards; p++ {
 		go func(p int) {
 			defer wg.Done()
+			defer box.capture()
 			var t hashTable
 			t.reset(len(rows)/shards + 1)
 			cand := 0
@@ -305,6 +369,7 @@ func (f *frame) dedupRowsParallel(rows [][]term.Value, live []int, workers int) 
 		}(p)
 	}
 	wg.Wait()
+	box.rethrow()
 	out := rows[:0]
 	for i, row := range rows {
 		if !dup[i] {

@@ -68,6 +68,17 @@ func (r *Recorder) Take() []Op {
 	return ops
 }
 
+// Discard drops the deltas captured since the last Take. The executor's
+// abort hook calls it when a top-level statement fails or is cancelled
+// mid-flight: without the discard, the dead statement's partial deltas
+// would ride along into the next statement's commit batch, and recovery
+// would no longer land on a statement-boundary prefix.
+func (r *Recorder) Discard() {
+	r.mu.Lock()
+	r.ops = nil
+	r.mu.Unlock()
+}
+
 // Pending returns the number of captured, not-yet-taken delta batches.
 func (r *Recorder) Pending() int {
 	r.mu.Lock()
