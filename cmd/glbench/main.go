@@ -87,7 +87,7 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
 		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"E14", e14},
-		{"F1", f1}, {"A1", a1},
+		{"E15", e15}, {"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -98,7 +98,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E14,F1,A1")
+		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E15,F1,A1")
 		os.Exit(1)
 	}
 }
@@ -587,6 +587,104 @@ func e14() {
 	check(err)
 	check(os.WriteFile("BENCH_E14.json", append(data, '\n'), 0o644))
 	fmt.Println("   wrote BENCH_E14.json")
+}
+
+// e15 measures the repeated-small-query hot path: the same bound
+// conjunctive query (5-relation star join with range filters) issued over
+// and over against a stable EDB, the workload the prepared-plan cache and
+// the vectorized batch kernels exist for. The 2x2 ablation grid isolates
+// each half: plan cache on/off x batch kernels on/off, with "neither"
+// matching the pre-cache baseline. Every mode must report the same result
+// cardinality, and the cached modes must show a steady-state hit rate
+// (zero misses during measurement). Recorded in BENCH_E15.json for CI.
+func e15() {
+	const customers, ordersPer, itemsPer = 512, 8, 6
+	const warmups = 3
+	modes := []struct {
+		name string
+		opts []gluenail.Option
+	}{
+		{"cache+batch", nil},
+		{"cache-only", []gluenail.Option{gluenail.WithBatchKernels(false)}},
+		{"batch-only", []gluenail.Option{gluenail.WithPlanCache(false)}},
+		{"neither", []gluenail.Option{
+			gluenail.WithPlanCache(false), gluenail.WithBatchKernels(false),
+		}},
+	}
+	type rec struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+		CacheHits   int64  `json:"plan_cache_hits"`
+		CacheMisses int64  `json:"plan_cache_misses"`
+	}
+	var recs []rec
+	var rows [][]string
+	ref := -1
+	for _, mode := range modes {
+		opts := append([]gluenail.Option{gluenail.WithParallelism(1)}, mode.opts...)
+		sys := bench.NewRepeatedQuerySystem(customers, ordersPer, itemsPer, opts...)
+		for w := 0; w < warmups; w++ {
+			n, err := bench.RunRepeatedQuery(sys)
+			check(err)
+			if n == 0 {
+				check(fmt.Errorf("E15: %s produced no rows", mode.name))
+			}
+			if ref < 0 {
+				ref = n
+			} else if n != ref {
+				check(fmt.Errorf("E15: %s returned %d rows, want %d", mode.name, n, ref))
+			}
+		}
+		before := sys.PlanCacheStats()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunRepeatedQuery(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		after := sys.PlanCacheStats()
+		cached := mode.name == "cache+batch" || mode.name == "cache-only"
+		if cached && after.Misses != before.Misses {
+			check(fmt.Errorf("E15: %s missed the warm plan cache %d times",
+				mode.name, after.Misses-before.Misses))
+		}
+		recs = append(recs, rec{
+			Name:        mode.name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			CacheHits:   after.Hits,
+			CacheMisses: after.Misses,
+		})
+		rows = append(rows, []string{
+			mode.name,
+			ms(time.Duration(res.NsPerOp())),
+			fmt.Sprint(res.AllocsPerOp()),
+			fmt.Sprint(res.AllocedBytesPerOp()),
+			ratio(time.Duration(recs[0].NsPerOp), time.Duration(res.NsPerOp())),
+		})
+	}
+	table("E15: repeated-query hot path (plan cache x batch kernels, identical results)",
+		`the paper's compiled-query model assumes a query is planned once and run many times; caching physical plans and batching the inner loops makes the repeated run pay only execution`,
+		[]string{"mode", "time/op", "allocs/op", "bytes/op", "vs cache+batch"}, rows)
+	out := struct {
+		Experiment string `json:"experiment"`
+		Workload   string `json:"workload"`
+		Modes      []rec  `json:"modes"`
+	}{
+		Experiment: "E15 repeated-query hot path",
+		Workload: fmt.Sprintf("bound 5-relation star query repeated on a stable EDB, %d customers x %d orders x %d items",
+			customers, ordersPer, itemsPer),
+		Modes: recs,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_E15.json", append(data, '\n'), 0o644))
+	fmt.Println("   wrote BENCH_E15.json")
 }
 
 func a1() {

@@ -21,6 +21,11 @@
 //	-module m     module scope for queries (default "main")
 //	-naive        use naive instead of semi-naive evaluation
 //	-no-magic     disable magic-set rewriting
+//	-plan-cache   cache physical plans across repeated statements
+//	              (default true; -plan-cache=false re-plans every time)
+//	-batch-kernels
+//	              vectorized batch execution kernels (default true;
+//	              -batch-kernels=false runs tuple-at-a-time)
 //	-workers n    worker pool size for intra-segment parallelism
 //	-timeout d    wall-clock budget per query/call (e.g. -timeout 30s);
 //	              an expired call fails with a timeout error at a clean
@@ -69,6 +74,8 @@ func run() error {
 		trace       = flag.Bool("trace", false, "trace statement execution to stderr")
 		stats       = flag.Bool("stats", false, "print executor statistics after the run")
 		workers     = flag.Int("workers", 0, "worker pool size for intra-segment parallelism (0 = GOMAXPROCS)")
+		planCache   = flag.Bool("plan-cache", true, "cache physical plans across repeated statements (invalidated on stats-epoch or selectivity drift)")
+		batchKern   = flag.Bool("batch-kernels", true, "vectorized batch execution kernels (false = scalar tuple-at-a-time)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per query/call (e.g. 30s; 0 = none)")
@@ -127,6 +134,12 @@ func run() error {
 	}
 	if *workers != 0 {
 		opts = append(opts, gluenail.WithParallelism(*workers))
+	}
+	if !*planCache {
+		opts = append(opts, gluenail.WithPlanCache(false))
+	}
+	if !*batchKern {
+		opts = append(opts, gluenail.WithBatchKernels(false))
 	}
 	if *timeout != 0 || *maxTuples != 0 || *maxDepth != 0 || *maxIters != 0 {
 		opts = append(opts, gluenail.WithBudget(gluenail.Budget{
@@ -282,6 +295,9 @@ func run() error {
 			"stats: EDB %d inserts, %d deletes, %d rows scanned, %d index builds; scratch %d relations created\n",
 			st.EDB.Inserts, st.EDB.Deletes, st.EDB.RowsScanned, st.EDB.IndexBuilds,
 			st.Scratch.RelsCreated)
+		pc := sys.PlanCacheStats()
+		fmt.Fprintf(os.Stderr, "stats: plan cache %d hits, %d misses, %d invalidations\n",
+			pc.Hits, pc.Misses, pc.Invalidations)
 	}
 	return nil
 }
@@ -304,18 +320,22 @@ func answer(sys *gluenail.System, module, goals string) error {
 	if err != nil {
 		return err
 	}
+	printResult(res)
+	return nil
+}
+
+func printResult(res *gluenail.Result) {
 	if len(res.Vars) == 0 {
 		if len(res.Rows) > 0 {
 			fmt.Println("true")
 		} else {
 			fmt.Println("false")
 		}
-		return nil
+		return
 	}
 	fmt.Println(strings.Join(res.Vars, "\t"))
 	printRows(res.Rows)
 	fmt.Printf("(%d answers)\n", len(res.Rows))
-	return nil
 }
 
 func printRows(rows [][]gluenail.Value) {
@@ -331,6 +351,10 @@ func printRows(rows [][]gluenail.Value) {
 func repl(sys *gluenail.System, module string) error {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Println("Glue-Nail interactive query loop; enter goal conjunctions, or 'quit'.")
+	// Prepared handles per goal text: re-entering a query reuses its
+	// compiled procedure (and, through the prepared-plan cache, its
+	// physical plans) instead of re-parsing and re-compiling.
+	prepared := make(map[string]*gluenail.Prepared)
 	for {
 		fmt.Print("?- ")
 		if !sc.Scan() {
@@ -344,8 +368,21 @@ func repl(sys *gluenail.System, module string) error {
 		if line == "quit" || line == "exit" {
 			return nil
 		}
-		if err := answer(sys, module, line); err != nil {
-			fmt.Println("error:", err)
+		p, ok := prepared[line]
+		if !ok {
+			var err error
+			p, err = sys.PrepareIn(module, line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			prepared[line] = p
 		}
+		res, err := p.Execute()
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
 	}
 }

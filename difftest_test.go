@@ -32,16 +32,18 @@ func refClosure(edges [][2]int, src int) map[int]bool {
 }
 
 var allConfigs = map[string][]Option{
-	"default":      nil,
-	"materialized": {WithMaterializedExecution()},
-	"no-dedup":     {WithoutDupElimination()},
-	"no-reorder":   {WithoutReordering()},
-	"greedy-order": {WithGreedyOrdering()},
-	"no-magic":     {WithoutMagicSets()},
-	"naive":        {WithNaiveEvaluation()},
-	"no-narrow":    {WithoutDispatchNarrowing()},
-	"layered":      {WithLayeredBackend()},
-	"string-keys":  {WithStringKeyKernels()},
+	"default":        nil,
+	"materialized":   {WithMaterializedExecution()},
+	"no-dedup":       {WithoutDupElimination()},
+	"no-reorder":     {WithoutReordering()},
+	"greedy-order":   {WithGreedyOrdering()},
+	"no-magic":       {WithoutMagicSets()},
+	"naive":          {WithNaiveEvaluation()},
+	"no-narrow":      {WithoutDispatchNarrowing()},
+	"layered":        {WithLayeredBackend()},
+	"string-keys":    {WithStringKeyKernels()},
+	"scalar-kernels": {WithBatchKernels(false)},
+	"no-plan-cache":  {WithPlanCache(false)},
 }
 
 func TestQuickClosureMatchesReference(t *testing.T) {

@@ -82,6 +82,8 @@ type config struct {
 	parThreshold int
 	greedyOrder  bool
 	stringKeys   bool
+	planCache    bool
+	batchKernels bool
 	planOpts     plan.Options
 	durDir       string
 	fsync        FsyncMode
@@ -141,6 +143,24 @@ func WithGreedyOrdering() Option {
 // open-addressing kernels — the E13 ablation baseline. Results are
 // byte-identical either way.
 func WithStringKeyKernels() Option { return func(c *config) { c.stringKeys = true } }
+
+// WithPlanCache enables or disables the prepared-plan cache (on by
+// default): physical plans are cached per statement, keyed by the
+// referenced relations' statistics epochs and the statement's bound-
+// variable masks, and invalidated when executor selectivity feedback
+// drifts past a threshold. Repeated statements skip the greedy reorderer
+// and its op cloning entirely. A cached plan is never wrong — any
+// runnable op order yields the same results — so this is a pure
+// performance ablation (the E15 baseline axis).
+func WithPlanCache(on bool) Option { return func(c *config) { c.planCache = on } }
+
+// WithBatchKernels enables or disables the vectorized batch execution
+// kernels (on by default): pipeline segments run op-at-a-time over
+// column-major register vectors with selection-vector filters and
+// column-wise probe emission, instead of tuple-at-a-time interpretation.
+// Results are byte-identical to the scalar kernels at every worker count
+// (the second E15 baseline axis).
+func WithBatchKernels(on bool) Option { return func(c *config) { c.batchKernels = on } }
 
 // WithoutMagicSets disables magic-set rewriting of bound NAIL! calls (E9
 // baseline).
@@ -293,6 +313,9 @@ type System struct {
 	// queries caches compiled query procedures by module and goal text;
 	// reset whenever the program is recompiled.
 	queries map[string]compiledQuery
+	// gen counts recompilations; Prepared handles carry the generation
+	// they were compiled under and transparently re-prepare when it moves.
+	gen uint64
 	// Durability state: wlog/recorder are non-nil when the EDB is backed
 	// by a write-ahead log; durErr records a failed recovery (every
 	// operation then reports it).
@@ -312,10 +335,12 @@ type compiledQuery struct {
 // parallelism; WithParallelism and WithParallelThreshold override them.
 func New(opts ...Option) *System {
 	cfg := config{
-		out:         os.Stdout,
-		in:          strings.NewReader(""),
-		indexPolicy: storage.IndexAdaptive,
-		loopLimit:   1_000_000,
+		out:          os.Stdout,
+		in:           strings.NewReader(""),
+		indexPolicy:  storage.IndexAdaptive,
+		loopLimit:    1_000_000,
+		planCache:    true,
+		batchKernels: true,
 	}
 	if s := os.Getenv("GLUENAIL_WORKERS"); s != "" {
 		if n, err := strconv.Atoi(s); err == nil {
@@ -590,6 +615,8 @@ func (s *System) ensure() error {
 	s.machine.Parallelism = s.cfg.parallelism
 	s.machine.ParallelThreshold = s.cfg.parThreshold
 	s.machine.StringKeyKernels = s.cfg.stringKeys
+	s.machine.PlanCache = s.cfg.planCache
+	s.machine.BatchKernels = s.cfg.batchKernels
 	// Textual and greedy orderings are ablations: both must execute the
 	// compiled op order, so either disables run-time reordering.
 	s.machine.StatsOrdering = !s.cfg.greedyOrder && !s.cfg.planOpts.NoReorder
@@ -602,6 +629,7 @@ func (s *System) ensure() error {
 		s.machine.Abort = s.recorder.Discard
 	}
 	s.queries = make(map[string]compiledQuery)
+	s.gen++
 	s.compiled = true
 	return nil
 }
@@ -738,6 +766,13 @@ func (s *System) QueryInContext(ctx context.Context, module, goals string) (*Res
 	if err != nil {
 		return nil, err
 	}
+	return s.runQueryProc(ctx, id, vars)
+}
+
+// runQueryProc executes an already-compiled query procedure and shapes
+// its answers into a Result: the shared tail of Query and
+// Prepared.Execute.
+func (s *System) runQueryProc(ctx context.Context, id string, vars []string) (*Result, error) {
 	ctx, cancel := s.execCtx(ctx)
 	defer cancel()
 	tuples, err := s.machine.CallProcContext(ctx, id, []term.Tuple{{}})
@@ -752,6 +787,68 @@ func (s *System) QueryInContext(ctx context.Context, module, goals string) (*Res
 		res.Rows = append(res.Rows, []Value(t))
 	}
 	return res, nil
+}
+
+// Prepared is a reusable handle to a compiled query: the goal conjunction
+// is parsed and compiled once, and every Execute reuses the compiled
+// procedure — together with the prepared-plan cache, a repeated query
+// pays parsing, compilation, and physical planning only once. A handle
+// survives subsequent Load/Register calls: it transparently re-prepares
+// itself when the program has been recompiled underneath it.
+type Prepared struct {
+	sys    *System
+	module string
+	goals  string
+	id     string
+	vars   []string
+	gen    uint64
+}
+
+// Prepare compiles a goal conjunction in the main module's scope into a
+// reusable query handle.
+func (s *System) Prepare(goals string) (*Prepared, error) {
+	return s.PrepareIn("main", goals)
+}
+
+// PrepareIn is Prepare scoped to the named module.
+func (s *System) PrepareIn(module, goals string) (*Prepared, error) {
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	id, vars, err := s.prepareQuery(module, goals)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{sys: s, module: module, goals: goals, id: id, vars: vars, gen: s.gen}, nil
+}
+
+// Vars returns the query's output variable names in first-occurrence
+// order (the columns of every Execute result).
+func (p *Prepared) Vars() []string { return p.vars }
+
+// Execute runs the prepared query and returns its sorted answers.
+func (p *Prepared) Execute() (*Result, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute under the caller's context; see QueryContext
+// for cancellation semantics.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	s := p.sys
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	if p.gen != s.gen {
+		// The program was recompiled since this handle was prepared (new
+		// Load or Register): the old procedure ID is gone, so re-prepare
+		// against the fresh compilation.
+		id, vars, err := s.prepareQuery(p.module, p.goals)
+		if err != nil {
+			return nil, err
+		}
+		p.id, p.vars, p.gen = id, vars, s.gen
+	}
+	return s.runQueryProc(ctx, p.id, p.vars)
 }
 
 // prepareQuery compiles a goal conjunction into a query procedure (cached
@@ -816,7 +913,23 @@ func (s *System) explainQuery(module, goals string, analyze bool) (string, error
 			return "", err
 		}
 	}
-	return s.renderPhysical(id, analyze)
+	text, err := s.renderPhysical(id, analyze)
+	if err != nil || !analyze {
+		return text, err
+	}
+	return text + s.planCacheTrailer(), nil
+}
+
+// planCacheTrailer renders the prepared-plan cache counters accumulated
+// since the last profile reset — EXPLAIN ANALYZE resets them before its
+// run, so the line describes exactly that execution.
+func (s *System) planCacheTrailer() string {
+	if !s.cfg.planCache {
+		return "\nplan cache: disabled\n"
+	}
+	cs := s.machine.PlanCacheStats()
+	return fmt.Sprintf("\nplan cache: hits=%d misses=%d invalidations=%d\n",
+		cs.Hits, cs.Misses, cs.Invalidations)
 }
 
 // ExplainAnalyzeCall invokes an exported procedure like Call, then returns
@@ -831,7 +944,11 @@ func (s *System) ExplainAnalyzeCall(module, proc string, in ...[]any) (string, e
 		return "", err
 	}
 	sym := s.lp.Resolve(module, proc)
-	return s.renderPhysical(sym.Module+"."+proc, true)
+	text, err := s.renderPhysical(sym.Module+"."+proc, true)
+	if err != nil {
+		return "", err
+	}
+	return text + s.planCacheTrailer(), nil
 }
 
 // ExplainProcPhysical renders a compiled procedure's physical plan (and
@@ -959,6 +1076,19 @@ type Stats struct {
 	Exec    vm.ExecStats
 	EDB     storage.Stats
 	Scratch storage.Stats
+}
+
+// PlanCacheStats holds the prepared-plan cache's hit/miss/invalidation
+// counters.
+type PlanCacheStats = plan.CacheStats
+
+// PlanCacheStats returns a snapshot of the prepared-plan cache counters
+// (all zero before the first query, or with the cache disabled).
+func (s *System) PlanCacheStats() PlanCacheStats {
+	if s.machine == nil {
+		return PlanCacheStats{}
+	}
+	return s.machine.PlanCacheStats()
 }
 
 // Stats returns a snapshot of the current counters.

@@ -729,6 +729,72 @@ func TCGroupResult(sys *gluenail.System) (string, error) {
 	return sb.String(), nil
 }
 
+// ---------- E15: repeated small bound queries (prepared plans + batch kernels) ----------
+
+// repeatedQueryProgram is the E15 schema: an order/items/stock/supplier/
+// region star. The workload issues the same bound customer lookup over
+// and over — the interactive pattern of §4's set-at-a-time procedure
+// calls — so per-query planning overhead, not data volume, dominates
+// unless plans are reused.
+const repeatedQueryProgram = `
+edb orders(C, O), items(O, I, P), stock(I, S), supplier(I, U), region(U, R);
+`
+
+// RepeatedQueryGoals is the E15 query text: a bound-customer probe feeding
+// a four-deep index-probe chain through selective range filters. The
+// statement is long enough that the statistics-driven physical planner
+// does real work per query; identical text every time, so the compiled
+// statement is shared and the plan cache can serve every run after the
+// first.
+const RepeatedQueryGoals = "orders(42, O) & items(O, I, P) & P > 30 & P < 90 & " +
+	"stock(I, S) & S > 0 & S < 5 & supplier(I, U) & U != 13 & region(U, R) & R > 1"
+
+// NewRepeatedQuerySystem builds the E15 system: customers x ordersPer
+// orders, itemsPer items per order with deterministic pseudo-random
+// prices, and one stock, supplier, and region row per item.
+func NewRepeatedQuerySystem(customers, ordersPer, itemsPer int, opts ...gluenail.Option) *gluenail.System {
+	sys := gluenail.New(opts...)
+	if err := sys.Load(repeatedQueryProgram); err != nil {
+		panic(err)
+	}
+	nItems := customers * ordersPer
+	var ord, it, st, su, re [][]any
+	o := 0
+	for c := 0; c < customers; c++ {
+		for k := 0; k < ordersPer; k++ {
+			ord = append(ord, []any{c, o})
+			for j := 0; j < itemsPer; j++ {
+				item := (o*7 + j*13) % nItems
+				it = append(it, []any{o, item, (item*17 + j*29) % 120})
+			}
+			o++
+		}
+	}
+	for i := 0; i < nItems; i++ {
+		st = append(st, []any{i, i % 7})
+		su = append(su, []any{i, i % 97})
+	}
+	for u := 0; u < 97; u++ {
+		re = append(re, []any{u, u % 4})
+	}
+	must(sys.Assert("orders", ord...))
+	must(sys.Assert("items", it...))
+	must(sys.Assert("stock", st...))
+	must(sys.Assert("supplier", su...))
+	must(sys.Assert("region", re...))
+	return sys
+}
+
+// RunRepeatedQuery issues the E15 query once, returning the row count so
+// harnesses can verify every configuration answers identically.
+func RunRepeatedQuery(sys *gluenail.System) (int, error) {
+	res, err := sys.Query(RepeatedQueryGoals)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
 func must(err error) {
 	if err != nil {
 		panic(err)

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"testing"
+
+	"gluenail/internal/term"
+)
+
+func intTuple(vals ...int64) term.Tuple {
+	t := make(term.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = term.NewInt(v)
+	}
+	return t
+}
+
+// TestStatsEpochGeometricBumps checks the prepared-plan cache's invalidation
+// contract: the epoch advances on doublings, halvings, and Clear, but stays
+// put across the small steady-state deltas a repeat loop produces.
+func TestStatsEpochGeometricBumps(t *testing.T) {
+	r := NewRelation(term.Intern("r"), 1, IndexAdaptive, nil)
+	if r.StatsEpoch() != 0 {
+		t.Fatalf("fresh relation has epoch %d, want 0", r.StatsEpoch())
+	}
+	for i := int64(0); i < 1000; i++ {
+		r.Insert(intTuple(i))
+	}
+	grown := r.StatsEpoch()
+	if grown == 0 {
+		t.Fatal("growing 0 -> 1000 rows never advanced the epoch")
+	}
+	if grown > 16 {
+		t.Fatalf("1000 inserts advanced the epoch %d times; want O(log n)", grown)
+	}
+
+	// Steady state: insert/delete churn that never doubles or halves the
+	// cardinality must keep the epoch (cached plans stay valid).
+	for i := int64(0); i < 200; i++ {
+		r.Insert(intTuple(2000 + i))
+		r.Delete(intTuple(2000 + i))
+	}
+	if r.StatsEpoch() != grown {
+		t.Errorf("steady-state churn moved the epoch %d -> %d", grown, r.StatsEpoch())
+	}
+
+	// Shrinking far enough must advance it. The reference point is the
+	// cardinality at the last bump (at most the current count, at least
+	// half of it), so dropping below a quarter of the peak is always past
+	// the halving threshold.
+	for i := int64(0); i < 800; i++ {
+		r.Delete(intTuple(i))
+	}
+	shrunk := r.StatsEpoch()
+	if shrunk == grown {
+		t.Error("shrinking 1000 -> 200 rows never advanced the epoch")
+	}
+
+	r.Clear()
+	if r.StatsEpoch() == shrunk {
+		t.Error("Clear did not advance the epoch")
+	}
+}
+
+// TestStatsEpochLayered checks the layered baseline forwards the epoch.
+func TestStatsEpochLayered(t *testing.T) {
+	s := NewLayeredStore(IndexAdaptive)
+	rel := s.Ensure(term.Intern("r"), 1)
+	before := rel.StatsEpoch()
+	for i := int64(0); i < 100; i++ {
+		rel.Insert(intTuple(i))
+	}
+	if rel.StatsEpoch() == before {
+		t.Error("layered relation epoch did not advance on growth")
+	}
+}

@@ -65,14 +65,43 @@ const (
 	sketchBits = 8192
 )
 
-// colStats estimates the number of distinct values in one column.
+// colStats estimates the number of distinct values in one column. Adds
+// are buffered: the insert path only appends the value hash, and the
+// map/sketch folding happens when an estimate (or a removal) actually
+// needs the digest. Transient relations — query results, per-frame
+// temporaries — are written once and never planned against, so they
+// never pay for distinct tracking at all.
 type colStats struct {
-	exact  map[uint64]uint32 // value hash -> multiplicity, while small
-	sketch []uint64          // linear-counting bitmap once exact overflows
-	ones   int               // set bits in sketch
+	pending []uint64          // hashes added since the last flush
+	exact   map[uint64]uint32 // value hash -> multiplicity, while small
+	sketch  []uint64          // linear-counting bitmap once exact overflows
+	ones    int               // set bits in sketch
 }
 
+// pendingFlushLimit bounds the add buffer: a relation that is only ever
+// written folds its backlog inline every so often instead of growing it
+// without limit.
+const pendingFlushLimit = 1024
+
 func (c *colStats) add(h uint64) {
+	c.pending = append(c.pending, h)
+	if len(c.pending) >= pendingFlushLimit {
+		c.flush()
+	}
+}
+
+// flush folds the buffered hashes into the exact map or the sketch.
+func (c *colStats) flush() {
+	if len(c.pending) == 0 {
+		return
+	}
+	for _, h := range c.pending {
+		c.fold(h)
+	}
+	c.pending = c.pending[:0]
+}
+
+func (c *colStats) fold(h uint64) {
 	if c.sketch == nil {
 		if c.exact == nil {
 			c.exact = make(map[uint64]uint32)
@@ -114,6 +143,7 @@ func (c *colStats) set(h uint64) {
 }
 
 func (c *colStats) remove(h uint64) {
+	c.flush()
 	if c.exact == nil {
 		return // sketches cannot forget; Clear resets them
 	}
@@ -128,6 +158,7 @@ func (c *colStats) remove(h uint64) {
 
 // estimate returns the distinct-value estimate for the column.
 func (c *colStats) estimate() int {
+	c.flush()
 	if c.sketch == nil {
 		return len(c.exact)
 	}
@@ -203,6 +234,13 @@ type Rel interface {
 	// statement-prepare time (never concurrently with a writer, per the
 	// reader/writer contract above).
 	DistinctEst(col int) int
+	// StatsEpoch returns a counter that advances whenever the relation's
+	// statistics change *materially*: the cardinality roughly doubles or
+	// halves since the last epoch, or the relation is cleared. Unlike
+	// Version (bumped on every mutation), the epoch is stable across the
+	// small deltas of a repeat loop's steady state, so the prepared-plan
+	// cache can key plans on it without invalidating on every insert.
+	StatsEpoch() uint64
 	// UnionDiff inserts every tuple of batch and returns the sub-batch of
 	// tuples that were genuinely new — the delta needed by semi-naive
 	// evaluation (§10's uniondiff operator).
@@ -241,6 +279,13 @@ type Relation struct {
 	n       int // live tuples
 	dead    int // tombstones in tuples
 	version uint64
+	// statsEpoch/epochRows implement Rel.StatsEpoch: epochRows remembers
+	// the cardinality at the last epoch bump, and mutations advance the
+	// epoch once the live count doubles past it or falls below half of it.
+	// The thresholds are geometric, so a relation growing to n rows bumps
+	// O(log n) times — repeat-loop steady states keep their epoch.
+	statsEpoch uint64
+	epochRows  int
 
 	policy IndexPolicy
 	stats  *Stats
@@ -249,8 +294,13 @@ type Relation struct {
 	journal Journal
 	// cols tracks per-column distinct-value estimates, maintained by the
 	// (single) writer on Insert/Delete/Clear and read by the physical
-	// planner between statements.
-	cols []colStats
+	// planner between statements. statsMu serializes DistinctEst readers
+	// against each other: estimating now folds the lazily buffered adds,
+	// so a concurrent planner pair must not race on the digest. The writer
+	// paths stay unguarded — writes already exclude all readers by the
+	// Rel contract.
+	cols    []colStats
+	statsMu sync.Mutex
 
 	// mu guards indexes, scanCredit, and onces so concurrent Lookups can
 	// share adaptive-index state. The write lock is held only for the
@@ -298,12 +348,28 @@ func (r *Relation) Len() int { return r.n }
 // Version implements Rel.
 func (r *Relation) Version() uint64 { return r.version }
 
+// StatsEpoch implements Rel.
+func (r *Relation) StatsEpoch() uint64 { return r.statsEpoch }
+
+// noteEpoch advances the statistics epoch when the live tuple count has
+// doubled past — or fallen below half of — the count recorded at the last
+// bump. Called by the (single) writer after every cardinality change.
+func (r *Relation) noteEpoch() {
+	if r.n > 2*r.epochRows || 2*r.n < r.epochRows {
+		r.statsEpoch++
+		r.epochRows = r.n
+	}
+}
+
 // DistinctEst implements Rel.
 func (r *Relation) DistinctEst(col int) int {
 	if col < 0 || col >= len(r.cols) {
 		return 0
 	}
-	return r.cols[col].estimate()
+	r.statsMu.Lock()
+	n := r.cols[col].estimate()
+	r.statsMu.Unlock()
+	return n
 }
 
 // Insert implements Rel.
@@ -323,6 +389,7 @@ func (r *Relation) Insert(t term.Tuple) bool {
 	r.hashes = append(r.hashes, h)
 	r.n++
 	r.version++
+	r.noteEpoch()
 	for i := range t {
 		if i < len(r.cols) {
 			r.cols[i].add(t[i].Hash())
@@ -363,6 +430,7 @@ func (r *Relation) Delete(t term.Tuple) bool {
 		}
 		r.n--
 		r.version++
+		r.noteEpoch()
 		for ci := range u {
 			if ci < len(r.cols) {
 				r.cols[ci].remove(u[ci].Hash())
@@ -429,6 +497,10 @@ func (r *Relation) Clear() {
 	r.n = 0
 	r.dead = 0
 	r.version++
+	// Clear always opens a new epoch: every cached plan over this relation
+	// was derived from statistics that no longer describe anything.
+	r.statsEpoch++
+	r.epochRows = 0
 	r.cols = make([]colStats, r.arity)
 	r.mu.Lock()
 	r.indexes = nil

@@ -25,12 +25,15 @@ func (f *frame) execStmt(st *plan.Stmt) error {
 	// statement is exactly the right label to keep.
 	prevProc, prevStmt := f.m.curProc, f.m.curStmt
 	f.m.curProc, f.m.curStmt = f.proc.ID, st.Label
-	// Re-plan on every execution: planning is O(ops²) over live statistics,
-	// so repeat-loop iterations adapt their op order as semi-naive deltas
-	// shrink, and observed selectivities from earlier executions feed the
-	// cost model.
+	// Plan or reuse: planning is O(ops²) over live statistics, so repeat
+	// iterations adapt their op order as semi-naive deltas shrink and
+	// observed selectivities feed the cost model — but the prepared-plan
+	// cache (plancache.go) serves the previous plan back whenever the
+	// referenced relations' stats epochs and the observed selectivities
+	// still match, so the repeated-query hot path skips the reorder and
+	// its op clones entirely.
 	prof := f.m.profileFor(st)
-	pp := f.planner().PlanStmt(st, prof)
+	pp := f.stmtPlan(st, prof)
 	f.m.lastPhys[st] = pp
 	prof.Execs++
 	rows, err := f.runSteps(st.NRegs, pp.Steps, prof)
@@ -48,7 +51,7 @@ func (f *frame) execStmt(st *plan.Stmt) error {
 }
 
 func (f *frame) evalCond(c *plan.Cond) (bool, error) {
-	psteps := f.planner().PlanSteps(c.Steps, nil)
+	psteps := f.condPlan(c)
 	rows, err := f.runSteps(c.NRegs, psteps, nil)
 	if err != nil {
 		return false, err
@@ -168,6 +171,9 @@ func (f *frame) runPipe(step *plan.PhysStep, rows [][]term.Value, sprof *plan.St
 		if projectedRows(ops, rels, have, len(rows), thr) >= thr {
 			return f.runPipeParallel(step, ops, rels, have, rows, workers, sprof, cnt)
 		}
+	}
+	if f.m.BatchKernels {
+		return f.runPipeBatch(ops, rels, have, rows, cnt)
 	}
 	var out [][]term.Value
 	// One probe-key scratch per op: ops at different pipeline depths hold
@@ -438,6 +444,9 @@ func (f *frame) dedupRows(rows [][]term.Value, live []int) [][]term.Value {
 	}
 	if par {
 		return f.dedupRowsParallel(rows, live, workers)
+	}
+	if f.m.BatchKernels {
+		return f.dedupRowsBatch(rows, live)
 	}
 	t := f.grabTable(len(rows))
 	out := rows[:0]

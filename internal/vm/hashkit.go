@@ -175,3 +175,18 @@ func (f *frame) grabTable(n int) *hashTable {
 func (f *frame) releaseTable(t *hashTable) {
 	f.scratch = append(f.scratch, t)
 }
+
+// grabHashes takes the frame's pooled bulk-hash vector, sized to n
+// (batch.go's dedup kernel). Same sequential-per-frame contract as
+// grabTable.
+func (f *frame) grabHashes(n int) []uint64 {
+	if cap(f.hashBuf) >= n {
+		return f.hashBuf[:n]
+	}
+	f.hashBuf = make([]uint64, n)
+	return f.hashBuf
+}
+
+func (f *frame) releaseHashes(h []uint64) {
+	f.hashBuf = h[:0]
+}

@@ -80,6 +80,21 @@ type Machine struct {
 	// open-addressing kernels. Kept as the E13 ablation baseline; results
 	// are byte-identical either way.
 	StringKeyKernels bool
+	// PlanCache enables the prepared-plan cache: a statement's physical
+	// plan is reused across executions while the stats epochs of its
+	// referenced relations hold and executor selectivity feedback stays
+	// within the drift threshold, skipping the greedy reorder and op
+	// cloning on the repeated-query hot path. New enables it; disabled, the
+	// planner re-derives every plan (the pre-cache baseline). Plans are
+	// identical either way — a stale plan can only be slower, never wrong.
+	PlanCache bool
+	// BatchKernels routes segment pipelines through the vectorized
+	// batch-at-a-time kernels (batch.go): column-major register vectors,
+	// selection vectors for filters, and batched probes, processed
+	// op-at-a-time over whole morsels instead of tuple-at-a-time recursion.
+	// New enables it; disabled, the scalar nested-loop path runs (the
+	// pre-vectorization baseline). Results are byte-identical either way.
+	BatchKernels bool
 	// Trace, when non-nil, receives one line per statement execution and
 	// procedure call — the executor's narration of §3.2's evaluation.
 	Trace io.Writer
@@ -131,6 +146,9 @@ type Machine struct {
 	// segments.
 	profiles map[*plan.Stmt]*plan.StmtProfile
 	lastPhys map[*plan.Stmt]*plan.PhysPlan
+	// planCache holds the prepared plans served when PlanCache is on; same
+	// single-goroutine contract as profiles.
+	planCache *plan.PlanCache
 }
 
 // New returns a machine over the program and EDB store, with frame-local
@@ -151,17 +169,27 @@ func New(prog *plan.Program, edb, temp storage.Store, reg *Registry) *Machine {
 		Out:           os.Stdout,
 		In:            bufio.NewReader(strings.NewReader("")),
 		StatsOrdering: true,
+		PlanCache:     true,
+		BatchKernels:  true,
 		profiles:      make(map[*plan.Stmt]*plan.StmtProfile),
 		lastPhys:      make(map[*plan.Stmt]*plan.PhysPlan),
+		planCache:     plan.NewPlanCache(),
 	}
 }
 
 // ResetProfiles clears the accumulated per-op execution counters and the
-// cached physical plans, so EXPLAIN ANALYZE measures exactly one run.
+// cached physical plans, so EXPLAIN ANALYZE measures exactly one run. The
+// prepared-plan cache resets with them: its drift check compares cached
+// estimates against exactly these profiles.
 func (m *Machine) ResetProfiles() {
 	m.profiles = make(map[*plan.Stmt]*plan.StmtProfile)
 	m.lastPhys = make(map[*plan.Stmt]*plan.PhysPlan)
+	m.planCache.Reset()
 }
+
+// PlanCacheStats snapshots the prepared-plan cache's hit/miss/invalidation
+// counters.
+func (m *Machine) PlanCacheStats() plan.CacheStats { return m.planCache.Stats() }
 
 // profileFor returns (allocating on first use) the feedback profile of a
 // statement.
@@ -311,6 +339,9 @@ type frame struct {
 	// statements — and repeat-loop iterations — this frame executes;
 	// statements run sequentially per frame, so no locking.
 	scratch []*hashTable
+	// hashBuf pools the bulk row-hash vector of the batched dedup kernel
+	// (batch.go), under the same sequential-per-frame contract.
+	hashBuf []uint64
 }
 
 // relName builds the unique temp-store name for a frame-local relation.

@@ -223,6 +223,24 @@ func (f *frame) runPipeParallel(step *plan.PhysStep, ops []plan.PipeOp,
 		var out [][]term.Value
 		var stored int64
 		local := make([]int64, len(ops)+1)
+		if f.m.BatchKernels {
+			// Batched morsel: the same column-major kernels as the
+			// sequential path, over this morsel's contiguous row range.
+			// Per-morsel output order is what the scalar recursion yields,
+			// so the in-order merge below stays byte-identical.
+			bout, err := f.runPipeBatch(ops, rels, have, rows[ms[mi].start:ms[mi].end], local)
+			if err != nil {
+				errs[mi] = err
+				failed.Store(true)
+			}
+			results[mi] = bout
+			for i, c := range local {
+				if c != 0 {
+					atomic.AddInt64(&cnt[opBase+i], c)
+				}
+			}
+			return
+		}
 		scratch := make([]term.Tuple, len(ops)) // per-worker probe keys
 		var rec func(i int, row []term.Value) error
 		rec = func(i int, row []term.Value) error {

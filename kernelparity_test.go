@@ -7,10 +7,12 @@ import (
 	"testing/quick"
 )
 
-// Kernel-parity differential tests: the hash-first kernels (interned
-// atoms, cached row hashes, open-addressing dedup/group/probe tables) and
-// the legacy string-key kernels retained behind WithStringKeyKernels must
-// produce byte-identical results on every program at every worker count.
+// Kernel-parity differential tests: the vectorized batch kernels (on by
+// default), the scalar tuple-at-a-time kernels behind WithBatchKernels
+// (false), the hash-first kernels (interned atoms, cached row hashes,
+// open-addressing dedup/group/probe tables), and the legacy string-key
+// kernels retained behind WithStringKeyKernels must produce byte-identical
+// results on every program at every worker count.
 
 // TestHiLogDispatchKernelParity is the regression test for the cached head
 // dispatch key: a dispatch-heavy HiLog program — computed head names
@@ -43,8 +45,10 @@ end
 	var ref []string
 	var refName string
 	for name, opts := range map[string][]Option{
-		"hash-first": nil,
-		"string-key": {WithStringKeyKernels()},
+		"batch":             nil,
+		"scalar":            {WithBatchKernels(false)},
+		"string-key":        {WithStringKeyKernels()},
+		"scalar+string-key": {WithBatchKernels(false), WithStringKeyKernels()},
 	} {
 		for _, workers := range []int{1, 4} {
 			all := append([]Option{WithParallelism(workers), WithParallelThreshold(8)}, opts...)
@@ -87,8 +91,10 @@ end
 // families at 1–8 workers: every configuration must agree row for row.
 func TestQuickKernelParity(t *testing.T) {
 	kernels := map[string][]Option{
-		"hash-first": nil,
-		"string-key": {WithStringKeyKernels()},
+		"batch":             nil,
+		"scalar":            {WithBatchKernels(false)},
+		"string-key":        {WithStringKeyKernels()},
+		"scalar+string-key": {WithBatchKernels(false), WithStringKeyKernels()},
 	}
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
