@@ -9,21 +9,27 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"text/tabwriter"
 	"time"
 
 	"gluenail"
 	"gluenail/internal/bench"
+	"gluenail/internal/server"
 	"gluenail/internal/storage"
 )
 
@@ -87,7 +93,7 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
 		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"E14", e14},
-		{"E15", e15}, {"F1", f1}, {"A1", a1},
+		{"E15", e15}, {"E16", e16}, {"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -98,7 +104,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E15,F1,A1")
+		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E16,F1,A1")
 		os.Exit(1)
 	}
 }
@@ -685,6 +691,192 @@ func e15() {
 	check(err)
 	check(os.WriteFile("BENCH_E15.json", append(data, '\n'), 0o644))
 	fmt.Println("   wrote BENCH_E15.json")
+}
+
+// e16 measures the multi-session server: sustained throughput and tail
+// latency for a mixed read/write workload over the wire, swept from 1 to
+// 64 concurrent reader sessions while one writer session continuously
+// churns a disjoint region of the EDB. Every reader runs inside a read
+// transaction (begin/query.../end) and byte-compares each answer of a
+// recursive query against its first — any difference is an isolation
+// violation, and a single one fails the run. The claim under test: MVCC
+// snapshots keep readers byte-stable and writers un-blocked, so read
+// p99 stays flat as the writer commits throughout. Recorded in
+// BENCH_E16.json for CI.
+func e16() {
+	const (
+		chain      = 64     // reader component: tc(1,X) yields `chain` rows
+		writerBase = 100000 // writer component, disjoint from the readers'
+		measure    = 400 * time.Millisecond
+	)
+
+	sys := gluenail.New()
+	check(sys.Load("edb edge(X,Y); tc(X,Y) :- edge(X,Y). tc(X,Z) :- tc(X,Y) & edge(Y,Z)."))
+	edges := make([][]any, chain)
+	for i := range edges {
+		edges[i] = []any{i + 1, i + 2}
+	}
+	check(sys.Assert("edge", edges...))
+
+	srv, err := server.New(server.Config{System: sys})
+	check(err)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go srv.Serve(lis)
+	addr := lis.Addr().String()
+
+	render := func(res *server.QueryResult) string {
+		var sb strings.Builder
+		for _, row := range res.Rows {
+			for _, v := range row {
+				sb.WriteString(v.String())
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	type rec struct {
+		Sessions   int     `json:"reader_sessions"`
+		ReadQPS    float64 `json:"read_qps"`
+		WriteQPS   float64 `json:"write_qps"`
+		P50Micros  int64   `json:"read_p50_us"`
+		P99Micros  int64   `json:"read_p99_us"`
+		Violations int64   `json:"isolation_violations"`
+	}
+	var recs []rec
+	var rows [][]string
+	for _, n := range []int{1, 4, 16, 64} {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var reads, writes, violations atomic.Int64
+		latCh := make(chan []time.Duration, n)
+
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := server.Dial(addr, 5*time.Second)
+				check(err)
+				defer c.Close()
+				if _, err := c.Begin(); err != nil {
+					check(err)
+				}
+				base, err := c.Query("tc(1,X)")
+				check(err)
+				want := render(base)
+				var lats []time.Duration
+				for {
+					select {
+					case <-stop:
+						check(c.End())
+						latCh <- lats
+						return
+					default:
+					}
+					t0 := time.Now()
+					res, err := c.Query("tc(1,X)")
+					check(err)
+					lats = append(lats, time.Since(t0))
+					reads.Add(1)
+					if render(res) != want {
+						violations.Add(1)
+					}
+				}
+			}()
+		}
+		// The writer churns its own component: assert a fresh edge, and
+		// periodically retract the batch so the EDB stays bounded.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := server.Dial(addr, 5*time.Second)
+			check(err)
+			defer c.Close()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := writerBase + i%256
+				if err := c.Assert("edge", []any{k, k + 1}); err != nil {
+					check(err)
+				}
+				writes.Add(1)
+				if i%256 == 255 {
+					for j := int64(0); j < 256; j++ {
+						if err := c.Retract("edge", []any{writerBase + j, writerBase + j + 1}); err != nil {
+							check(err)
+						}
+						writes.Add(1)
+					}
+				}
+			}
+		}()
+
+		start := time.Now()
+		time.Sleep(measure)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		var all []time.Duration
+		for r := 0; r < n; r++ {
+			all = append(all, <-latCh...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) time.Duration {
+			if len(all) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		if v := violations.Load(); v > 0 {
+			check(fmt.Errorf("E16: %d isolation violations at %d sessions", v, n))
+		}
+		r := rec{
+			Sessions:   n,
+			ReadQPS:    float64(reads.Load()) / elapsed.Seconds(),
+			WriteQPS:   float64(writes.Load()) / elapsed.Seconds(),
+			P50Micros:  pct(0.50).Microseconds(),
+			P99Micros:  pct(0.99).Microseconds(),
+			Violations: violations.Load(),
+		}
+		recs = append(recs, r)
+		rows = append(rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.0f", r.ReadQPS),
+			fmt.Sprintf("%.3f", float64(r.P50Micros)/1000),
+			fmt.Sprintf("%.3f", float64(r.P99Micros)/1000),
+			fmt.Sprintf("%.0f", r.WriteQPS),
+			fmt.Sprint(r.Violations),
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	check(srv.Shutdown(ctx))
+	cancel()
+
+	table(fmt.Sprintf("E16: multi-session server, snapshot-isolated reads under a live writer (GOMAXPROCS=%d)",
+		runtime.GOMAXPROCS(0)),
+		`a deductive database serving many sessions must keep readers consistent without blocking them on updates; MVCC snapshots give every read transaction a byte-stable view while the writer commits freely`,
+		[]string{"reader sessions", "read qps", "p50 ms", "p99 ms", "write qps", "violations"}, rows)
+	out := struct {
+		Experiment string `json:"experiment"`
+		Workload   string `json:"workload"`
+		Scales     []rec  `json:"scales"`
+	}{
+		Experiment: "E16 multi-session server under mixed read/write load",
+		Workload: fmt.Sprintf("recursive tc(1,X) over a %d-edge chain inside pinned read transactions, byte-compared per query, with one writer session churning a disjoint component; %s measurement window per scale",
+			chain, measure),
+		Scales: recs,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_E16.json", append(data, '\n'), 0o644))
+	fmt.Println("   wrote BENCH_E16.json")
 }
 
 func a1() {

@@ -1,0 +1,164 @@
+// Command gluenaild serves a Glue-Nail database to concurrent network
+// sessions. Reads execute on MVCC snapshots — every statement (or read
+// transaction) sees an immutable statement-boundary state, and writers
+// never block readers; writes serialize through the WAL group-commit
+// path. The execution governor runs as per-request QoS: per-session
+// budgets, admission control on concurrent statements, and fair sharing
+// of the morsel workers.
+//
+// Usage:
+//
+//	gluenaild [flags] [file.glue...]
+//
+//	-addr host:port     listen address (default 127.0.0.1:7643)
+//	-data-dir d         durable EDB: write-ahead log + snapshots under d,
+//	                    crash recovery on open (omit for in-memory)
+//	-fsync mode         WAL fsync mode: batch (default), always, none
+//	-workers n          morsel workers shared fairly across sessions
+//	                    (0 = GOMAXPROCS)
+//	-max-sessions n     concurrent session cap (default 1024)
+//	-max-statements n   concurrent statement cap / admission gate
+//	                    (default 2×GOMAXPROCS)
+//	-timeout d          per-session wall-clock budget per statement
+//	-max-tuples n       per-session tuple budget per statement
+//	-max-depth n        per-session procedure recursion limit
+//	-max-iters n        per-session repeat-loop limit (negative = off)
+//	-drain-timeout d    graceful-shutdown drain budget (default 10s)
+//
+// SIGINT/SIGTERM shut down gracefully: new statements are rejected,
+// in-flight statements drain through the governor (cancelled past the
+// drain timeout), sessions close, and — when durable — the EDB is
+// checkpointed and the WAL closed cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gluenail"
+	"gluenail/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gluenaild:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7643", "listen address")
+		dataDir   = flag.String("data-dir", "", "durable EDB directory (write-ahead log + snapshots, recovered on open)")
+		fsyncStr  = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
+		workers   = flag.Int("workers", 0, "morsel workers shared across sessions (0 = GOMAXPROCS)")
+		maxSess   = flag.Int("max-sessions", 0, "concurrent session cap (0 = 1024)")
+		maxStmt   = flag.Int("max-statements", 0, "concurrent statement cap (0 = 2x GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-session wall-clock budget per statement (0 = none)")
+		maxTuples = flag.Int64("max-tuples", 0, "per-session tuple budget per statement (0 = unlimited)")
+		maxDepth  = flag.Int("max-depth", 0, "per-session procedure recursion limit (0 = default)")
+		maxIters  = flag.Int("max-iters", 0, "per-session repeat-loop limit (0 = default, negative = unlimited)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		quiet     = flag.Bool("quiet", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+
+	var opts []gluenail.Option
+	if *workers > 0 {
+		opts = append(opts, gluenail.WithParallelism(*workers))
+	}
+	switch *fsyncStr {
+	case "batch":
+		opts = append(opts, gluenail.WithFsync(gluenail.FsyncBatch))
+	case "always":
+		opts = append(opts, gluenail.WithFsync(gluenail.FsyncAlways))
+	case "none":
+		opts = append(opts, gluenail.WithFsync(gluenail.FsyncNever))
+	default:
+		return fmt.Errorf("unknown -fsync mode %q", *fsyncStr)
+	}
+
+	var sys *gluenail.System
+	var err error
+	if *dataDir != "" {
+		sys, err = gluenail.Open(*dataDir, opts...)
+		if err != nil {
+			return err
+		}
+	} else {
+		sys = gluenail.New(opts...)
+	}
+	defer sys.Close()
+
+	for _, path := range flag.Args() {
+		if err := sys.LoadFile(path); err != nil {
+			return err
+		}
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := server.New(server.Config{
+		System: sys,
+		SessionBudget: gluenail.Budget{
+			Timeout:      *timeout,
+			MaxTuples:    *maxTuples,
+			MaxDepth:     *maxDepth,
+			MaxLoopIters: *maxIters,
+		},
+		MaxSessions:   *maxSess,
+		MaxStatements: *maxStmt,
+		Workers:       *workers,
+		Logf:          logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("gluenaild: serving on %s (data-dir=%q)", lis.Addr(), *dataDir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("gluenaild: %v: draining sessions (budget %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("gluenaild: drain incomplete: %v", err)
+		}
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+
+	// Quiescent: checkpoint (durable EDB compacts the WAL into a fresh
+	// snapshot) and close the log cleanly.
+	if *dataDir != "" {
+		if err := sys.Checkpoint(); err != nil {
+			log.Printf("gluenaild: checkpoint: %v", err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		return err
+	}
+	log.Printf("gluenaild: shutdown complete")
+	return nil
+}

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gluenail/internal/ast"
@@ -300,10 +301,24 @@ func WithCheckpointThreshold(bytes int64) Option {
 
 // System is a Glue-Nail database instance: loaded modules, an EDB store,
 // and an executor.
+//
+// A System is safe for concurrent use: every public operation serializes
+// on an internal mutex, so callers from multiple goroutines interleave at
+// operation granularity (the single-writer model — writes and live-view
+// queries take turns). Concurrent *reads* that must not wait on writers
+// go through Snapshot, which captures an immutable statement-boundary
+// view and executes on a private machine outside the lock.
 type System struct {
+	// mu serializes all public operations on the live system. Snapshot
+	// sessions hold it only while capturing or compiling, never while
+	// executing.
+	mu       sync.Mutex
 	cfg      config
 	registry *vm.Registry
 	edb      storage.Store
+	// mem is edb when backed by the tailored main-memory store (nil for
+	// the layered baseline); snapshots and CSN advancement need it.
+	mem      *storage.MemStore
 	temp     storage.Store
 	sources  []string
 	compiled bool
@@ -316,6 +331,11 @@ type System struct {
 	// gen counts recompilations; Prepared handles carry the generation
 	// they were compiled under and transparently re-prepare when it moves.
 	gen uint64
+	// view is the immutable Program copy snapshot machines execute
+	// against; rebuilt (under mu) whenever compilation adds procedures,
+	// so CompileQuery's map mutations never race a snapshot execution.
+	view      *plan.Program
+	viewDirty bool
 	// Durability state: wlog/recorder are non-nil when the EDB is backed
 	// by a write-ahead log; durErr records a failed recovery (every
 	// operation then reports it).
@@ -367,6 +387,7 @@ func New(opts ...Option) *System {
 		edb:      newStore(),
 		temp:     newStore(),
 	}
+	s.mem, _ = s.edb.(*storage.MemStore)
 	if cfg.durDir != "" {
 		log, err := wal.Open(cfg.durDir, s.edb, wal.Options{
 			Fsync:           cfg.fsync,
@@ -396,22 +417,26 @@ func Open(dir string, opts ...Option) (*System, error) {
 }
 
 // commit seals the EDB deltas captured since the previous commit point
-// into one atomic WAL batch, checkpointing first if the log has grown
-// past the threshold. A no-op without durability or when nothing
-// changed.
+// into one atomic WAL batch (checkpointing first if the log has grown
+// past the threshold), then advances the commit sequence number so
+// snapshots taken from here on see the statement's effects. Without
+// durability only the CSN advances; mutations stamped before an advance
+// belong to the CSN it publishes.
 func (s *System) commit() error {
-	if s.wlog == nil {
-		return nil
+	if s.wlog != nil {
+		if ops := s.recorder.Take(); len(ops) > 0 {
+			if err := s.wlog.Commit(ops); err != nil {
+				return err
+			}
+			if s.wlog.ShouldCheckpoint() {
+				if err := s.wlog.Checkpoint(s.edb); err != nil {
+					return err
+				}
+			}
+		}
 	}
-	ops := s.recorder.Take()
-	if len(ops) == 0 {
-		return nil
-	}
-	if err := s.wlog.Commit(ops); err != nil {
-		return err
-	}
-	if s.wlog.ShouldCheckpoint() {
-		return s.wlog.Checkpoint(s.edb)
+	if s.mem != nil {
+		s.mem.AdvanceCSN()
 	}
 	return nil
 }
@@ -420,6 +445,8 @@ func (s *System) commit() error {
 // write-ahead log. It may only be called between statements (never from
 // inside a Register callback). Without durability it reports an error.
 func (s *System) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -436,6 +463,8 @@ func (s *System) Checkpoint() error {
 // log. A system without durability closes as a no-op. The system must
 // not be used after Close.
 func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -459,6 +488,8 @@ func (s *System) Close() error {
 // compiled (i.e., before the first query or call after Load).
 func (s *System) Register(name string, bound, free int, fixed bool,
 	fn func(in [][]Value) ([][]Value, error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	err := s.registry.Register(name, plan.BuiltinSig{Bound: bound, Free: free, Fixed: fixed},
 		func(_ *vm.Machine, in []term.Tuple) ([]term.Tuple, error) {
 			rows := make([][]Value, len(in))
@@ -489,6 +520,8 @@ func (s *System) Load(src string) error {
 	if _, err := parser.Parse(src); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sources = append(s.sources, src)
 	s.compiled = false
 	return nil
@@ -592,37 +625,15 @@ func (s *System) ensure() error {
 	s.lp = lp
 	s.compiler = compiler
 	s.machine = vm.New(compiler.Program(), s.edb, s.temp, s.registry)
+	s.tuneMachine(s.machine, s.cfg.budget)
 	s.machine.Out = s.cfg.out
 	s.machine.In = bufio.NewReader(s.cfg.in)
-	s.machine.Materialized = s.cfg.materialized
-	s.machine.LoopLimit = s.cfg.loopLimit
-	switch {
-	case s.cfg.budget.MaxLoopIters > 0:
-		s.machine.LoopLimit = s.cfg.budget.MaxLoopIters
-	case s.cfg.budget.MaxLoopIters < 0:
-		s.machine.LoopLimit = 0
-	}
-	switch {
-	case s.cfg.budget.MaxDepth > 0:
-		s.machine.MaxDepth = s.cfg.budget.MaxDepth
-	case s.cfg.budget.MaxDepth < 0:
-		s.machine.MaxDepth = 0
-	default:
-		s.machine.MaxDepth = vm.DefaultMaxDepth
-	}
-	s.machine.MaxTuples = s.cfg.budget.MaxTuples
-	s.machine.MaxRelRows = s.cfg.budget.MaxRelRows
-	s.machine.Parallelism = s.cfg.parallelism
-	s.machine.ParallelThreshold = s.cfg.parThreshold
-	s.machine.StringKeyKernels = s.cfg.stringKeys
-	s.machine.PlanCache = s.cfg.planCache
-	s.machine.BatchKernels = s.cfg.batchKernels
-	// Textual and greedy orderings are ablations: both must execute the
-	// compiled op order, so either disables run-time reordering.
-	s.machine.StatsOrdering = !s.cfg.greedyOrder && !s.cfg.planOpts.NoReorder
 	s.machine.Trace = s.cfg.trace
-	if s.wlog != nil {
-		s.machine.Commit = s.commit
+	// Commit runs at every top-level statement boundary: it seals WAL
+	// deltas (when durable) and always advances the commit sequence
+	// number, publishing the statement to future snapshots.
+	s.machine.Commit = s.commit
+	if s.recorder != nil {
 		// A failed or cancelled top-level statement discards its partial
 		// WAL deltas, so the next commit seals only whole statements and
 		// recovery stays a statement-boundary prefix.
@@ -630,8 +641,59 @@ func (s *System) ensure() error {
 	}
 	s.queries = make(map[string]compiledQuery)
 	s.gen++
+	s.viewDirty = true
 	s.compiled = true
 	return nil
+}
+
+// tuneMachine applies the configured execution knobs and the budget b to a
+// machine: shared by the live machine (the configured Budget) and every
+// snapshot session's private machine (the session's own budget).
+func (s *System) tuneMachine(m *vm.Machine, b Budget) {
+	m.Materialized = s.cfg.materialized
+	m.LoopLimit = s.cfg.loopLimit
+	switch {
+	case b.MaxLoopIters > 0:
+		m.LoopLimit = b.MaxLoopIters
+	case b.MaxLoopIters < 0:
+		m.LoopLimit = 0
+	}
+	switch {
+	case b.MaxDepth > 0:
+		m.MaxDepth = b.MaxDepth
+	case b.MaxDepth < 0:
+		m.MaxDepth = 0
+	default:
+		m.MaxDepth = vm.DefaultMaxDepth
+	}
+	m.MaxTuples = b.MaxTuples
+	m.MaxRelRows = b.MaxRelRows
+	m.Parallelism = s.cfg.parallelism
+	m.ParallelThreshold = s.cfg.parThreshold
+	m.StringKeyKernels = s.cfg.stringKeys
+	m.PlanCache = s.cfg.planCache
+	m.BatchKernels = s.cfg.batchKernels
+	// Textual and greedy orderings are ablations: both must execute the
+	// compiled op order, so either disables run-time reordering.
+	m.StatsOrdering = !s.cfg.greedyOrder && !s.cfg.planOpts.NoReorder
+}
+
+// progView returns the immutable Program copy snapshot machines execute
+// against, rebuilding it when compilation has added procedures since the
+// last view. Called with mu held; the returned map is never mutated
+// afterwards (CompileQuery mutates the compiler's own map, which marks
+// the view dirty through prepareQuery/ensure).
+func (s *System) progView() *plan.Program {
+	if s.view == nil || s.viewDirty {
+		src := s.compiler.Program().Procs
+		procs := make(map[string]*plan.Proc, len(src))
+		for id, p := range src {
+			procs[id] = p
+		}
+		s.view = &plan.Program{Procs: procs}
+		s.viewDirty = false
+	}
+	return s.view
 }
 
 // toValue converts a Go value to a term value.
@@ -669,6 +731,8 @@ func toTuple(row []any) (term.Tuple, error) {
 // with a different arity, the mismatch is reported instead of silently
 // creating a parallel relation.
 func (s *System) Assert(relation any, rows ...[]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -695,6 +759,8 @@ func (s *System) Assert(relation any, rows ...[]any) error {
 
 // Retract removes facts from an EDB relation.
 func (s *System) Retract(relation any, rows ...[]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -716,6 +782,8 @@ func (s *System) Retract(relation any, rows ...[]any) error {
 
 // Relation returns the current sorted contents of an EDB relation.
 func (s *System) Relation(relation any, arity int) ([][]Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	name, err := toValue(relation)
 	if err != nil {
 		return nil, err
@@ -759,6 +827,8 @@ func (s *System) QueryIn(module, goals string) (*Result, error) {
 
 // QueryInContext is QueryIn under the caller's context; see QueryContext.
 func (s *System) QueryInContext(ctx context.Context, module, goals string) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -812,6 +882,8 @@ func (s *System) Prepare(goals string) (*Prepared, error) {
 
 // PrepareIn is Prepare scoped to the named module.
 func (s *System) PrepareIn(module, goals string) (*Prepared, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -835,6 +907,8 @@ func (p *Prepared) Execute() (*Result, error) {
 // for cancellation semantics.
 func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	s := p.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -867,6 +941,9 @@ func (s *System) prepareQuery(module, goals string) (string, []string, error) {
 		}
 		cq = compiledQuery{id: id, vars: vars}
 		s.queries[key] = cq
+		// CompileQuery added a procedure to the shared program: snapshot
+		// machines need a fresh immutable view.
+		s.viewDirty = true
 	}
 	return cq.id, cq.vars, nil
 }
@@ -898,6 +975,8 @@ func (s *System) ExplainAnalyzeIn(module, goals string) (string, error) {
 }
 
 func (s *System) explainQuery(module, goals string, analyze bool) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return "", err
 	}
@@ -936,11 +1015,13 @@ func (s *System) planCacheTrailer() string {
 // its physical plan annotated with the per-operator actual tuple counts
 // observed during that invocation.
 func (s *System) ExplainAnalyzeCall(module, proc string, in ...[]any) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return "", err
 	}
 	s.machine.ResetProfiles()
-	if _, err := s.Call(module, proc, in...); err != nil {
+	if _, err := s.callLocked(context.Background(), module, proc, in...); err != nil {
 		return "", err
 	}
 	sym := s.lp.Resolve(module, proc)
@@ -954,6 +1035,8 @@ func (s *System) ExplainAnalyzeCall(module, proc string, in ...[]any) (string, e
 // ExplainProcPhysical renders a compiled procedure's physical plan (and
 // those of its transitive callees) with current-statistics estimates.
 func (s *System) ExplainProcPhysical(module, proc string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return "", err
 	}
@@ -995,6 +1078,15 @@ func (s *System) Call(module, proc string, in ...[]any) ([][]Value, error) {
 // stays durable, the interrupted statement's effects are discarded from
 // the WAL. The configured WithTimeout budget, if any, also applies.
 func (s *System) CallContext(ctx context.Context, module, proc string, in ...[]any) ([][]Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.callLocked(ctx, module, proc, in...)
+}
+
+// callLocked is CallContext with mu already held (shared with
+// ExplainAnalyzeCall, which must run the call and render the plan under
+// one critical section).
+func (s *System) callLocked(ctx context.Context, module, proc string, in ...[]any) ([][]Value, error) {
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -1031,6 +1123,8 @@ func (s *System) CallContext(ctx context.Context, module, proc string, in ...[]a
 // pipeline segments, break placement, duplicate-elimination and index
 // decisions. Generated NAIL! procedures use IDs like "main.tc@bf".
 func (s *System) ExplainProc(module, proc string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return "", err
 	}
@@ -1045,6 +1139,8 @@ func (s *System) ExplainProc(module, proc string) (string, error) {
 // Procs lists the IDs of all compiled procedures, including generated
 // NAIL! procedures, in sorted order.
 func (s *System) Procs() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
@@ -1058,10 +1154,16 @@ func (s *System) Procs() ([]string, error) {
 
 // SaveEDB writes the EDB to a file (§10: EDB relations persist on disk
 // between runs).
-func (s *System) SaveEDB(path string) error { return storage.SaveFile(path, s.edb) }
+func (s *System) SaveEDB(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return storage.SaveFile(path, s.edb)
+}
 
 // LoadEDB reads an EDB image into the store.
 func (s *System) LoadEDB(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -1085,6 +1187,8 @@ type PlanCacheStats = plan.CacheStats
 // PlanCacheStats returns a snapshot of the prepared-plan cache counters
 // (all zero before the first query, or with the cache disabled).
 func (s *System) PlanCacheStats() PlanCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.machine == nil {
 		return PlanCacheStats{}
 	}
@@ -1093,6 +1197,8 @@ func (s *System) PlanCacheStats() PlanCacheStats {
 
 // Stats returns a snapshot of the current counters.
 func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := Stats{EDB: *s.edb.Stats(), Scratch: *s.temp.Stats()}
 	if s.machine != nil {
 		st.Exec = s.machine.Stats

@@ -1,0 +1,154 @@
+package server
+
+// Benchmarks for the E16 workload's building blocks: wire round-trip
+// latency for snapshot reads, the prepared-execute hot path, and mixed
+// sessions with a concurrent writer. `glbench -e E16` measures the full
+// sustained-QPS/p99 sweep and records BENCH_E16.json; these track the
+// per-op costs behind it.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gluenail"
+)
+
+// benchServer starts a server over a tc chain and returns its address.
+func benchServer(b *testing.B, chain int) string {
+	b.Helper()
+	sys := gluenail.New()
+	if err := sys.Load(tcProgram); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]any, chain)
+	for i := range rows {
+		rows[i] = []any{i + 1, i + 2}
+	}
+	if err := sys.Assert("edge", rows...); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(Config{System: sys})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return lis.Addr().String()
+}
+
+// BenchmarkServerQueryRoundTrip: one session, autocommit recursive reads
+// — each op takes a fresh snapshot, runs tc(1,X), and frames the answer.
+func BenchmarkServerQueryRoundTrip(b *testing.B) {
+	addr := benchServer(b, 64)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("tc(1,X)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerExecutePrepared: the server hot path — compile once,
+// execute many times on fresh snapshots.
+func BenchmarkServerExecutePrepared(b *testing.B) {
+	addr := benchServer(b, 64)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Prepare("q", "tc(1,X)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Execute("q"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerMixedSessions: n pinned reader sessions sharing the
+// statement gate while a writer churns a disjoint component; reports
+// reader ops. The per-op time is the latency a reader sees under
+// contention — E16's p50, in benchmark clothing.
+func BenchmarkServerMixedSessions(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("readers=%d", n), func(b *testing.B) {
+			addr := benchServer(b, 64)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // writer: assert/retract cycle far from the readers
+				defer wg.Done()
+				c, err := Dial(addr, 2*time.Second)
+				if err != nil {
+					return
+				}
+				defer c.Close()
+				for i := int64(0); ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := int64(100000 + i%64)
+					_ = c.Assert("edge", []any{k, k + 1})
+					_ = c.Retract("edge", []any{k, k + 1})
+				}
+			}()
+
+			readers := make([]*Client, n)
+			for i := range readers {
+				c, err := Dial(addr, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if _, err := c.Begin(); err != nil {
+					b.Fatal(err)
+				}
+				readers[i] = c
+			}
+			b.ResetTimer()
+			// Round-robin the sessions so all n stay pinned and active.
+			var rwg sync.WaitGroup
+			per := b.N / n
+			for _, c := range readers {
+				rwg.Add(1)
+				go func(c *Client) {
+					defer rwg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := c.Query("tc(1,X)"); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			rwg.Wait()
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

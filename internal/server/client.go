@@ -1,0 +1,205 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"gluenail"
+	"gluenail/internal/term"
+)
+
+// Client is a minimal gluenaild client for tests, benchmarks, and the
+// examples: synchronous request/response over one connection. It is not
+// safe for concurrent use — open one client per concurrent session,
+// exactly as the server models it.
+type Client struct {
+	conn   net.Conn
+	nextID uint64
+}
+
+// QueryResult is a decoded query answer.
+type QueryResult struct {
+	Vars []string
+	Rows [][]term.Value
+	// CSN is the snapshot the query executed at.
+	CSN uint64
+}
+
+// Dial connects to a gluenaild server and performs the hello handshake.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	if _, err := c.roundTrip(&Request{Op: "hello"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close ends the session and closes the connection.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip(&Request{Op: "close"})
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads its response, surfacing wire
+// errors as *WireError.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		if resp.Err == nil {
+			return nil, fmt.Errorf("server: failure without error payload")
+		}
+		return nil, resp.Err
+	}
+	return &resp, nil
+}
+
+func decodeResult(resp *Response) (*QueryResult, error) {
+	res := &QueryResult{Vars: resp.Vars, CSN: resp.CSN}
+	res.Rows = make([][]term.Value, len(resp.Rows))
+	for i, row := range resp.Rows {
+		r := make([]term.Value, len(row))
+		for j, w := range row {
+			v, err := DecodeValue(w)
+			if err != nil {
+				return nil, err
+			}
+			r[j] = v
+		}
+		res.Rows[i] = r
+	}
+	return res, nil
+}
+
+// Query evaluates a goal conjunction on a server-side snapshot.
+func (c *Client) Query(goals string) (*QueryResult, error) {
+	resp, err := c.roundTrip(&Request{Op: "query", Goals: goals})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Prepare compiles a query server-side under a session-scoped name.
+func (c *Client) Prepare(name, goals string) ([]string, error) {
+	resp, err := c.roundTrip(&Request{Op: "prepare", Name: name, Goals: goals})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vars, nil
+}
+
+// Execute runs a prepared query on a server-side snapshot.
+func (c *Client) Execute(name string) (*QueryResult, error) {
+	resp, err := c.roundTrip(&Request{Op: "execute", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Begin opens a read transaction: every read until End answers from one
+// pinned snapshot, regardless of concurrent commits. Returns the
+// snapshot's CSN.
+func (c *Client) Begin() (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: "begin"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.CSN, nil
+}
+
+// End closes the read transaction.
+func (c *Client) End() error {
+	_, err := c.roundTrip(&Request{Op: "end"})
+	return err
+}
+
+// encodeAnyRows converts Go rows to wire rows via the term conversions.
+func encodeAnyRows(rows [][]any) ([][]WireValue, error) {
+	out := make([][]WireValue, len(rows))
+	for i, row := range rows {
+		r := make([]WireValue, len(row))
+		for j, v := range row {
+			switch v := v.(type) {
+			case int:
+				r[j] = WireValue{K: "i", I: int64(v)}
+			case int64:
+				r[j] = WireValue{K: "i", I: v}
+			case float64:
+				r[j] = EncodeValue(gluenail.Float(v))
+			case string:
+				r[j] = WireValue{K: "s", S: v}
+			case term.Value:
+				r[j] = EncodeValue(v)
+			default:
+				return nil, fmt.Errorf("server: cannot encode %T", v)
+			}
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Assert inserts EDB facts through the live system.
+func (c *Client) Assert(relation string, rows ...[]any) error {
+	wr, err := encodeAnyRows(rows)
+	if err != nil {
+		return err
+	}
+	rel := WireValue{K: "s", S: relation}
+	_, err = c.roundTrip(&Request{Op: "assert", Rel: &rel, Rows: wr})
+	return err
+}
+
+// Retract deletes EDB facts through the live system.
+func (c *Client) Retract(relation string, rows ...[]any) error {
+	wr, err := encodeAnyRows(rows)
+	if err != nil {
+		return err
+	}
+	rel := WireValue{K: "s", S: relation}
+	_, err = c.roundTrip(&Request{Op: "retract", Rel: &rel, Rows: wr})
+	return err
+}
+
+// Load loads Glue/NAIL! source into the system.
+func (c *Client) Load(src string) error {
+	_, err := c.roundTrip(&Request{Op: "load", Src: src})
+	return err
+}
+
+// Relation dumps an EDB relation (sorted) from a snapshot.
+func (c *Client) Relation(relation string, arity int) (*QueryResult, error) {
+	rel := WireValue{K: "s", S: relation}
+	resp, err := c.roundTrip(&Request{Op: "relation", Rel: &rel, Arity: arity})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Stats fetches server counters and the current CSN.
+func (c *Client) Stats() (map[string]int64, uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: "stats"})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Counters, resp.CSN, nil
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gluenail"
+)
+
+// gatedSystem builds a System with a Go builtin gate(X) that blocks
+// until released — a statement that is deterministically "in flight"
+// for drain tests. entered signals each time a statement reaches the
+// gate; release unblocks all of them.
+func gatedSystem(t *testing.T) (sys *gluenail.System, entered chan struct{}, release func()) {
+	t.Helper()
+	sys = gluenail.New()
+	entered = make(chan struct{}, 16)
+	gate := make(chan struct{})
+	var once atomic.Bool
+	release = func() {
+		if once.CompareAndSwap(false, true) {
+			close(gate)
+		}
+	}
+	err := sys.Register("gate", 0, 1, false, func([][]gluenail.Value) ([][]gluenail.Value, error) {
+		entered <- struct{}{}
+		<-gate
+		return [][]gluenail.Value{{gluenail.Int(1)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(tcProgram); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(release)
+	return sys, entered, release
+}
+
+// TestServerShutdownDrain: an in-flight statement completes under a
+// generous drain budget, statements arriving during the drain are
+// rejected with the shutdown code, and Shutdown joins every session
+// goroutine before returning.
+func TestServerShutdownDrain(t *testing.T) {
+	sys, entered, release := gatedSystem(t)
+	srv, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	addr := lis.Addr().String()
+
+	inflight, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inflight.conn.Close()
+	late, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.conn.Close()
+
+	// Park a statement at the gate.
+	inflightDone := make(chan error, 1)
+	var inflightRes *QueryResult
+	go func() {
+		res, err := inflight.Query("gate(X)")
+		inflightRes = res
+		inflightDone <- err
+	}()
+	<-entered
+
+	// Begin the drain; it must block on the parked statement.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	for !srv.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A statement arriving mid-drain is turned away, not executed.
+	_, err = late.Query("tc(1,X)")
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != CodeShutdown {
+		t.Fatalf("statement during drain: got %v, want code %s", err, CodeShutdown)
+	}
+	// So is a fresh connection (the listener is closed).
+	if _, err := Dial(addr, 500*time.Millisecond); err == nil {
+		t.Fatal("new session admitted during drain")
+	}
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown returned %v with a statement still in flight", err)
+	default:
+	}
+
+	// Release the gate: the parked statement finishes cleanly and the
+	// drain completes within its budget.
+	release()
+	if err := <-inflightDone; err != nil {
+		t.Fatalf("in-flight statement during graceful drain: %v", err)
+	}
+	if len(inflightRes.Rows) != 1 || inflightRes.Rows[0][0].String() != "1" {
+		t.Fatalf("in-flight result: %+v", inflightRes)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// The server is quiescent: the system still answers directly and can
+	// close cleanly.
+	if _, err := sys.Query("tc(1,X)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerShutdownCancelsStragglers: past the drain deadline the
+// governor aborts in-flight statements instead of hanging forever.
+func TestServerShutdownCancelsStragglers(t *testing.T) {
+	sys, entered, release := gatedSystem(t)
+	srv, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+
+	c, err := Dial(lis.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+
+	stmtDone := make(chan error, 1)
+	go func() {
+		// The straggler: parked at the gate, then a recursive join the
+		// governor can abort at a cooperative check.
+		_, err := c.Query("gate(X) & tc(X,Y)")
+		stmtDone <- err
+	}()
+	<-entered
+
+	// The drain budget is already exhausted: Shutdown cancels the
+	// statement's context and waits for it to notice.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Let the deadline pass while the statement is still parked, then
+	// release it into the cancelled context.
+	time.Sleep(100 * time.Millisecond)
+	release()
+
+	if err := <-shutdownDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown: got %v, want deadline exceeded", err)
+	}
+	// The straggler observed the cancellation (or its connection was
+	// severed after the abort) — it must not have hung.
+	select {
+	case <-stmtDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler statement never finished after forced shutdown")
+	}
+}

@@ -258,17 +258,41 @@ type Rel interface {
 // enumeration is deterministic run to run — which keeps order-sensitive
 // downstream work (floating-point aggregation, golden output) reproducible
 // regardless of Go's randomized map iteration.
+//
+// Multi-version visibility: a deleted tuple is not removed from the slice
+// immediately — its slot is stamped with the commit sequence number (CSN)
+// of the deleting statement in the parallel dead slice and unlinked from
+// its hash chain. The live view (this type's own methods) treats any
+// nonzero stamp as gone; a SnapRel captured at snapshot CSN S still sees
+// slots stamped dead at a CSN > S. Because snapshots capture slice
+// headers and every structural rewrite (compact, Clear) builds fresh
+// backing arrays, a snapshot keeps reading its own frozen arrays while
+// the writer moves on — copy-on-write through the garbage collector, with
+// the dead stamps as the only shared mutable cells (written and read
+// atomically).
 type Relation struct {
 	name   term.Value
 	arity  int
-	tuples []term.Tuple // insertion order; nil entries are tombstones
+	tuples []term.Tuple // insertion order; dead-stamped entries are tombstones
 	// hashes caches each tuple's whole-tuple hash, parallel to tuples:
 	// computed once at Insert and reused by compaction, chain probes, and
 	// anything else that would otherwise re-hash stored rows. A
-	// tombstone's slot keeps its stale hash; it is never read (tombstones
-	// are unlinked from their chain and skipped via the nil tuple). Only
-	// the single writer mutates it, like tuples itself.
+	// tombstone's slot keeps its stale hash; live paths never read it
+	// (tombstones are unlinked from their chain and skipped via the dead
+	// stamp), while snapshots still use it to probe slots live in their
+	// version. Only the single writer appends, like tuples itself.
 	hashes []uint64
+	// dead stamps each slot with the CSN at which it was deleted (0 =
+	// live), parallel to tuples. The single writer stores stamps with
+	// atomic writes and concurrent snapshot readers load them atomically;
+	// the live paths below read them plainly — they never overlap the
+	// writer by the Rel contract.
+	dead []uint64
+	// csn, when non-nil, points at the owning store's commit sequence
+	// number: deletions are stamped csn+1, the CSN the statement in
+	// flight will commit as. A standalone relation (nil csn) stamps
+	// deadForever — correct for a relation that is never snapshotted.
+	csn *atomic.Uint64
 	// buckets chains tuples by whole-tuple hash without per-bucket slice
 	// allocations: buckets[h] holds slot+1 of the most recently inserted
 	// tuple hashing to h (0 = none), and next[i] holds the slot+1 of the
@@ -277,14 +301,16 @@ type Relation struct {
 	buckets map[uint64]int32
 	next    []int32
 	n       int // live tuples
-	dead    int // tombstones in tuples
+	tombs   int // dead-stamped slots in tuples
 	version uint64
 	// statsEpoch/epochRows implement Rel.StatsEpoch: epochRows remembers
 	// the cardinality at the last epoch bump, and mutations advance the
 	// epoch once the live count doubles past it or falls below half of it.
 	// The thresholds are geometric, so a relation growing to n rows bumps
-	// O(log n) times — repeat-loop steady states keep their epoch.
-	statsEpoch uint64
+	// O(log n) times — repeat-loop steady states keep their epoch. The
+	// counter is written and read atomically: snapshot sessions plan
+	// against live statistics while the writer mutates.
+	statsEpoch atomic.Uint64
 	epochRows  int
 
 	policy IndexPolicy
@@ -294,11 +320,10 @@ type Relation struct {
 	journal Journal
 	// cols tracks per-column distinct-value estimates, maintained by the
 	// (single) writer on Insert/Delete/Clear and read by the physical
-	// planner between statements. statsMu serializes DistinctEst readers
-	// against each other: estimating now folds the lazily buffered adds,
-	// so a concurrent planner pair must not race on the digest. The writer
-	// paths stay unguarded — writes already exclude all readers by the
-	// Rel contract.
+	// planner. statsMu guards the digest on both sides: DistinctEst folds
+	// the lazily buffered adds, and snapshot sessions may be estimating
+	// while the writer appends — the writer takes the mutex once per
+	// mutated tuple, the planner once per estimate.
 	cols    []colStats
 	statsMu sync.Mutex
 
@@ -349,28 +374,45 @@ func (r *Relation) Len() int { return r.n }
 func (r *Relation) Version() uint64 { return r.version }
 
 // StatsEpoch implements Rel.
-func (r *Relation) StatsEpoch() uint64 { return r.statsEpoch }
+func (r *Relation) StatsEpoch() uint64 { return r.statsEpoch.Load() }
 
 // noteEpoch advances the statistics epoch when the live tuple count has
 // doubled past — or fallen below half of — the count recorded at the last
 // bump. Called by the (single) writer after every cardinality change.
 func (r *Relation) noteEpoch() {
 	if r.n > 2*r.epochRows || 2*r.n < r.epochRows {
-		r.statsEpoch++
+		r.statsEpoch.Add(1)
 		r.epochRows = r.n
 	}
 }
 
 // DistinctEst implements Rel.
 func (r *Relation) DistinctEst(col int) int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
 	if col < 0 || col >= len(r.cols) {
 		return 0
 	}
-	r.statsMu.Lock()
-	n := r.cols[col].estimate()
-	r.statsMu.Unlock()
-	return n
+	return r.cols[col].estimate()
 }
+
+// deadForever marks a slot deleted in every version; stamped when the
+// relation has no CSN source (standalone relations are never snapshotted,
+// so any nonzero stamp works — this one also reads correctly if they are).
+const deadForever = ^uint64(0)
+
+// deadStamp returns the CSN to stamp a deletion with: the CSN the
+// statement in flight will commit as (one past the last committed CSN).
+func (r *Relation) deadStamp() uint64 {
+	if r.csn != nil {
+		return r.csn.Load() + 1
+	}
+	return deadForever
+}
+
+// deadAt reports whether slot i is dead in the live view (writer-side
+// plain read; never concurrent with the stamping writer).
+func (r *Relation) deadAt(i int) bool { return r.dead[i] != 0 }
 
 // Insert implements Rel.
 func (r *Relation) Insert(t term.Tuple) bool {
@@ -387,14 +429,17 @@ func (r *Relation) Insert(t term.Tuple) bool {
 	r.buckets[h] = int32(len(r.tuples)) + 1
 	r.tuples = append(r.tuples, t)
 	r.hashes = append(r.hashes, h)
+	r.dead = append(r.dead, 0)
 	r.n++
 	r.version++
 	r.noteEpoch()
+	r.statsMu.Lock()
 	for i := range t {
 		if i < len(r.cols) {
 			r.cols[i].add(t[i].Hash())
 		}
 	}
+	r.statsMu.Unlock()
 	atomic.AddInt64(&r.stats.Inserts, 1)
 	for _, ix := range r.indexes {
 		ix.add(t)
@@ -405,9 +450,11 @@ func (r *Relation) Insert(t term.Tuple) bool {
 	return true
 }
 
-// Delete implements Rel. The tuple's slot becomes a tombstone so the
-// insertion order of the survivors is preserved; the slice compacts when
-// tombstones outnumber live tuples.
+// Delete implements Rel. The tuple's slot is stamped dead at the current
+// CSN so the insertion order of the survivors — and the tuple's visibility
+// to older snapshots — is preserved; the slice compacts (into fresh
+// backing arrays, leaving snapshots undisturbed) when tombstones outnumber
+// live tuples.
 func (r *Relation) Delete(t term.Tuple) bool {
 	h := t.Hash()
 	prev := int32(0)
@@ -416,8 +463,11 @@ func (r *Relation) Delete(t term.Tuple) bool {
 		if u == nil || !u.Equal(t) {
 			continue
 		}
-		r.tuples[i-1] = nil
-		r.dead++
+		// Stamp, don't null: snapshots captured before this statement's
+		// commit CSN still read the slot. Atomic because they may be
+		// loading the stamp right now.
+		atomic.StoreUint64(&r.dead[i-1], r.deadStamp())
+		r.tombs++
 		// Unlink the slot from its hash chain.
 		if prev == 0 {
 			if r.next[i-1] == 0 {
@@ -431,16 +481,18 @@ func (r *Relation) Delete(t term.Tuple) bool {
 		r.n--
 		r.version++
 		r.noteEpoch()
+		r.statsMu.Lock()
 		for ci := range u {
 			if ci < len(r.cols) {
 				r.cols[ci].remove(u[ci].Hash())
 			}
 		}
+		r.statsMu.Unlock()
 		atomic.AddInt64(&r.stats.Deletes, 1)
 		for _, ix := range r.indexes {
 			ix.remove(u)
 		}
-		if r.dead > r.n && r.dead > 32 {
+		if r.tombs > r.n && r.tombs > 32 {
 			r.compact()
 		}
 		if r.journal != nil {
@@ -452,14 +504,18 @@ func (r *Relation) Delete(t term.Tuple) bool {
 }
 
 // compact rewrites the tuple slice without tombstones and rebuilds the
-// buckets; survivor order is unchanged. Runs only from a writer.
+// buckets; survivor order is unchanged. Runs only from a writer. Every
+// slice is rebuilt from scratch — snapshots holding the old backing
+// arrays keep reading them until the garbage collector reclaims the
+// memory once the last snapshot closes.
 func (r *Relation) compact() {
 	live := make([]term.Tuple, 0, r.n)
 	liveHashes := make([]uint64, 0, r.n)
+	liveDead := make([]uint64, 0, r.n)
 	next := make([]int32, 0, r.n)
 	buckets := make(map[uint64]int32, r.n)
 	for i, t := range r.tuples {
-		if t == nil {
+		if t == nil || r.deadAt(i) {
 			continue
 		}
 		h := r.hashes[i] // cached at Insert; no re-hashing on compaction
@@ -467,12 +523,14 @@ func (r *Relation) compact() {
 		buckets[h] = int32(len(live)) + 1
 		live = append(live, t)
 		liveHashes = append(liveHashes, h)
+		liveDead = append(liveDead, 0)
 	}
 	r.tuples = live
 	r.hashes = liveHashes
+	r.dead = liveDead
 	r.next = next
 	r.buckets = buckets
-	r.dead = 0
+	r.tombs = 0
 }
 
 // Contains implements Rel.
@@ -485,23 +543,27 @@ func (r *Relation) Contains(t term.Tuple) bool {
 	return false
 }
 
-// Clear implements Rel.
+// Clear implements Rel. The backing arrays are dropped, not zeroed:
+// snapshots captured before the clear keep their headers and stay whole.
 func (r *Relation) Clear() {
 	if r.n == 0 {
 		return
 	}
 	r.tuples = nil
 	r.hashes = nil
+	r.dead = nil
 	r.next = nil
 	r.buckets = make(map[uint64]int32)
 	r.n = 0
-	r.dead = 0
+	r.tombs = 0
 	r.version++
 	// Clear always opens a new epoch: every cached plan over this relation
 	// was derived from statistics that no longer describe anything.
-	r.statsEpoch++
+	r.statsEpoch.Add(1)
 	r.epochRows = 0
+	r.statsMu.Lock()
 	r.cols = make([]colStats, r.arity)
+	r.statsMu.Unlock()
 	r.mu.Lock()
 	r.indexes = nil
 	r.scanCredit = nil
@@ -515,8 +577,8 @@ func (r *Relation) Clear() {
 // Scan implements Rel; tuples are visited in insertion order.
 func (r *Relation) Scan(yield func(term.Tuple) bool) {
 	atomic.AddInt64(&r.stats.RowsScanned, int64(r.n))
-	for _, t := range r.tuples {
-		if t == nil {
+	for i, t := range r.tuples {
+		if t == nil || r.deadAt(i) {
 			continue
 		}
 		if !yield(t) {
@@ -561,8 +623,8 @@ func (r *Relation) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bo
 	}
 	// Scan fallback with on-the-fly filtering, in insertion order.
 	atomic.AddInt64(&r.stats.RowsScanned, int64(r.n))
-	for _, t := range r.tuples {
-		if t != nil && t.EqualCols(key, mask) {
+	for i, t := range r.tuples {
+		if t != nil && !r.deadAt(i) && t.EqualCols(key, mask) {
 			if !yield(t) {
 				return
 			}
@@ -660,8 +722,8 @@ func (r *Relation) buildGuard(mask uint32) *sync.Once {
 // insertion order — the same order a scan would yield them.
 func (r *Relation) publishIndex(mask uint32) {
 	ix := &hashIndex{mask: mask, buckets: make(map[uint64][]term.Tuple, len(r.buckets))}
-	for _, t := range r.tuples {
-		if t != nil {
+	for i, t := range r.tuples {
+		if t != nil && !r.deadAt(i) {
 			ix.add(t)
 		}
 	}
@@ -744,8 +806,8 @@ func (r *Relation) ModifyByKey(mask uint32, rows []term.Tuple) {
 // All implements Rel; the snapshot is in insertion order.
 func (r *Relation) All() []term.Tuple {
 	out := make([]term.Tuple, 0, r.n)
-	for _, t := range r.tuples {
-		if t != nil {
+	for i, t := range r.tuples {
+		if t != nil && !r.deadAt(i) {
 			out = append(out, t)
 		}
 	}

@@ -63,11 +63,20 @@ func relKey(name term.Value, arity int) string {
 
 // MemStore is the tailored main-memory store (§10): no locking, no logging,
 // relations are created and dropped in constant time.
+//
+// The store also owns the commit sequence number (CSN) that versions its
+// relations: every mutation is stamped with commitCSN+1 (the CSN the
+// statement in flight will commit as), AdvanceCSN publishes a statement
+// boundary, and Snapshot captures an immutable view of every relation at
+// the current committed CSN for concurrent readers.
 type MemStore struct {
 	rels    map[string]*Relation
 	policy  IndexPolicy
 	stats   Stats
 	journal Journal
+	// commitCSN is the last committed statement's sequence number; shared
+	// with every relation as the deletion-stamp source.
+	commitCSN atomic.Uint64
 }
 
 // NewMemStore returns an empty store whose relations follow the given index
@@ -88,6 +97,7 @@ func (s *MemStore) ensure(name term.Value, arity int) *Relation {
 	}
 	r := NewRelation(name, arity, s.policy, &s.stats)
 	r.journal = s.journal
+	r.csn = &s.commitCSN
 	s.rels[k] = r
 	atomic.AddInt64(&s.stats.RelsCreated, 1)
 	if s.journal != nil {
@@ -133,6 +143,14 @@ func (s *MemStore) SetJournal(j Journal) {
 		r.journal = j
 	}
 }
+
+// CommitCSN returns the last committed statement's sequence number.
+func (s *MemStore) CommitCSN() uint64 { return s.commitCSN.Load() }
+
+// AdvanceCSN publishes a statement boundary: mutations stamped since the
+// previous boundary become part of the returned CSN, and snapshots taken
+// from here on see them. Called by the (single) writer at commit points.
+func (s *MemStore) AdvanceCSN() uint64 { return s.commitCSN.Add(1) }
 
 // String summarizes the store for diagnostics.
 func (s *MemStore) String() string {

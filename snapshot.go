@@ -1,0 +1,277 @@
+package gluenail
+
+// Snapshot sessions: concurrent, isolated reads over a live System.
+//
+// A Snapshot captures the EDB at a statement boundary (the multi-version
+// machinery lives in internal/storage: commit-sequence-number dead stamps
+// plus copy-on-write through the garbage collector) and executes queries
+// on a private machine with a private scratch store, entirely outside the
+// System's lock. Any number of snapshot sessions run concurrently with
+// each other and with the single writer; the writer never waits for a
+// reader and a reader never waits for the writer. Every query a session
+// runs sees exactly the state its snapshot captured — byte-identical
+// results no matter what commits afterwards, at any worker count,
+// including recursive queries.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"gluenail/internal/plan"
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+	"gluenail/internal/vm"
+)
+
+// Snapshot is an isolated read session over the state of the System at
+// the moment it was taken. It answers queries concurrently with the live
+// system's writers and with other snapshots, always from its captured
+// state. A Snapshot executes one statement at a time (concurrent calls on
+// the same snapshot serialize); open as many snapshots as there are
+// concurrent readers. Writes through a snapshot — EDB updates reached by
+// a procedure a query calls — fail with a governed error.
+//
+// A Snapshot holds no locks and pins no writer resources; dropping it
+// (or calling Close) releases its captured memory to the garbage
+// collector once the last reference is gone.
+type Snapshot struct {
+	sys *System
+	// mu serializes statements on this session: the machine is stateful
+	// (frames, profiles, plan cache) and runs one call at a time.
+	mu      sync.Mutex
+	store   *storage.SnapStore
+	machine *vm.Machine
+	budget  Budget
+	closed  bool
+}
+
+// Snapshot opens an isolated read session over the current committed
+// state. It requires the main-memory backend (the layered baseline store
+// has no multi-version support). The snapshot inherits the system's
+// configured budget and parallelism; SetBudget and SetParallelism
+// override them per session.
+func (s *System) Snapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	if s.mem == nil {
+		return nil, fmt.Errorf("gluenail: snapshots require the main-memory backend (not WithLayeredBackend)")
+	}
+	store := s.mem.Snapshot()
+	m := vm.New(s.progView(), store, storage.NewMemStore(s.cfg.indexPolicy), s.registry)
+	s.tuneMachine(m, s.cfg.budget)
+	// Session I/O is private: write/nl output from a snapshot query is
+	// discarded unless SetOutput directs it somewhere, and read_line
+	// sees EOF. The shared trace writer is not inherited — interleaved
+	// trace lines from concurrent sessions would be garbage.
+	m.Out = io.Discard
+	m.In = bufio.NewReader(strings.NewReader(""))
+	return &Snapshot{sys: s, store: store, machine: m, budget: s.cfg.budget}, nil
+}
+
+// CSN returns the commit sequence number the snapshot was captured at;
+// it identifies the exact committed state every query of this session
+// reads.
+func (sn *Snapshot) CSN() uint64 { return sn.store.CSN() }
+
+// CSN returns the system's current commit sequence number: the count of
+// committed statement boundaries. Zero for the layered backend (which
+// has no multi-version support).
+func (s *System) CSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mem == nil {
+		return 0
+	}
+	return s.mem.CommitCSN()
+}
+
+// SetBudget replaces the session's resource budget: subsequent queries
+// run under b's timeout, tuple, cardinality, depth, and loop limits,
+// enforced by the execution governor exactly as on the live system.
+func (sn *Snapshot) SetBudget(b Budget) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.budget = b
+	if sn.machine != nil {
+		sn.sys.tuneMachine(sn.machine, b)
+	}
+}
+
+// SetParallelism bounds the morsel workers this session's queries fan out
+// to (0 = GOMAXPROCS, 1 = sequential). The server uses it to share the
+// machine's cores fairly across active sessions; results are identical at
+// every setting.
+func (sn *Snapshot) SetParallelism(n int) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.machine != nil {
+		sn.machine.Parallelism = n
+	}
+}
+
+// SetOutput directs write/nl output from this session's queries to w.
+func (sn *Snapshot) SetOutput(w io.Writer) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.machine != nil {
+		sn.machine.Out = w
+	}
+}
+
+// Close ends the session. Closing is optional — an abandoned snapshot
+// costs only memory until the garbage collector reclaims it — but a
+// closed session fails fast instead of answering from stale state.
+func (sn *Snapshot) Close() error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.closed = true
+	sn.machine = nil
+	return nil
+}
+
+// Query evaluates a goal conjunction in the main module's scope against
+// the snapshot.
+func (sn *Snapshot) Query(goals string) (*Result, error) {
+	return sn.QueryInContext(context.Background(), "main", goals)
+}
+
+// QueryContext is Query under the caller's context; cancellation and
+// deadlines abort with a *GovernorError exactly as on the live system.
+func (sn *Snapshot) QueryContext(ctx context.Context, goals string) (*Result, error) {
+	return sn.QueryInContext(ctx, "main", goals)
+}
+
+// QueryIn evaluates a goal conjunction in the named module's scope
+// against the snapshot.
+func (sn *Snapshot) QueryIn(module, goals string) (*Result, error) {
+	return sn.QueryInContext(context.Background(), module, goals)
+}
+
+// QueryInContext is QueryIn under the caller's context.
+//
+// Compilation (shared, cached, under the system's lock) and execution
+// (private, against the captured state, outside it) are split: a query
+// text seen before costs no lock beyond the cache probe.
+func (sn *Snapshot) QueryInContext(ctx context.Context, module, goals string) (*Result, error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.closed {
+		return nil, errSnapshotClosed
+	}
+	id, vars, prog, err := sn.sys.compileQueryView(module, goals)
+	if err != nil {
+		return nil, err
+	}
+	return sn.run(ctx, prog, id, vars)
+}
+
+// Execute runs a prepared query against the snapshot: the server's hot
+// path — parse, compile, and physical planning amortized across sessions
+// through the shared Prepared handle and the session plan cache.
+func (sn *Snapshot) Execute(p *Prepared) (*Result, error) {
+	return sn.ExecuteContext(context.Background(), p)
+}
+
+// ExecuteContext is Execute under the caller's context.
+func (sn *Snapshot) ExecuteContext(ctx context.Context, p *Prepared) (*Result, error) {
+	if p.sys != sn.sys {
+		return nil, fmt.Errorf("gluenail: prepared query belongs to a different System")
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.closed {
+		return nil, errSnapshotClosed
+	}
+	id, vars, prog, err := sn.sys.preparedView(p)
+	if err != nil {
+		return nil, err
+	}
+	return sn.run(ctx, prog, id, vars)
+}
+
+// Relation returns the snapshot's sorted contents of an EDB relation —
+// the state at capture, regardless of later commits.
+func (sn *Snapshot) Relation(relation any, arity int) ([][]Value, error) {
+	name, err := toValue(relation)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := sn.store.Get(name, arity)
+	if !ok {
+		return nil, nil
+	}
+	tuples := storage.Sorted(rel)
+	out := make([][]Value, len(tuples))
+	for i, t := range tuples {
+		out[i] = []Value(t)
+	}
+	return out, nil
+}
+
+// run executes a compiled query procedure on the session machine under
+// the session budget. Called with sn.mu held.
+func (sn *Snapshot) run(ctx context.Context, prog *plan.Program, id string, vars []string) (*Result, error) {
+	sn.machine.Prog = prog
+	if sn.budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sn.budget.Timeout)
+		defer cancel()
+	}
+	tuples, err := sn.machine.CallProcContext(ctx, id, []term.Tuple{{}})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Vars: vars}
+	sorted := make([]term.Tuple, len(tuples))
+	copy(sorted, tuples)
+	sortTuples(sorted)
+	for _, t := range sorted {
+		res.Rows = append(res.Rows, []Value(t))
+	}
+	return res, nil
+}
+
+var errSnapshotClosed = fmt.Errorf("gluenail: snapshot session is closed")
+
+// compileQueryView compiles (or re-serves from cache) a query under the
+// system lock and returns its procedure ID, output variables, and the
+// immutable program view a snapshot machine may execute without racing
+// later compilations.
+func (s *System) compileQueryView(module, goals string) (string, []string, *plan.Program, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensure(); err != nil {
+		return "", nil, nil, err
+	}
+	id, vars, err := s.prepareQuery(module, goals)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return id, vars, s.progView(), nil
+}
+
+// preparedView resolves a Prepared handle under the system lock —
+// re-preparing it if the program was recompiled since — and returns the
+// procedure ID, output variables, and immutable program view.
+func (s *System) preparedView(p *Prepared) (string, []string, *plan.Program, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensure(); err != nil {
+		return "", nil, nil, err
+	}
+	if p.gen != s.gen {
+		id, vars, err := s.prepareQuery(p.module, p.goals)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		p.id, p.vars, p.gen = id, vars, s.gen
+	}
+	return p.id, p.vars, s.progView(), nil
+}

@@ -1,0 +1,398 @@
+package gluenail
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const snapProgram = `
+edb edge(X,Y);
+tc(X,Y) :- edge(X,Y).
+tc(X,Z) :- tc(X,Y) & edge(Y,Z).
+`
+
+// fmtResult renders a Result canonically so isolation tests can compare
+// byte-identical answers.
+func fmtResult(r *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Vars, ","))
+	for _, row := range r.Rows {
+		sb.WriteByte('\n')
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(v.String())
+		}
+	}
+	return sb.String()
+}
+
+func chainEdges(from, n int64) [][]any {
+	rows := make([][]any, 0, n)
+	for i := int64(0); i < n; i++ {
+		rows = append(rows, []any{from + i, from + i + 1})
+	}
+	return rows
+}
+
+func TestSnapshotIsolationBasic(t *testing.T) {
+	sys := New()
+	if err := sys.Load(snapProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Assert("edge", chainEdges(1, 5)...); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	res, err := snap.Query("tc(1,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fmtResult(res)
+
+	// The writer commits more edges and a retraction.
+	if err := sys.Assert("edge", []any{6, 7}, []any{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Retract("edge", []any{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err = snap.Query("tc(1,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := fmtResult(res); after != before {
+		t.Fatalf("snapshot result changed after commit:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+
+	// The live view and a fresh snapshot both see the new state.
+	live, err := sys.Query("tc(1,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmtResult(live) == before {
+		t.Fatal("live view did not observe the committed write")
+	}
+	snap2, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap2.Close()
+	res2, err := snap2.Query("tc(1,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmtResult(res2) != fmtResult(live) {
+		t.Fatalf("fresh snapshot disagrees with live view:\nsnap:\n%s\nlive:\n%s",
+			fmtResult(res2), fmtResult(live))
+	}
+	if snap2.CSN() <= snap.CSN() {
+		t.Fatalf("CSN did not advance: %d then %d", snap.CSN(), snap2.CSN())
+	}
+}
+
+// TestSnapshotIsolationUnderWorkers runs the acceptance check: a reader
+// opened before a write sees byte-identical recursive-query results before
+// and after the write commits, across 1–16 morsel workers, while the
+// writer keeps committing concurrently.
+func TestSnapshotIsolationUnderWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sys := New(WithParallelism(workers), WithParallelThreshold(1))
+			if err := sys.Load(snapProgram); err != nil {
+				t.Fatal(err)
+			}
+			// A chain component the writer never touches (queried) plus a
+			// disjoint component it churns.
+			if err := sys.Assert("edge", chainEdges(1, 40)...); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Assert("edge", chainEdges(1000, 10)...); err != nil {
+				t.Fatal(err)
+			}
+
+			const sessions = 4
+			snaps := make([]*Snapshot, sessions)
+			want := make([]string, sessions)
+			for i := range snaps {
+				snap, err := sys.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer snap.Close()
+				res, err := snap.Query("tc(1,X)")
+				if err != nil {
+					t.Fatal(err)
+				}
+				snaps[i], want[i] = snap, fmtResult(res)
+				// Later sessions capture later CSNs, but the queried
+				// component is identical in all of them.
+				if want[i] != want[0] {
+					t.Fatalf("session %d baseline differs", i)
+				}
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, sessions+1)
+			stop := make(chan struct{})
+			for i, snap := range snaps {
+				wg.Add(1)
+				go func(i int, snap *Snapshot) {
+					defer wg.Done()
+					for n := 0; ; n++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := snap.Query("tc(1,X)")
+						if err != nil {
+							errs <- fmt.Errorf("session %d iter %d: %v", i, n, err)
+							return
+						}
+						if got := fmtResult(res); got != want[i] {
+							errs <- fmt.Errorf("session %d iter %d: isolation violation:\nwant:\n%s\ngot:\n%s",
+								i, n, want[i], got)
+							return
+						}
+					}
+				}(i, snap)
+			}
+
+			// Writer: churn the disjoint component through asserts and
+			// retracts, committing each statement.
+			for round := int64(0); round < 30; round++ {
+				if err := sys.Assert("edge", []any{2000 + round, 2001 + round}); err != nil {
+					errs <- err
+					break
+				}
+				if err := sys.Retract("edge", []any{1000 + round%10, 1001 + round%10}); err != nil {
+					errs <- err
+					break
+				}
+			}
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+		})
+	}
+}
+
+// TestSnapshotPrepared executes a shared Prepared handle on snapshot
+// sessions, including across a recompile (the handle re-prepares itself).
+func TestSnapshotPrepared(t *testing.T) {
+	sys := New()
+	if err := sys.Load(snapProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Assert("edge", chainEdges(1, 4)...); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.Prepare("tc(1,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	res, err := snap.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmtResult(res)
+
+	// Recompile (new rule through Load) and commit a chain-extending edge:
+	// the old snapshot still answers from its capture through the
+	// re-prepared handle. (chainEdges(1, 4) ends at node 5.)
+	if err := sys.Load(`tc2(X,Y) :- tc(X,Y).`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Assert("edge", []any{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = snap.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmtResult(res); got != want {
+		t.Fatalf("prepared snapshot result changed across recompile:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	// On the live system the handle sees the new edge.
+	live, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmtResult(live) == want {
+		t.Fatal("live prepared result did not observe the committed write")
+	}
+}
+
+// TestSnapshotWriteFails: a query that reaches an EDB update through a
+// called procedure must fail with a governed error, not corrupt the
+// snapshot.
+func TestSnapshotWriteFails(t *testing.T) {
+	sys := New()
+	err := sys.Load(`
+edb counter(X);
+counter(0).
+proc bump(:X)
+  counter(Y) += counter(X) & Y = X + 1.
+  return(:X) := counter(X).
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query("counter(X)"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if _, err := snap.Query("bump(X)"); err == nil {
+		t.Fatal("EDB update through a snapshot should fail")
+	}
+	// The session stays usable for reads... (the machine may be poisoned
+	// by the contained panic; a fresh snapshot definitely works).
+	snap2, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap2.Close()
+	res, err := snap2.Query("counter(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("counter corrupted: %v", res.Rows)
+	}
+}
+
+// TestSystemConcurrentSessions hammers the public System API from many
+// goroutines — queries, prepared executes, asserts/retracts, stats reads,
+// snapshot opens — as a -race regression net for the concurrency audit.
+func TestSystemConcurrentSessions(t *testing.T) {
+	sys := New()
+	if err := sys.Load(snapProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Assert("edge", chainEdges(1, 20)...); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.Prepare("tc(1,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	const iters = 25
+	// Live queriers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := p.Execute(); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := sys.Query("edge(1,X)"); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	// Snapshot sessions.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				snap, err := sys.Snapshot()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if _, err := snap.Execute(p); err != nil {
+					fail(err)
+					snap.Close()
+					return
+				}
+				snap.Close()
+			}
+		}()
+	}
+	// Writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(10000 + g*1000)
+			for i := int64(0); i < iters; i++ {
+				if err := sys.Assert("edge", []any{base + i, base + i + 1}); err != nil {
+					fail(err)
+					return
+				}
+				if err := sys.Retract("edge", []any{base + i, base + i + 1}); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Stats readers (plan-cache counters, exec/storage counters).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters*4; i++ {
+				_ = sys.PlanCacheStats()
+				_ = sys.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestSnapshotLayeredBackendRejected: the layered baseline has no MVCC.
+func TestSnapshotLayeredBackendRejected(t *testing.T) {
+	sys := New(WithLayeredBackend())
+	if err := sys.Load(snapProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Snapshot(); err == nil {
+		t.Fatal("layered backend should reject snapshots")
+	}
+}
