@@ -9,6 +9,13 @@
 //	-edb file     load this EDB image before running, save it after
 //	-data-dir d   durable EDB: write-ahead log + snapshots under d,
 //	              crash recovery on open
+//	-store name   storage engine: mem (default) or disk (index-organized
+//	              on-disk runs; with -data-dir the runs persist under
+//	              d/store)
+//	-spill-dir d  out-of-core scratch tables: spill to disk runs under d
+//	              instead of failing on the -max-rel-rows budget
+//	-spill-budget n
+//	              scratch rows held in memory before spilling (0 = default)
 //	-fsync mode   WAL fsync mode: batch (default), always, none
 //	-call m.proc  call an exported 0-bound procedure and print its results
 //	-q goals      evaluate one query conjunction and print the answers
@@ -61,6 +68,9 @@ func run() error {
 	var (
 		edbPath     = flag.String("edb", "", "EDB image to load before and save after the run")
 		dataDir     = flag.String("data-dir", "", "durable EDB directory (write-ahead log + snapshots, recovered on open)")
+		store       = flag.String("store", "mem", "storage engine: mem or disk")
+		spillDir    = flag.String("spill-dir", "", "spill scratch tables to disk runs under this directory")
+		spillBudget = flag.Int("spill-budget", 0, "scratch rows held in memory before spilling (0 = default)")
 		fsyncStr    = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
 		call        = flag.String("call", "", "procedure to call, as module.proc")
 		query       = flag.String("q", "", "query conjunction to evaluate")
@@ -80,6 +90,7 @@ func run() error {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per query/call (e.g. 30s; 0 = none)")
 		maxTuples   = flag.Int64("max-tuples", 0, "max tuples inserted per query/call (0 = unlimited)")
+		maxRelRows  = flag.Int("max-rel-rows", 0, "max rows held in memory per relation (0 = unlimited; with -spill-dir, scratch tables spill instead of failing)")
 		maxDepth    = flag.Int("max-depth", 0, "max procedure-call recursion depth (0 = default, negative = unlimited)")
 		maxIters    = flag.Int("max-iters", 0, "max repeat-loop iterations (0 = default, negative = unlimited)")
 	)
@@ -141,13 +152,20 @@ func run() error {
 	if !*batchKern {
 		opts = append(opts, gluenail.WithBatchKernels(false))
 	}
-	if *timeout != 0 || *maxTuples != 0 || *maxDepth != 0 || *maxIters != 0 {
+	if *timeout != 0 || *maxTuples != 0 || *maxRelRows != 0 || *maxDepth != 0 || *maxIters != 0 {
 		opts = append(opts, gluenail.WithBudget(gluenail.Budget{
 			Timeout:      *timeout,
 			MaxTuples:    *maxTuples,
+			MaxRelRows:   *maxRelRows,
 			MaxDepth:     *maxDepth,
 			MaxLoopIters: *maxIters,
 		}))
+	}
+	if *store != "" && *store != "mem" {
+		opts = append(opts, gluenail.WithBackend(*store))
+	}
+	if *spillDir != "" {
+		opts = append(opts, gluenail.WithSpill(*spillDir, *spillBudget))
 	}
 	var sys *gluenail.System
 	if *dataDir != "" {
@@ -295,6 +313,13 @@ func run() error {
 			"stats: EDB %d inserts, %d deletes, %d rows scanned, %d index builds; scratch %d relations created\n",
 			st.EDB.Inserts, st.EDB.Deletes, st.EDB.RowsScanned, st.EDB.IndexBuilds,
 			st.Scratch.RelsCreated)
+		if rf, rs := st.EDB.RunsFlushed+st.Scratch.RunsFlushed, st.EDB.RowsSpilled+st.Scratch.RowsSpilled; rf > 0 || rs > 0 {
+			fmt.Fprintf(os.Stderr,
+				"stats: disk %d runs flushed, %d rows spilled, %d runs compacted, %d blocks read\n",
+				rf, rs,
+				st.EDB.RunsCompacted+st.Scratch.RunsCompacted,
+				st.EDB.BlocksRead+st.Scratch.BlocksRead)
+		}
 		pc := sys.PlanCacheStats()
 		fmt.Fprintf(os.Stderr, "stats: plan cache %d hits, %d misses, %d invalidations\n",
 			pc.Hits, pc.Misses, pc.Invalidations)

@@ -13,6 +13,12 @@
 //	-addr host:port     listen address (default 127.0.0.1:7643)
 //	-data-dir d         durable EDB: write-ahead log + snapshots under d,
 //	                    crash recovery on open (omit for in-memory)
+//	-store name         storage engine: mem (default) or disk (relations in
+//	                    on-disk runs under d/store; EDB may exceed RAM)
+//	-spill-dir d        out-of-core scratch tables: spill to disk under d
+//	                    instead of failing on the max-rel-rows budget
+//	-spill-budget n     scratch rows held in memory before spilling
+//	-max-rel-rows n     per-session in-memory rows per relation budget
 //	-fsync mode         WAL fsync mode: batch (default), always, none
 //	-workers n          morsel workers shared fairly across sessions
 //	                    (0 = GOMAXPROCS)
@@ -57,6 +63,10 @@ func run() error {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7643", "listen address")
 		dataDir   = flag.String("data-dir", "", "durable EDB directory (write-ahead log + snapshots, recovered on open)")
+		store     = flag.String("store", "mem", "storage engine: mem or disk")
+		spillDir  = flag.String("spill-dir", "", "spill scratch tables to disk runs under this directory")
+		spillBud  = flag.Int("spill-budget", 0, "scratch rows held in memory before spilling (0 = default)")
+		maxRel    = flag.Int("max-rel-rows", 0, "per-session in-memory rows per relation (0 = unlimited; with -spill-dir, scratch spills instead of failing)")
 		fsyncStr  = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
 		workers   = flag.Int("workers", 0, "morsel workers shared across sessions (0 = GOMAXPROCS)")
 		maxSess   = flag.Int("max-sessions", 0, "concurrent session cap (0 = 1024)")
@@ -73,6 +83,15 @@ func run() error {
 	var opts []gluenail.Option
 	if *workers > 0 {
 		opts = append(opts, gluenail.WithParallelism(*workers))
+	}
+	if *store != "" && *store != "mem" {
+		opts = append(opts, gluenail.WithBackend(*store))
+	}
+	if *spillDir != "" {
+		opts = append(opts, gluenail.WithSpill(*spillDir, *spillBud))
+	}
+	if *maxRel != 0 {
+		opts = append(opts, gluenail.WithBudget(gluenail.Budget{MaxRelRows: *maxRel}))
 	}
 	switch *fsyncStr {
 	case "batch":
@@ -112,6 +131,7 @@ func run() error {
 		SessionBudget: gluenail.Budget{
 			Timeout:      *timeout,
 			MaxTuples:    *maxTuples,
+			MaxRelRows:   *maxRel,
 			MaxDepth:     *maxDepth,
 			MaxLoopIters: *maxIters,
 		},

@@ -31,19 +31,32 @@ func refClosure(edges [][2]int, src int) map[int]bool {
 	return seen
 }
 
-var allConfigs = map[string][]Option{
-	"default":        nil,
-	"materialized":   {WithMaterializedExecution()},
-	"no-dedup":       {WithoutDupElimination()},
-	"no-reorder":     {WithoutReordering()},
-	"greedy-order":   {WithGreedyOrdering()},
-	"no-magic":       {WithoutMagicSets()},
-	"naive":          {WithNaiveEvaluation()},
-	"no-narrow":      {WithoutDispatchNarrowing()},
-	"layered":        {WithLayeredBackend()},
-	"string-keys":    {WithStringKeyKernels()},
-	"scalar-kernels": {WithBatchKernels(false)},
-	"no-plan-cache":  {WithPlanCache(false)},
+// allConfigs returns every optimization and storage-engine configuration
+// the differential suites sweep; all of them must produce byte-identical
+// answers. It is a function because the disk-engine and spill
+// configurations need per-test scratch directories (cleaned up by the
+// testing package; the stores themselves are closed by the sweeps).
+func allConfigs(t *testing.T) map[string][]Option {
+	t.Helper()
+	return map[string][]Option{
+		"default":        nil,
+		"materialized":   {WithMaterializedExecution()},
+		"no-dedup":       {WithoutDupElimination()},
+		"no-reorder":     {WithoutReordering()},
+		"greedy-order":   {WithGreedyOrdering()},
+		"no-magic":       {WithoutMagicSets()},
+		"naive":          {WithNaiveEvaluation()},
+		"no-narrow":      {WithoutDispatchNarrowing()},
+		"layered":        {WithLayeredBackend()},
+		"string-keys":    {WithStringKeyKernels()},
+		"scalar-kernels": {WithBatchKernels(false)},
+		"no-plan-cache":  {WithPlanCache(false)},
+		// Storage-engine sweep: EDB on the disk engine, and scratch tables
+		// spilling to disk runs past a deliberately tiny in-memory budget —
+		// results must not depend on where rows live.
+		"disk-store": {WithBackend("disk")},
+		"spill":      {WithSpill(t.TempDir(), 16)},
+	}
 }
 
 func TestQuickClosureMatchesReference(t *testing.T) {
@@ -107,7 +120,7 @@ func TestQuickAllConfigsAgreeOnRandomGraphs(t *testing.T) {
 		src := rng.Intn(nNodes)
 		query := fmt.Sprintf("tc(%d, X)", src)
 		var ref []int64
-		for name, opts := range allConfigs {
+		for name, opts := range allConfigs(t) {
 			sys := New(opts...)
 			if err := sys.Load(`
 edb edge(X,Y);
@@ -129,6 +142,7 @@ tc(X,Z) :- tc(X,Y) & edge(Y,Z).
 			for i, r := range res.Rows {
 				got[i] = r[0].Int()
 			}
+			sys.Close()
 			if ref == nil {
 				ref = got
 				continue

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,6 +46,8 @@ import (
 	"gluenail/internal/parser"
 	"gluenail/internal/plan"
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/disk"
+	_ "gluenail/internal/storage/mem" // registers the "mem" backend
 	"gluenail/internal/term"
 	"gluenail/internal/vm"
 	"gluenail/internal/wal"
@@ -90,6 +93,9 @@ type config struct {
 	fsync        FsyncMode
 	ckptBytes    int64
 	budget       Budget
+	backend      string
+	spillDir     string
+	spillRows    int
 }
 
 // Option configures a System.
@@ -105,6 +111,30 @@ func WithInput(r io.Reader) Option { return func(c *config) { c.in = r } }
 // temporaries of procedure frames — on the simulated DBMS-layered store
 // (write-ahead logging, latching, catalog probes): the E8 baseline.
 func WithLayeredBackend() Option { return func(c *config) { c.layered = true } }
+
+// WithBackend selects the EDB storage engine by registered name: "mem"
+// (the default tailored main-memory store) or "disk" (the index-organized
+// disk engine — relations live in immutable on-disk runs plus an in-memory
+// memtable, with a block cache and background compaction, so the EDB may
+// exceed RAM). Combined with Open/WithDurability the disk engine keeps its
+// runs under <dir>/store and composes with the write-ahead log: commits
+// append to the WAL as usual and checkpoints flush the memtables to runs
+// instead of serializing the whole store. Without durability a disk-backed
+// system uses a private temporary directory removed on Close.
+func WithBackend(name string) Option { return func(c *config) { c.backend = name } }
+
+// WithSpill enables out-of-core execution: procedure-frame scratch tables
+// (semi-naive deltas, supplementary relations, locals) live on an
+// ephemeral disk store under dir and spill to disk runs once a relation
+// holds budgetRows in memory (0 = a default threshold), instead of
+// aborting with ErrMemoryBudget when a Budget.MaxRelRows cardinality
+// budget trips. With both configured, the effective in-memory threshold is
+// the smaller of budgetRows and MaxRelRows. Stale spill directories left
+// by crashed processes are swept on startup; dir must not coincide with or
+// nest the durability directory.
+func WithSpill(dir string, budgetRows int) Option {
+	return func(c *config) { c.spillDir = dir; c.spillRows = budgetRows }
+}
 
 // WithIndexPolicy overrides the adaptive index policy (E4 baselines).
 func WithIndexPolicy(p storage.IndexPolicy) Option {
@@ -316,9 +346,10 @@ type System struct {
 	cfg      config
 	registry *vm.Registry
 	edb      storage.Store
-	// mem is edb when backed by the tailored main-memory store (nil for
-	// the layered baseline); snapshots and CSN advancement need it.
-	mem      *storage.MemStore
+	// eng is edb's storage.Backend face — the multi-version engine
+	// (main-memory or disk) behind the EDB; nil only for the layered
+	// baseline. Snapshots, CSN advancement, and Close need it.
+	eng      storage.Backend
 	temp     storage.Store
 	sources  []string
 	compiled bool
@@ -375,20 +406,44 @@ func New(opts ...Option) *System {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	newStore := func() storage.Store {
-		if cfg.layered {
-			return storage.NewLayeredStore(cfg.indexPolicy)
-		}
-		return storage.NewMemStore(cfg.indexPolicy)
-	}
 	s := &System{
 		cfg:      cfg,
 		registry: vm.NewRegistry(),
-		edb:      newStore(),
-		temp:     newStore(),
 	}
-	s.mem, _ = s.edb.(*storage.MemStore)
-	if cfg.durDir != "" {
+	// EDB store: the configured backend. Dir-backed engines live under
+	// <durDir>/store so the WAL (segments directly in durDir) and the
+	// engine's runs never collide; without durability they get a private
+	// temporary directory removed on Close.
+	if cfg.layered {
+		s.edb = storage.NewLayeredStore(cfg.indexPolicy)
+	} else {
+		name := cfg.backend
+		if name == "" {
+			name = "mem"
+		}
+		var dir string
+		if cfg.durDir != "" && name != "mem" {
+			dir = filepath.Join(cfg.durDir, "store")
+		}
+		st, err := storage.OpenBackend(name, storage.BackendConfig{Dir: dir, Policy: cfg.indexPolicy})
+		if err != nil {
+			s.durErr = fmt.Errorf("gluenail: opening %s storage backend: %w", name, err)
+			st = storage.NewMemStore(cfg.indexPolicy)
+		}
+		s.edb = st
+	}
+	s.eng, _ = s.edb.(storage.Backend)
+	// Scratch store: in-memory unless WithSpill routes frame-local scratch
+	// tables through an out-of-core spill store.
+	temp, err := newScratchStore(&cfg)
+	if err != nil {
+		if s.durErr == nil {
+			s.durErr = fmt.Errorf("gluenail: opening spill store in %s: %w", cfg.spillDir, err)
+		}
+		temp = storage.NewMemStore(cfg.indexPolicy)
+	}
+	s.temp = temp
+	if s.durErr == nil && cfg.durDir != "" {
 		log, err := wal.Open(cfg.durDir, s.edb, wal.Options{
 			Fsync:           cfg.fsync,
 			CheckpointBytes: cfg.ckptBytes,
@@ -402,6 +457,30 @@ func New(opts ...Option) *System {
 		}
 	}
 	return s
+}
+
+// newScratchStore builds one scratch (temporary-relation) store under the
+// configured spill policy: the live machine and every snapshot session get
+// their own. With WithSpill, scratch tables live on an ephemeral disk
+// store whose in-memory threshold is the smaller of the spill budget and
+// the Budget.MaxRelRows cardinality budget, so the governor's relation
+// check charges resident rows and out-of-core iteration replaces the
+// ErrMemoryBudget abort.
+func newScratchStore(cfg *config) (storage.Store, error) {
+	if cfg.layered {
+		return storage.NewLayeredStore(cfg.indexPolicy), nil
+	}
+	if cfg.spillDir == "" {
+		return storage.NewMemStore(cfg.indexPolicy), nil
+	}
+	if err := disk.CheckDirOverlap(cfg.durDir, cfg.spillDir); err != nil {
+		return nil, err
+	}
+	budget := cfg.spillRows
+	if mrr := cfg.budget.MaxRelRows; mrr > 0 && (budget <= 0 || mrr < budget) {
+		budget = mrr
+	}
+	return disk.NewScratch(cfg.spillDir, budget, cfg.indexPolicy, nil)
 }
 
 // Open creates a System whose EDB is durably persisted under dir (see
@@ -435,8 +514,8 @@ func (s *System) commit() error {
 			}
 		}
 	}
-	if s.mem != nil {
-		s.mem.AdvanceCSN()
+	if s.eng != nil {
+		s.eng.AdvanceCSN()
 	}
 	return nil
 }
@@ -459,24 +538,36 @@ func (s *System) Checkpoint() error {
 	return s.wlog.Checkpoint(s.edb)
 }
 
-// Close commits any pending deltas, syncs, and closes the write-ahead
-// log. A system without durability closes as a no-op. The system must
-// not be used after Close.
+// Close commits any pending deltas, syncs, closes the write-ahead log,
+// and shuts down the storage engines (a disk-backed EDB stops its
+// compactor and releases its run files; a spill store removes its scratch
+// directory). A main-memory system without durability closes as a no-op.
+// The system must not be used after Close.
 func (s *System) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.durErr != nil {
-		return s.durErr
+	var err error
+	switch {
+	case s.durErr != nil:
+		err = s.durErr
+	case s.wlog != nil:
+		err = s.commit()
+		if cerr := s.wlog.Close(); err == nil {
+			err = cerr
+		}
+		s.edb.SetJournal(nil)
+		s.wlog, s.recorder = nil, nil
 	}
-	if s.wlog == nil {
-		return nil
+	if s.eng != nil {
+		if cerr := s.eng.Close(); err == nil {
+			err = cerr
+		}
 	}
-	err := s.commit()
-	if cerr := s.wlog.Close(); err == nil {
-		err = cerr
+	if c, ok := s.temp.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	}
-	s.edb.SetJournal(nil)
-	s.wlog, s.recorder = nil, nil
 	return err
 }
 

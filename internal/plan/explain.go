@@ -97,6 +97,9 @@ func (f *PhysFormatter) writePhysSteps(sb *strings.Builder, steps []PhysStep,
 			if po.FromProfile {
 				sb.WriteString("*")
 			}
+			if po.Store != "" {
+				fmt.Fprintf(sb, " store=%s", po.Store)
+			}
 			if prof != nil && k < len(prof.Steps) && po.LogIdx < len(prof.Steps[k].Ops) {
 				op := prof.Steps[k].Ops[po.LogIdx]
 				fmt.Fprintf(sb, " act_in=%d act_out=%d", op.In, op.Out)

@@ -32,6 +32,13 @@ type RelEstimate struct {
 	// Distinct holds per-column distinct-value estimates (may be shorter
 	// than the arity; missing columns use the default).
 	Distinct []int
+	// ScanCost/LookupCost are per-row access-cost factors relative to the
+	// main-memory engine (0 means the 1.0 baseline): a disk-resident
+	// relation reports higher factors, so the greedy orderer weighs a
+	// disk scan heavier than an equal-cardinality in-memory one. Engine
+	// names the backing engine for EXPLAIN ("" = main memory, omitted).
+	ScanCost, LookupCost float64
+	Engine               string
 }
 
 // StatsSource supplies live relation statistics at statement-prepare time.
@@ -76,6 +83,14 @@ type PhysOp struct {
 	// FromProfile marks a Sel taken from observed executor feedback rather
 	// than the static cost model.
 	FromProfile bool
+	// Cost is the score the greedy orderer compares: EstOut times the
+	// relation's per-backend access-cost factor for the chosen path. With
+	// the main-memory engine every factor is 1.0, so Cost == EstOut and
+	// the ordering is exactly the min-cardinality one.
+	Cost float64
+	// Store names the backing engine of the accessed relation ("" = main
+	// memory); EXPLAIN surfaces it with the access path.
+	Store string
 }
 
 // PhysStep is one physical segment: the logical step's barrier and
@@ -184,7 +199,7 @@ func (pl *Planner) planStep(s *Step, estIn float64, prof []OpProfile) PhysStep {
 			if !ok {
 				continue
 			}
-			if best < 0 || po.EstOut < bestOp.EstOut {
+			if best < 0 || po.Cost < bestOp.Cost {
 				best, bestOp = pi, po
 			}
 			if !pl.Reorder {
@@ -230,22 +245,28 @@ func physHints(ops []PhysOp) []LookupHint {
 func (pl *Planner) analyzeOp(op PipeOp, li int, bound map[int]bool, est float64,
 	prof []OpProfile) (PhysOp, bool) {
 	po := PhysOp{LogIdx: li, EstIn: est}
+	costFactor := 1.0
 	switch op := op.(type) {
 	case *Match:
 		mask, bind := rebindArgs(op.Args, bound)
 		if op.Negated && len(bind) > 0 {
 			return po, false // negation needs every argument bound
 		}
-		fanout := pl.matchFanout(op.Rel, op.Args, mask)
+		re, haveStats := pl.relStats(op.Rel)
+		fanout := matchFanout(re, haveStats, op.Args, mask)
+		po.Store = re.Engine
 		if op.Negated {
 			po.Access = "anti"
 			po.Sel = 1 / (1 + fanout)
+			costFactor = re.LookupCost
 		} else if mask != 0 {
 			po.Access = "probe"
 			po.Sel = fanout
+			costFactor = re.LookupCost
 		} else {
 			po.Access = "scan"
 			po.Sel = fanout
+			costFactor = re.ScanCost
 		}
 		c := *op
 		c.BoundMask, c.Bind = mask, bind
@@ -295,13 +316,17 @@ func (pl *Planner) analyzeOp(op PipeOp, li int, bound map[int]bool, est float64,
 		po.FromProfile = true
 	}
 	po.EstOut = est * po.Sel
+	if costFactor <= 0 {
+		costFactor = 1
+	}
+	po.Cost = po.EstOut * costFactor
 	return po, true
 }
 
 // matchFanout estimates tuples produced per input row: R / Π d_i over the
 // bound columns, i.e. the uniform-distribution join fanout.
-func (pl *Planner) matchFanout(ref RelRef, args []term.Pattern, mask uint32) float64 {
-	rows, distinct, ok := pl.relStats(ref)
+func matchFanout(re RelEstimate, ok bool, args []term.Pattern, mask uint32) float64 {
+	rows := float64(re.Rows)
 	if !ok {
 		rows = defaultRows
 	}
@@ -311,8 +336,8 @@ func (pl *Planner) matchFanout(ref RelRef, args []term.Pattern, mask uint32) flo
 			continue
 		}
 		d := defaultDistinct
-		if ok && i < len(distinct) && distinct[i] > 0 {
-			d = float64(distinct[i])
+		if ok && i < len(re.Distinct) && re.Distinct[i] > 0 {
+			d = float64(re.Distinct[i])
 		}
 		sel *= math.Max(d, 1)
 	}
@@ -320,15 +345,11 @@ func (pl *Planner) matchFanout(ref RelRef, args []term.Pattern, mask uint32) flo
 }
 
 // relStats resolves live statistics for a statically named relation.
-func (pl *Planner) relStats(ref RelRef) (float64, []int, bool) {
+func (pl *Planner) relStats(ref RelRef) (RelEstimate, bool) {
 	if pl.Stats == nil || !ref.Name.IsGround() {
-		return 0, nil, false
+		return RelEstimate{}, false
 	}
-	re, ok := pl.Stats.RelStats(ref)
-	if !ok {
-		return 0, nil, false
-	}
-	return float64(re.Rows), re.Distinct, true
+	return pl.Stats.RelStats(ref)
 }
 
 // barrierEst propagates the cardinality estimate across a pipeline break.

@@ -1,0 +1,240 @@
+// Backend seam: the contract a storage engine implements to sit under the
+// executor, and the registry the public API resolves engine names through.
+//
+// A Backend is a Store (relation lifecycle, journal hooks) plus the
+// multi-version machinery the server surface depends on: a commit sequence
+// number advanced at statement boundaries and statement-boundary snapshot
+// capture. The tailored main-memory MemStore is the default engine; the
+// disk-resident engine lives in the storage/disk subpackage and registers
+// itself under "disk". Engines register from init functions so importing a
+// backend package is all it takes to make it selectable by name.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gluenail/internal/term"
+)
+
+// SnapshotStore is the read-only view a snapshot session executes against:
+// a Store frozen at a statement boundary, identified by the CSN it was
+// captured at. Implementations that hold resources beyond memory (open run
+// files, pinned manifests) additionally implement io.Closer; sessions close
+// their view when they end.
+type SnapshotStore interface {
+	Store
+	// CSN returns the commit sequence number the view was captured at.
+	CSN() uint64
+}
+
+// Backend is a full storage engine: a Store that also owns the commit
+// sequence number versioning its relations and can capture consistent
+// snapshot views. All CSN and snapshot methods must be called at statement
+// boundaries (no writer in flight), which the public API guarantees by
+// holding the system writer lock.
+type Backend interface {
+	Store
+	// CommitCSN returns the last committed statement's sequence number.
+	CommitCSN() uint64
+	// AdvanceCSN publishes a statement boundary and returns the new CSN.
+	AdvanceCSN() uint64
+	// SnapshotView captures an immutable view of every relation at the
+	// current committed CSN for a concurrent read session.
+	SnapshotView() (SnapshotStore, error)
+	// Close releases engine resources (file handles, background workers).
+	// The store must not be used afterwards.
+	Close() error
+}
+
+// BaseFlusher is implemented by engines that keep their base state outside
+// the WAL snapshot image (the disk engine's runs + manifest). At checkpoint
+// the WAL calls FlushBase to make the engine's own base state durable and
+// then writes an empty snapshot image in its place: recovery reloads the
+// base from the engine and replays only the log tail on top (storage.Load
+// is additive, so the empty image is a no-op).
+type BaseFlusher interface {
+	// FlushBase makes all committed state durable in the engine's own
+	// on-disk format. Called at a statement boundary.
+	FlushBase() error
+}
+
+// MemResident is implemented by relations whose rows are not all held in
+// memory (a spill-backed scratch table). The execution governor charges
+// such relations their resident rows — not their total cardinality —
+// against the MaxRelRows budget: rows beyond the memory budget have been
+// spilled to disk, which is exactly what the budget is for.
+type MemResident interface {
+	// MemRows returns the number of rows currently held in memory.
+	MemRows() int
+}
+
+// CostProfile describes a relation's access costs to the physical planner,
+// relative to the tailored main-memory engine (1.0 = one in-memory row
+// visit). The planner multiplies estimated cardinalities by these factors
+// when ordering joins, so a disk-resident relation is scanned later (or
+// probed instead of scanned) where an in-memory one would not care.
+type CostProfile struct {
+	// Engine names the backing engine ("disk"); empty means the default
+	// main-memory engine and is omitted from EXPLAIN output.
+	Engine string
+	// Scan is the per-row cost factor of a full enumeration.
+	Scan float64
+	// Lookup is the per-row cost factor of an indexed probe.
+	Lookup float64
+}
+
+// Coster is implemented by relations with non-default access costs. The
+// main-memory Relation deliberately does not implement it: its factors are
+// the 1.0 baseline, and skipping the interface keeps the planner's hot
+// path free of assertions on the common engine.
+type Coster interface {
+	CostProfile() CostProfile
+}
+
+// BackendConfig carries the engine-independent open parameters.
+type BackendConfig struct {
+	// Dir is the directory a disk-resident engine keeps its state in.
+	// Empty selects an ephemeral store (a private temp directory, removed
+	// on Close) for engines that need a directory at all.
+	Dir string
+	// Policy is the adaptive-index policy relations follow.
+	Policy IndexPolicy
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]func(BackendConfig) (Backend, error){}
+)
+
+// RegisterBackend makes a storage engine selectable by name through
+// OpenBackend. Engines call it from init; registering a duplicate name
+// panics (it is a programming error, not a runtime condition).
+func RegisterBackend(name string, open func(BackendConfig) (Backend, error)) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[name]; dup {
+		panic("storage: duplicate backend registration: " + name)
+	}
+	backends[name] = open
+}
+
+// OpenBackend opens the named engine. Unknown names list the registered
+// engines in the error, so a typo on a -store flag is self-explaining.
+func OpenBackend(name string, cfg BackendConfig) (Backend, error) {
+	backendMu.RLock()
+	open, ok := backends[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown backend %q (registered: %v)", name, BackendNames())
+	}
+	return open(cfg)
+}
+
+// BackendNames returns the registered engine names, sorted.
+func BackendNames() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SnapshotView implements Backend for the main-memory engine.
+func (s *MemStore) SnapshotView() (SnapshotStore, error) {
+	return s.Snapshot(), nil
+}
+
+// Close implements Backend. The main-memory engine holds no resources
+// beyond garbage-collected memory.
+func (s *MemStore) Close() error { return nil }
+
+var _ Backend = (*MemStore)(nil)
+
+// NewRelationCSN creates an empty relation whose deletions are stamped from
+// the shared commit sequence number csn — the constructor a composing
+// engine (the disk engine's memtables) uses so its in-memory rows carry the
+// same multi-version visibility semantics as the main-memory store's.
+// stats and csn may be nil.
+func NewRelationCSN(name term.Value, arity int, policy IndexPolicy, stats *Stats, csn *atomic.Uint64) *Relation {
+	r := NewRelation(name, arity, policy, stats)
+	r.csn = csn
+	return r
+}
+
+// CaptureRel freezes a relation at snapshot CSN csn: the returned view
+// reads the captured slice headers with the standard visibility rule
+// (dead stamp 0 or > csn). Must be called at a statement boundary, like
+// MemStore.Snapshot; stats receives the view's read accounting.
+func CaptureRel(r *Relation, csn uint64, stats *Stats) Rel {
+	return newSnapRel(r, csn, stats)
+}
+
+// PlaceholderRel returns an empty read-only relation: what a snapshot
+// store yields for a relation that did not exist at capture. Writes panic,
+// exactly as on a captured snapshot relation.
+func PlaceholderRel(name term.Value, arity int, csn uint64, stats *Stats) Rel {
+	return &SnapRel{name: name, arity: arity, csn: csn, stats: stats}
+}
+
+// DistinctTracker maintains per-column distinct-value estimates for an
+// engine that stores rows outside a Relation (the disk engine's runs). It
+// is the same digest the main-memory engine uses — exact while small, a
+// linear-counting sketch beyond — behind a mutex so a snapshot session's
+// planner can estimate while the writer feeds it.
+type DistinctTracker struct {
+	mu   sync.Mutex
+	cols []colStats
+}
+
+// NewDistinctTracker returns a tracker for arity columns.
+func NewDistinctTracker(arity int) *DistinctTracker {
+	return &DistinctTracker{cols: make([]colStats, arity)}
+}
+
+// Add folds a tuple's column values into the digest.
+func (d *DistinctTracker) Add(t term.Tuple) {
+	d.mu.Lock()
+	for i := range t {
+		if i < len(d.cols) {
+			d.cols[i].add(t[i].Hash())
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Remove withdraws a tuple's column values (exact while small; the sketch
+// ignores removals, like the main-memory digest).
+func (d *DistinctTracker) Remove(t term.Tuple) {
+	d.mu.Lock()
+	for i := range t {
+		if i < len(d.cols) {
+			d.cols[i].remove(t[i].Hash())
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Estimate returns the distinct-value estimate for column col.
+func (d *DistinctTracker) Estimate(col int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if col < 0 || col >= len(d.cols) {
+		return 0
+	}
+	return d.cols[col].estimate()
+}
+
+// Reset clears the digest (relation Clear).
+func (d *DistinctTracker) Reset() {
+	d.mu.Lock()
+	for i := range d.cols {
+		d.cols[i] = colStats{}
+	}
+	d.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Background compaction: once a relation accumulates enough runs, a
+// single background goroutine merges them into one, preserving insertion
+// order and content exactly. Correctness under concurrency rests on the
+// install protocol: the merge reads immutable runs lock-free, and the
+// install (under the relation's mutation lock) verifies nothing changed —
+// the run list pointer and every input run's tombstone map pointer — and
+// otherwise discards the merged run and retries on the next wake-up.
+// Content-preservation is what makes mid-merge readers safe: a reader (or
+// snapshot) holding the old run list observes exactly the same visible
+// rows in the same order as one holding the new list.
+package disk
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// maybeCompact wakes the compactor when a relation's run count reaches the
+// threshold. The goroutine starts lazily on first use, so stores that
+// never flush (or are never compacted) cost nothing — and short-lived
+// test systems that skip Close leak no goroutine until they actually
+// spill.
+func (s *Store) maybeCompact(r *Rel, nruns int) {
+	if s.opts.NoCompactor || nruns < s.opts.compactAfter() || s.closed.Load() {
+		return
+	}
+	s.compactStart.Do(func() {
+		s.wg.Add(1)
+		go s.compactLoop()
+	})
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.compactCh:
+		}
+		for {
+			r := s.pickCompactable()
+			if r == nil {
+				break
+			}
+			s.compactMu.Lock()
+			if s.closed.Load() {
+				s.compactMu.Unlock()
+				return
+			}
+			progressed := s.compactOne(r)
+			s.compactMu.Unlock()
+			if !progressed {
+				// Stale install (the writer interleaved): wait for the
+				// next flush signal instead of spinning on retries.
+				break
+			}
+		}
+	}
+}
+
+// pickCompactable returns the relation with the most runs at or above the
+// threshold, or nil.
+func (s *Store) pickCompactable() *Rel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *Rel
+	bestN := s.opts.compactAfter()
+	for _, r := range s.order {
+		if n := len(*r.runs.Load()); n >= bestN {
+			best, bestN = r, n+1
+		}
+	}
+	return best
+}
+
+// compactOne merges r's current runs into one. Committed tombstones are
+// dropped (new snapshots are captured at CSN >= their stamp and would
+// filter them anyway; old snapshots pin the old run objects); uncommitted
+// ones — a statement in flight deleted the row — are carried into the
+// merged run so an abort-free install stays content-identical.
+func (s *Store) compactOne(r *Rel) bool {
+	runs := *r.runs.Load()
+	if len(runs) < 2 {
+		return false
+	}
+	// Record the tombstone map pointers the merge is based on; any change
+	// while merging invalidates the result.
+	tombsAt := make([]*map[int32]uint64, len(runs))
+	for i, rn := range runs {
+		tombsAt[i] = rn.tombs.Load()
+	}
+	merged, err := r.mergeRuns(runs, s.commitCSN.Load(), false)
+	if err != nil {
+		// Compaction is advisory: on error, leave the runs as they are.
+		return false
+	}
+	r.relMu.Lock()
+	cur := r.runs.Load()
+	stale := len(*cur) != len(runs)
+	if !stale {
+		for i, rn := range *cur {
+			if rn != runs[i] || rn.tombs.Load() != tombsAt[i] {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
+		r.relMu.Unlock()
+		if merged != nil {
+			os.Remove(merged.path)
+			merged.release()
+		}
+		return false
+	}
+	if merged == nil {
+		empty := []*run{}
+		r.runs.Store(&empty)
+	} else {
+		nr := []*run{merged}
+		r.runs.Store(&nr)
+	}
+	r.relMu.Unlock()
+	s.retireRuns(runs)
+	atomic.AddInt64(&s.stats.RunsCompacted, int64(len(runs)))
+	return true
+}

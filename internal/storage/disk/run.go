@@ -1,0 +1,473 @@
+// Run files: the disk engine's unit of storage. A run is an immutable,
+// insertion-ordered sequence of tuples written out in CRC-framed blocks of
+// a fixed row count, so a slot number maps to its block arithmetically.
+// Rows live on disk; what stays in memory per run is the index — one cached
+// whole-tuple hash per row plus the same intrusive bucket/chain layout the
+// main-memory engine uses — so membership probes touch disk only to confirm
+// an actual hash match, through the shared block cache.
+//
+// Runs are ordered by flush sequence, not by value: global enumeration
+// order (runs in flush order, then the memtable) reproduces the main-memory
+// engine's insertion order exactly, which is what keeps results
+// byte-identical across engines and worker counts. See DESIGN.md for the
+// runs-vs-B-tree decision.
+package disk
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"gluenail/internal/term"
+)
+
+const (
+	runMagic = "GLUENAIL-RUN1\n"
+	// rowsPerBlock is fixed so slot -> block is a shift, not a search.
+	rowsPerBlock = 256
+)
+
+// runName returns the file name of run seq.
+func runName(seq uint64) string { return fmt.Sprintf("run-%08d.grn", seq) }
+
+type blockMeta struct {
+	off   int64 // frame start (length prefix) within the file
+	size  int32 // frame size in bytes including the 8-byte header
+	nrows int32
+}
+
+// run is one immutable on-disk segment plus its resident index. All fields
+// except tombs and refs are frozen after construction; tombs is a
+// copy-on-write map (slot -> deleting CSN) swapped atomically by the single
+// writer and read lock-free by concurrent snapshot sessions and the
+// compactor; refs counts the owners (store, snapshots) holding the file
+// open.
+type run struct {
+	seq    uint64
+	path   string
+	f      *os.File
+	arity  int
+	nrows  int32
+	blocks []blockMeta
+	// hashes caches each row's whole-tuple hash; buckets/next chain rows by
+	// hash exactly like the main-memory Relation (slot+1 links).
+	hashes  []uint64
+	buckets map[uint64]int32
+	next    []int32
+	tombs   atomic.Pointer[map[int32]uint64]
+	refs    atomic.Int32
+}
+
+func (r *run) retain() { r.refs.Add(1) }
+
+// release drops one reference; the file handle closes with the last one.
+// The file itself may already be unlinked (POSIX keeps the data readable
+// through the open handle), so close order and unlink order are
+// independent.
+func (r *run) release() {
+	if r.refs.Add(-1) == 0 {
+		r.f.Close()
+	}
+}
+
+// tombAt returns the CSN slot was deleted at (0 = live), safe to call
+// concurrently with the writer.
+func (r *run) tombAt(slot int32) uint64 {
+	m := r.tombs.Load()
+	if m == nil {
+		return 0
+	}
+	return (*m)[slot]
+}
+
+// setTomb stamps slot deleted at csn. Writer-only; readers follow the old
+// or new map, both consistent.
+func (r *run) setTomb(slot int32, csn uint64) {
+	old := r.tombs.Load()
+	var nm map[int32]uint64
+	if old == nil {
+		nm = map[int32]uint64{slot: csn}
+	} else {
+		nm = make(map[int32]uint64, len(*old)+1)
+		for k, v := range *old {
+			nm[k] = v
+		}
+		nm[slot] = csn
+	}
+	r.tombs.Store(&nm)
+}
+
+// ntombs returns the current tombstone count.
+func (r *run) ntombs() int {
+	m := r.tombs.Load()
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}
+
+// liveAt counts rows visible at snapshot CSN csn (tomb 0 or > csn).
+func (r *run) liveAt(csn uint64) int {
+	n := int(r.nrows)
+	m := r.tombs.Load()
+	if m == nil {
+		return n
+	}
+	for _, d := range *m {
+		if d != 0 && d <= csn {
+			n--
+		}
+	}
+	return n
+}
+
+// encodeRun renders the full run file image for rows.
+func encodeRun(arity int, rows []term.Tuple) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(runMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(arity))])
+	for start := 0; start < len(rows); start += rowsPerBlock {
+		end := start + rowsPerBlock
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var payload bytes.Buffer
+		payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(end-start))])
+		for _, t := range rows[start:end] {
+			term.WriteTuple(&payload, t)
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+		buf.Write(hdr[:])
+		buf.Write(payload.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// createRun writes rows (live tuples, insertion order; hashes parallel) as
+// run seq under dir — temp file first, renamed into place so a crash never
+// leaves a partial run under a run name — and returns it opened with one
+// reference. sync fsyncs the file before the rename (checkpoint runs must
+// be durable before the manifest names them; auto-flush runs may skip it,
+// their rows are still in the WAL).
+func createRun(dir string, seq uint64, arity int, rows []term.Tuple, hashes []uint64, sync bool) (*run, error) {
+	data := encodeRun(arity, rows)
+	path := filepath.Join(dir, runName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(data); err == nil && sync {
+		err = f.Sync()
+	} else if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{seq: seq, path: path, f: rf, arity: arity, nrows: int32(len(rows)), hashes: hashes}
+	// Block metadata mirrors encodeRun's layout without re-parsing.
+	off := int64(len(runMagic))
+	var tmpv [binary.MaxVarintLen64]byte
+	off += int64(binary.PutUvarint(tmpv[:], uint64(arity)))
+	pos := off
+	for start := 0; start < len(rows); start += rowsPerBlock {
+		end := start + rowsPerBlock
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var payload bytes.Buffer
+		payload.Write(tmpv[:binary.PutUvarint(tmpv[:], uint64(end-start))])
+		for _, t := range rows[start:end] {
+			term.WriteTuple(&payload, t)
+		}
+		r.blocks = append(r.blocks, blockMeta{off: pos, size: int32(payload.Len()) + 8, nrows: int32(end - start)})
+		pos += int64(payload.Len()) + 8
+	}
+	r.buildIndex()
+	r.refs.Store(1)
+	return r, nil
+}
+
+// openRun reopens a run file after restart: it re-scans every block to
+// rebuild the offsets, row hashes, and bucket chains (the file format has
+// no footer — the index is cheaper to rebuild than to keep in sync), and
+// feeds each decoded row to observe (distinct-value digests). Corruption
+// is an error: runs reachable from a manifest were fsynced before the
+// manifest named them, and unreachable ones are swept before opening.
+func openRun(path string, seq uint64, observe func(term.Tuple)) (*run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(runMagic) || string(data[:len(runMagic)]) != runMagic {
+		return nil, fmt.Errorf("disk: %s: bad run magic", path)
+	}
+	pos := len(runMagic)
+	arityU, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("disk: %s: truncated arity", path)
+	}
+	pos += n
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{seq: seq, path: path, f: f, arity: int(arityU)}
+	for pos < len(data) {
+		if pos+8 > len(data) {
+			f.Close()
+			return nil, fmt.Errorf("disk: %s: truncated block header at %d", path, pos)
+		}
+		size := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if pos+8+size > len(data) {
+			f.Close()
+			return nil, fmt.Errorf("disk: %s: truncated block at %d", path, pos)
+		}
+		payload := data[pos+8 : pos+8+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			f.Close()
+			return nil, fmt.Errorf("disk: %s: block checksum mismatch at %d", path, pos)
+		}
+		rows, err := decodeBlock(payload, int(arityU))
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("disk: %s: %w", path, err)
+		}
+		r.blocks = append(r.blocks, blockMeta{off: int64(pos), size: int32(size) + 8, nrows: int32(len(rows))})
+		for _, t := range rows {
+			r.hashes = append(r.hashes, t.Hash())
+			if observe != nil {
+				observe(t)
+			}
+		}
+		r.nrows += int32(len(rows))
+		pos += 8 + size
+	}
+	r.buildIndex()
+	r.refs.Store(1)
+	return r, nil
+}
+
+// decodeBlock decodes one block payload into its rows. Strings re-enter
+// interned (term.ReadValue), carrying their precomputed hashes into the
+// block cache.
+func decodeBlock(payload []byte, arity int) ([]term.Tuple, error) {
+	br := bufio.NewReader(bytes.NewReader(payload))
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]term.Tuple, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		t, err := term.ReadTuple(br)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, t)
+	}
+	return rows, nil
+}
+
+// buildIndex chains the rows by cached hash, identical in layout to the
+// main-memory Relation's intrusive buckets.
+func (r *run) buildIndex() {
+	r.buckets = make(map[uint64]int32, len(r.hashes))
+	r.next = make([]int32, len(r.hashes))
+	for i, h := range r.hashes {
+		r.next[i] = r.buckets[h]
+		r.buckets[h] = int32(i) + 1
+	}
+}
+
+// block returns the decoded rows of block bi, via the cache.
+func (r *run) block(c *blockCache, counter *int64, bi int) ([]term.Tuple, error) {
+	if rows, ok := c.get(r.seq, int32(bi)); ok {
+		return rows, nil
+	}
+	bm := r.blocks[bi]
+	buf := make([]byte, bm.size)
+	if _, err := r.f.ReadAt(buf, bm.off); err != nil {
+		return nil, fmt.Errorf("disk: reading %s block %d: %w", r.path, bi, err)
+	}
+	size := int(binary.LittleEndian.Uint32(buf[0:4]))
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if size != len(buf)-8 || crc32.ChecksumIEEE(buf[8:]) != sum {
+		return nil, fmt.Errorf("disk: %s block %d failed checksum", r.path, bi)
+	}
+	rows, err := decodeBlock(buf[8:], r.arity)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(counter, 1)
+	c.put(r.seq, int32(bi), rows)
+	return rows, nil
+}
+
+// tupleAt returns the row at slot, via the cache.
+func (r *run) tupleAt(c *blockCache, counter *int64, slot int32) (term.Tuple, error) {
+	bi := int(slot) / rowsPerBlock
+	rows, err := r.block(c, counter, bi)
+	if err != nil {
+		return nil, err
+	}
+	return rows[int(slot)%rowsPerBlock], nil
+}
+
+// scan yields every row with tomb visibility decided by visible (nil =
+// live view: any tombstone hides the row), in slot order. Returns false if
+// the consumer stopped early.
+func (r *run) scan(c *blockCache, counter *int64, visible func(slot int32) bool, yield func(term.Tuple) bool) (bool, error) {
+	slot := int32(0)
+	for bi := range r.blocks {
+		rows, err := r.block(c, counter, bi)
+		if err != nil {
+			return false, err
+		}
+		for _, t := range rows {
+			ok := false
+			if visible == nil {
+				ok = r.tombAt(slot) == 0
+			} else {
+				ok = visible(slot)
+			}
+			if ok && !yield(t) {
+				return false, nil
+			}
+			slot++
+		}
+	}
+	return true, nil
+}
+
+// blockKey identifies a cached block; run sequence numbers are unique per
+// store, so the cache is shared across all of a store's relations.
+type blockKey struct {
+	run   uint64
+	block int32
+}
+
+// blockCache is a small mutex-guarded LRU of decoded blocks. Decoded rows
+// are immutable and may be handed to any number of concurrent readers; the
+// mutex covers only the map/list bookkeeping.
+type blockCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[blockKey]*cacheEnt
+	head  *cacheEnt // most recently used
+	tail  *cacheEnt
+	count int
+}
+
+type cacheEnt struct {
+	key        blockKey
+	rows       []term.Tuple
+	prev, next *cacheEnt
+}
+
+func newBlockCache(capacity int) *blockCache {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &blockCache{cap: capacity, m: make(map[blockKey]*cacheEnt, capacity)}
+}
+
+func (c *blockCache) get(run uint64, block int32) ([]term.Tuple, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.m[blockKey{run, block}]
+	if e == nil {
+		return nil, false
+	}
+	c.moveFront(e)
+	return e.rows, true
+}
+
+func (c *blockCache) put(run uint64, block int32, rows []term.Tuple) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := blockKey{run, block}
+	if e := c.m[k]; e != nil {
+		e.rows = rows
+		c.moveFront(e)
+		return
+	}
+	e := &cacheEnt{key: k, rows: rows}
+	c.m[k] = e
+	c.pushFront(e)
+	c.count++
+	for c.count > c.cap {
+		old := c.tail
+		c.unlink(old)
+		delete(c.m, old.key)
+		c.count--
+	}
+}
+
+// dropRun evicts every cached block of a run (the run was deleted).
+func (c *blockCache) dropRun(run uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.m {
+		if k.run == run {
+			c.unlink(e)
+			delete(c.m, k)
+			c.count--
+		}
+	}
+}
+
+func (c *blockCache) pushFront(e *cacheEnt) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *blockCache) unlink(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *blockCache) moveFront(e *cacheEnt) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

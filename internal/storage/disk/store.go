@@ -1,0 +1,1171 @@
+// Package disk implements the disk-resident storage engine: an
+// index-organized store of immutable runs plus a per-relation in-memory
+// memtable, registered as backend "disk".
+//
+// Layout per relation: new rows go to the memtable (a full
+// storage.Relation — intrusive hash chains, cached hashes, MVCC dead
+// stamps); when it reaches the flush threshold its live rows are written
+// out as a run and the memtable starts fresh. Reads merge runs (flush
+// order) with the memtable, which reproduces the main-memory engine's
+// insertion-order enumeration exactly. Deleting a run-resident row stamps
+// a tombstone (slot -> deleting CSN) instead of rewriting the run, the
+// same multi-version visibility rule as the memtable's dead stamps. A
+// background compactor merges runs once they pile up.
+//
+// Durability composes with the existing WAL: every mutation is journaled
+// as before, and at checkpoint the WAL calls FlushBase, which makes the
+// engine's own base state durable (flush memtables, drop tombstones,
+// write the manifest atomically) and then logs an empty snapshot image in
+// place of a full one. Recovery loads the manifest first and replays only
+// the log tail on top, idempotently.
+//
+// I/O errors on read paths panic: the Rel read interface has no error
+// channel, and the VM's panic containment turns the panic into a typed
+// governed error at the statement boundary.
+package disk
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"gluenail/internal/storage"
+	"gluenail/internal/term"
+)
+
+func init() {
+	storage.RegisterBackend("disk", func(cfg storage.BackendConfig) (storage.Backend, error) {
+		return Open(cfg.Dir, Options{Policy: cfg.Policy})
+	})
+}
+
+// Options tunes a disk store beyond the backend-independent config.
+type Options struct {
+	// Policy is the adaptive-index policy for memtables and run indexes.
+	Policy storage.IndexPolicy
+	// FlushRows is the memtable row count that triggers an automatic
+	// flush to a run; <= 0 selects the default (32768). A spill store
+	// sets it to the scratch budget.
+	FlushRows int
+	// CacheBlocks caps the shared decoded-block cache; <= 0 selects 512.
+	CacheBlocks int
+	// CompactAfter is the per-relation run count that wakes the
+	// compactor; <= 0 selects 6.
+	CompactAfter int
+	// Ephemeral marks a scratch store: no manifest or fsync, and Close
+	// removes the directory. FlushBase must not be called on it.
+	Ephemeral bool
+	// NoCompactor disables background compaction (tests, deterministic
+	// benchmarks).
+	NoCompactor bool
+	// Stats, when non-nil, is the shared counter block to account into
+	// (a spill store accounts into the executor's scratch stats).
+	Stats *storage.Stats
+}
+
+func (o Options) flushRows() int {
+	if o.FlushRows > 0 {
+		return o.FlushRows
+	}
+	return 32768
+}
+
+func (o Options) compactAfter() int {
+	if o.CompactAfter > 0 {
+		return o.CompactAfter
+	}
+	return 6
+}
+
+const (
+	manifestName  = "MANIFEST.grm"
+	manifestMagic = "GLUENAIL-MAN1\n"
+)
+
+// Store is the disk engine. It implements storage.Backend plus the
+// composition hooks (storage.BaseFlusher) the WAL checkpoint uses.
+type Store struct {
+	dir   string
+	opts  Options
+	stats *storage.Stats
+	cache *blockCache
+
+	journal   storage.Journal
+	commitCSN atomic.Uint64
+
+	// mu guards rels/order/runSeq/durable/obsolete. The writer is single-
+	// threaded per the Rel contract; the lock exists for the background
+	// compactor and concurrent snapshot capture.
+	mu      sync.RWMutex
+	rels    map[string]*Rel
+	order   []*Rel // creation order, for deterministic manifests
+	runSeq  uint64
+	durable map[uint64]bool // run seqs named by the current manifest
+	// obsolete holds replaced manifest-listed runs whose files must
+	// survive until the next manifest stops naming them (crash recovery
+	// reads the old manifest until then). Non-manifest runs are unlinked
+	// immediately on replacement instead.
+	obsolete []*run
+	// graveyard holds runs the compactor replaced whose store reference
+	// cannot be released yet: live readers load a relation's run list
+	// lock-free, so a reader that picked up the old list may still be
+	// probing these files. The release (and with it the file close) is
+	// deferred to the next statement boundary — AdvanceCSN or Close —
+	// when no live-store reader can be in flight. Snapshots are
+	// unaffected: they hold their own retains.
+	graveyard []*run
+
+	// compactMu serializes compactor cycles against FlushBase and Close.
+	compactMu    sync.Mutex
+	compactCh    chan struct{}
+	compactStart sync.Once
+	stopCh       chan struct{}
+	wg           sync.WaitGroup
+	closed       atomic.Bool
+}
+
+var (
+	_ storage.Backend     = (*Store)(nil)
+	_ storage.BaseFlusher = (*Store)(nil)
+)
+
+// Open opens (or creates) a disk store rooted at dir. With an empty dir a
+// private temp directory is created and treated as ephemeral. Opening
+// loads the manifest and every run it names — rebuilding the in-memory
+// run indexes and distinct digests — and sweeps orphaned temp and run
+// files left by a crash (their contents, if committed, are still in the
+// WAL, which replays on top after this returns).
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gluenail-disk-")
+		if err != nil {
+			return nil, err
+		}
+		dir = tmp
+		opts.Ephemeral = true
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir:     dir,
+		opts:    opts,
+		stats:   opts.Stats,
+		cache:   newBlockCache(opts.CacheBlocks),
+		rels:    make(map[string]*Rel),
+		durable: make(map[uint64]bool),
+		stopCh:  make(chan struct{}),
+	}
+	if st.stats == nil {
+		st.stats = &storage.Stats{}
+	}
+	st.compactCh = make(chan struct{}, 1)
+	if err := st.loadManifest(); err != nil {
+		return nil, err
+	}
+	if err := st.sweepOrphans(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// relKey mirrors the storage package's relation key.
+func relKey(name term.Value, arity int) string {
+	return term.Key(name) + "/" + fmt.Sprint(arity)
+}
+
+// Rel is one disk-resident relation: immutable runs plus a memtable.
+type Rel struct {
+	st    *Store
+	name  term.Value
+	arity int
+
+	// mem is the memtable; replaced wholesale on flush (snapshots keep
+	// the captured view alive through the GC, as with the main-memory
+	// engine's copy-on-write arrays).
+	mem *storage.Relation
+	// runs is copy-on-write: the writer (and the compactor's install)
+	// swaps in a fresh slice; readers and snapshot capture load it
+	// atomically.
+	runs     atomic.Pointer[[]*run]
+	diskLive int // live rows across runs (excludes tombstoned)
+
+	version    uint64
+	statsEpoch atomic.Uint64
+	epochRows  int
+	dist       *storage.DistinctTracker
+
+	// relMu serializes structure changes that the background compactor
+	// could interleave with: run-list swaps and run tombstones. The
+	// writer's per-row paths never contend (the compactor holds it only
+	// for a pointer-compare-and-swap install).
+	relMu sync.Mutex
+
+	// Adaptive partial-mask indexes over run-resident rows, mirroring
+	// the main-memory relation's scan-credit policy. The index holds
+	// decoded tuples (probes must not touch disk), is invalidated by
+	// flush (writer-side), updated by Delete, and untouched by
+	// compaction (content-preserving).
+	ixMu     sync.RWMutex
+	ixs      map[uint32]*hashIx
+	ixCredit map[uint32]*atomic.Int64
+	ixOnces  map[uint32]*sync.Once
+}
+
+var (
+	_ storage.Rel         = (*Rel)(nil)
+	_ storage.MemResident = (*Rel)(nil)
+	_ storage.Coster      = (*Rel)(nil)
+)
+
+type hashIx struct {
+	mask    uint32
+	buckets map[uint64][]term.Tuple
+}
+
+// Ensure implements storage.Store.
+func (s *Store) Ensure(name term.Value, arity int) storage.Rel {
+	return s.ensure(name, arity, true)
+}
+
+func (s *Store) ensure(name term.Value, arity int, journal bool) *Rel {
+	k := relKey(name, arity)
+	s.mu.RLock()
+	r, ok := s.rels[k]
+	s.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = &Rel{
+		st:    s,
+		name:  name,
+		arity: arity,
+		mem:   storage.NewRelationCSN(name, arity, s.opts.Policy, s.stats, &s.commitCSN),
+		dist:  storage.NewDistinctTracker(arity),
+	}
+	empty := []*run{}
+	r.runs.Store(&empty)
+	s.mu.Lock()
+	s.rels[k] = r
+	s.order = append(s.order, r)
+	s.mu.Unlock()
+	atomic.AddInt64(&s.stats.RelsCreated, 1)
+	if journal && s.journal != nil {
+		s.journal.JournalCreate(name, arity)
+	}
+	return r
+}
+
+// Get implements storage.Store.
+func (s *Store) Get(name term.Value, arity int) (storage.Rel, bool) {
+	s.mu.RLock()
+	r, ok := s.rels[relKey(name, arity)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return r, true
+}
+
+// Drop implements storage.Store: the relation's runs are released and
+// their files scheduled for removal (immediately unless the current
+// manifest still names them, in which case the next checkpoint removes
+// them).
+func (s *Store) Drop(name term.Value, arity int) {
+	k := relKey(name, arity)
+	s.mu.Lock()
+	r, ok := s.rels[k]
+	if ok {
+		delete(s.rels, k)
+		for i, o := range s.order {
+			if o == r {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	r.relMu.Lock()
+	runs := *r.runs.Load()
+	empty := []*run{}
+	r.runs.Store(&empty)
+	r.diskLive = 0
+	r.relMu.Unlock()
+	s.retireRuns(runs)
+	atomic.AddInt64(&s.stats.RelsDropped, 1)
+}
+
+// retireRuns releases ownership of replaced/dropped runs and removes their
+// files unless the durable manifest still needs them. With a background
+// compactor running, the final release is deferred to the graveyard (see
+// the field comment): a lock-free reader may still hold the replaced run
+// list. Without one, every retire is writer-sequenced against all readers
+// and the reference can drop immediately.
+func (s *Store) retireRuns(runs []*run) {
+	if len(runs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, rn := range runs {
+		if s.durable[rn.seq] {
+			s.obsolete = append(s.obsolete, rn)
+		} else {
+			os.Remove(rn.path)
+		}
+		s.cache.dropRun(rn.seq)
+		if s.opts.NoCompactor {
+			rn.release()
+		} else {
+			s.graveyard = append(s.graveyard, rn)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// drainGraveyard releases deferred run references. Must only be called
+// when no live-store reader can be in flight (statement boundaries and
+// Close).
+func (s *Store) drainGraveyard() {
+	s.mu.Lock()
+	dead := s.graveyard
+	s.graveyard = nil
+	s.mu.Unlock()
+	for _, rn := range dead {
+		rn.release()
+	}
+}
+
+// Names implements storage.Store.
+func (s *Store) Names() []storage.RelName {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]storage.RelName, 0, len(s.rels))
+	for _, r := range s.rels {
+		out = append(out, storage.RelName{Name: r.name, Arity: r.arity})
+	}
+	return out
+}
+
+// Stats implements storage.Store.
+func (s *Store) Stats() *storage.Stats { return s.stats }
+
+// SetJournal implements storage.Store.
+func (s *Store) SetJournal(j storage.Journal) { s.journal = j }
+
+// CommitCSN implements storage.Backend.
+func (s *Store) CommitCSN() uint64 { return s.commitCSN.Load() }
+
+// AdvanceCSN implements storage.Backend. Called at statement boundaries,
+// which are also the moments no live reader holds a stale run list — so
+// compactor-retired runs deferred in the graveyard close here.
+func (s *Store) AdvanceCSN() uint64 {
+	csn := s.commitCSN.Add(1)
+	s.drainGraveyard()
+	return csn
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close stops the compactor, closes every run file, and removes the
+// directory if the store is ephemeral.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stopCh)
+	s.wg.Wait()
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.drainGraveyard()
+	s.mu.Lock()
+	rels := append([]*Rel(nil), s.order...)
+	s.obsolete = nil // released via the graveyard; files kept for the manifest
+	s.mu.Unlock()
+	for _, r := range rels {
+		for _, rn := range *r.runs.Load() {
+			rn.release()
+		}
+	}
+	if s.opts.Ephemeral {
+		return os.RemoveAll(s.dir)
+	}
+	return nil
+}
+
+// ---- Rel: identity and statistics ----
+
+// Name implements storage.Rel.
+func (r *Rel) Name() term.Value { return r.name }
+
+// Arity implements storage.Rel.
+func (r *Rel) Arity() int { return r.arity }
+
+// Len implements storage.Rel.
+func (r *Rel) Len() int { return r.diskLive + r.mem.Len() }
+
+// MemRows implements storage.MemResident: only the memtable is resident.
+func (r *Rel) MemRows() int { return r.mem.Len() }
+
+// Version implements storage.Rel.
+func (r *Rel) Version() uint64 { return r.version }
+
+// StatsEpoch implements storage.Rel.
+func (r *Rel) StatsEpoch() uint64 { return r.statsEpoch.Load() }
+
+func (r *Rel) noteEpoch() {
+	n := r.Len()
+	if n > 2*r.epochRows || 2*n < r.epochRows {
+		r.statsEpoch.Add(1)
+		r.epochRows = n
+	}
+}
+
+// DistinctEst implements storage.Rel from the relation-wide digest (the
+// memtable's own digest covers only resident rows).
+func (r *Rel) DistinctEst(col int) int { return r.dist.Estimate(col) }
+
+// CostProfile implements storage.Coster: access costs scale with the
+// fraction of rows that live on disk rather than in the memtable.
+func (r *Rel) CostProfile() storage.CostProfile {
+	total := r.diskLive + r.mem.Len()
+	frac := 0.0
+	if total > 0 {
+		frac = float64(r.diskLive) / float64(total)
+	}
+	return storage.CostProfile{
+		Engine: "disk",
+		Scan:   1 + 7*frac,
+		Lookup: 1 + 3*frac,
+	}
+}
+
+func (r *Rel) fullMask() uint32 { return (uint32(1) << uint(r.arity)) - 1 }
+
+func (r *Rel) deadStamp() uint64 { return r.st.commitCSN.Load() + 1 }
+
+// ---- Rel: mutation ----
+
+// Insert implements storage.Rel: dedup against the runs by cached hash
+// (disk touched only on a hash match), then against and into the memtable.
+func (r *Rel) Insert(t term.Tuple) bool {
+	if t == nil {
+		t = term.Tuple{}
+	}
+	if r.runsContain(t.Hash(), t) {
+		return false
+	}
+	if !r.mem.Insert(t) {
+		return false
+	}
+	r.dist.Add(t)
+	r.version++
+	r.noteEpoch()
+	if j := r.st.journal; j != nil {
+		j.JournalInsert(r.name, r.arity, t)
+	}
+	if r.mem.Len() >= r.st.opts.flushRows() {
+		if err := r.flush(false); err != nil {
+			panic(fmt.Errorf("disk: flushing %v/%d: %w", r.name, r.arity, err))
+		}
+	}
+	return true
+}
+
+// Delete implements storage.Rel. A memtable row is dead-stamped there; a
+// run row gets a tombstone at the same CSN semantics.
+func (r *Rel) Delete(t term.Tuple) bool {
+	if r.mem.Delete(t) {
+		r.dist.Remove(t)
+		r.version++
+		r.noteEpoch()
+		if j := r.st.journal; j != nil {
+			j.JournalDelete(r.name, r.arity, t)
+		}
+		return true
+	}
+	// The whole probe-and-stamp runs under relMu: a concurrent compactor
+	// install between finding the slot and stamping it would strand the
+	// tombstone on a replaced run.
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	h := t.Hash()
+	for _, rn := range *r.runs.Load() {
+		for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
+			slot := i - 1
+			if rn.tombAt(slot) != 0 {
+				continue
+			}
+			u, err := rn.tupleAt(r.st.cache, &r.st.stats.BlocksRead, slot)
+			if err != nil {
+				panic(err)
+			}
+			if !u.Equal(t) {
+				continue
+			}
+			rn.setTomb(slot, r.deadStamp())
+			r.diskLive--
+			r.version++
+			r.noteEpoch()
+			r.dist.Remove(u)
+			atomic.AddInt64(&r.st.stats.Deletes, 1)
+			r.ixMu.Lock()
+			for _, ix := range r.ixs {
+				ixRemove(ix, u)
+			}
+			r.ixMu.Unlock()
+			if j := r.st.journal; j != nil {
+				j.JournalDelete(r.name, r.arity, u)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Clear implements storage.Rel.
+func (r *Rel) Clear() {
+	if r.Len() == 0 {
+		return
+	}
+	r.relMu.Lock()
+	runs := *r.runs.Load()
+	empty := []*run{}
+	r.runs.Store(&empty)
+	r.diskLive = 0
+	r.relMu.Unlock()
+	r.st.retireRuns(runs)
+	r.mem.Clear() // journal-free: the memtable has no journal attached
+	r.dist.Reset()
+	r.version++
+	r.statsEpoch.Add(1)
+	r.epochRows = 0
+	r.ixMu.Lock()
+	r.ixs, r.ixCredit, r.ixOnces = nil, nil, nil
+	r.ixMu.Unlock()
+	if j := r.st.journal; j != nil {
+		j.JournalClear(r.name, r.arity)
+	}
+}
+
+// UnionDiff implements storage.Rel.
+func (r *Rel) UnionDiff(batch []term.Tuple) []term.Tuple {
+	var delta []term.Tuple
+	for _, t := range batch {
+		if r.Insert(t) {
+			delta = append(delta, t)
+		}
+	}
+	return delta
+}
+
+// ModifyByKey implements storage.Rel.
+func (r *Rel) ModifyByKey(mask uint32, rows []term.Tuple) {
+	for _, row := range rows {
+		var victims []term.Tuple
+		r.Lookup(mask, row, func(t term.Tuple) bool {
+			victims = append(victims, t)
+			return true
+		})
+		for _, v := range victims {
+			r.Delete(v)
+		}
+		r.Insert(row)
+	}
+}
+
+// flush writes the memtable's live rows out as a new run and starts a
+// fresh memtable. Content-preserving: Version is not bumped, and a
+// snapshot captured before the flush keeps reading its captured arrays.
+// sync makes the run durable before it is visible (checkpoint); auto
+// flushes skip it because their rows are still replayable from the WAL.
+func (r *Rel) flush(sync bool) error {
+	rows := r.mem.All()
+	if len(rows) == 0 {
+		return nil
+	}
+	hashes := make([]uint64, len(rows))
+	for i, t := range rows {
+		hashes[i] = t.Hash()
+	}
+	seq := r.st.nextRunSeq()
+	rn, err := createRun(r.st.dir, seq, r.arity, rows, hashes, sync)
+	if err != nil {
+		return err
+	}
+	r.relMu.Lock()
+	old := *r.runs.Load()
+	nr := make([]*run, len(old)+1)
+	copy(nr, old)
+	nr[len(old)] = rn
+	r.runs.Store(&nr)
+	r.diskLive += len(rows)
+	nruns := len(nr)
+	r.relMu.Unlock()
+	r.mem = storage.NewRelationCSN(r.name, r.arity, r.st.opts.Policy, r.st.stats, &r.st.commitCSN)
+	// Run indexes no longer cover every run-resident row: rebuild on
+	// demand.
+	r.ixMu.Lock()
+	r.ixs, r.ixCredit, r.ixOnces = nil, nil, nil
+	r.ixMu.Unlock()
+	atomic.AddInt64(&r.st.stats.RunsFlushed, 1)
+	atomic.AddInt64(&r.st.stats.RowsSpilled, int64(len(rows)))
+	r.st.maybeCompact(r, nruns)
+	return nil
+}
+
+func (s *Store) nextRunSeq() uint64 {
+	s.mu.Lock()
+	s.runSeq++
+	seq := s.runSeq
+	s.mu.Unlock()
+	return seq
+}
+
+// ---- Rel: reads ----
+
+// runsContain probes every run's resident hash chains for t.
+func (r *Rel) runsContain(h uint64, t term.Tuple) bool {
+	for _, rn := range *r.runs.Load() {
+		for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
+			slot := i - 1
+			if rn.hashes[slot] != h || rn.tombAt(slot) != 0 {
+				continue
+			}
+			u, err := rn.tupleAt(r.st.cache, &r.st.stats.BlocksRead, slot)
+			if err != nil {
+				panic(err)
+			}
+			if u.Equal(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Contains implements storage.Rel.
+func (r *Rel) Contains(t term.Tuple) bool {
+	return r.mem.Contains(t) || r.runsContain(t.Hash(), t)
+}
+
+// Scan implements storage.Rel: runs in flush order, then the memtable —
+// global insertion order, matching the main-memory engine.
+func (r *Rel) Scan(yield func(term.Tuple) bool) {
+	atomic.AddInt64(&r.st.stats.RowsScanned, int64(r.diskLive))
+	for _, rn := range *r.runs.Load() {
+		more, err := rn.scan(r.st.cache, &r.st.stats.BlocksRead, nil, yield)
+		if err != nil {
+			panic(err)
+		}
+		if !more {
+			return
+		}
+	}
+	r.mem.Scan(yield)
+}
+
+// Lookup implements storage.Rel: run-resident matches first (insertion
+// order), then the memtable's.
+func (r *Rel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
+	if mask == 0 || r.Len() == 0 {
+		r.Scan(yield)
+		return
+	}
+	if mask == r.fullMask() {
+		// At most one live copy exists across runs + memtable.
+		h := key.Hash()
+		for _, rn := range *r.runs.Load() {
+			for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
+				slot := i - 1
+				if rn.hashes[slot] != h || rn.tombAt(slot) != 0 {
+					continue
+				}
+				u, err := rn.tupleAt(r.st.cache, &r.st.stats.BlocksRead, slot)
+				if err != nil {
+					panic(err)
+				}
+				if u.Equal(key) {
+					atomic.AddInt64(&r.st.stats.RowsProbed, 1)
+					if !yield(u) {
+						return
+					}
+				}
+			}
+		}
+		r.mem.Lookup(mask, key, yield)
+		return
+	}
+	if r.diskLive == 0 {
+		r.mem.Lookup(mask, key, yield)
+		return
+	}
+	ix := r.runIx(mask)
+	if ix == nil {
+		if once := r.creditRunScan(mask, 1); once != nil {
+			once.Do(func() { r.publishRunIx(mask) })
+			ix = r.runIx(mask)
+		}
+	}
+	if ix != nil {
+		for _, t := range ix.buckets[key.HashCols(mask)] {
+			if t.EqualCols(key, mask) {
+				atomic.AddInt64(&r.st.stats.RowsProbed, 1)
+				if !yield(t) {
+					return
+				}
+			}
+		}
+		r.mem.Lookup(mask, key, yield)
+		return
+	}
+	atomic.AddInt64(&r.st.stats.RowsScanned, int64(r.diskLive))
+	stopped := false
+	for _, rn := range *r.runs.Load() {
+		more, err := rn.scan(r.st.cache, &r.st.stats.BlocksRead, nil, func(t term.Tuple) bool {
+			if t.EqualCols(key, mask) && !yield(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !more || stopped {
+			return
+		}
+	}
+	r.mem.Lookup(mask, key, yield)
+}
+
+// PrepareRead implements storage.Rel: pre-pays adaptive accounting on both
+// layers so parallel readers find published indexes.
+func (r *Rel) PrepareRead(mask uint32, lookups int) {
+	r.mem.PrepareRead(mask, lookups)
+	if mask == 0 || mask == r.fullMask() || r.diskLive == 0 || lookups <= 0 {
+		return
+	}
+	if r.runIx(mask) != nil {
+		return
+	}
+	if once := r.creditRunScan(mask, int64(lookups)); once != nil {
+		once.Do(func() { r.publishRunIx(mask) })
+	}
+}
+
+// All implements storage.Rel.
+func (r *Rel) All() []term.Tuple {
+	out := make([]term.Tuple, 0, r.Len())
+	r.Scan(func(t term.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// ---- Rel: adaptive run indexes ----
+
+func (r *Rel) runIx(mask uint32) *hashIx {
+	r.ixMu.RLock()
+	ix := r.ixs[mask]
+	r.ixMu.RUnlock()
+	return ix
+}
+
+// creditRunScan mirrors the main-memory relation's scan-credit policy for
+// the run-resident rows.
+func (r *Rel) creditRunScan(mask uint32, scans int64) *sync.Once {
+	r.ixMu.RLock()
+	if _, ok := r.ixs[mask]; ok {
+		once := r.ixOnces[mask]
+		r.ixMu.RUnlock()
+		return once
+	}
+	c := r.ixCredit[mask]
+	r.ixMu.RUnlock()
+	switch r.st.opts.Policy {
+	case storage.IndexNever:
+		return nil
+	case storage.IndexAlways:
+		return r.runIxGuard(mask)
+	}
+	if c == nil {
+		r.ixMu.Lock()
+		if c = r.ixCredit[mask]; c == nil {
+			if r.ixCredit == nil {
+				r.ixCredit = make(map[uint32]*atomic.Int64)
+			}
+			c = new(atomic.Int64)
+			r.ixCredit[mask] = c
+		}
+		r.ixMu.Unlock()
+	}
+	n := int64(r.diskLive)
+	if c.Add(scans*n) >= 2*n {
+		return r.runIxGuard(mask)
+	}
+	return nil
+}
+
+func (r *Rel) runIxGuard(mask uint32) *sync.Once {
+	r.ixMu.Lock()
+	defer r.ixMu.Unlock()
+	if r.ixOnces == nil {
+		r.ixOnces = make(map[uint32]*sync.Once)
+	}
+	once := r.ixOnces[mask]
+	if once == nil {
+		once = new(sync.Once)
+		r.ixOnces[mask] = once
+	}
+	return once
+}
+
+// publishRunIx scans the runs once and publishes a decoded-tuple index in
+// insertion order, so probes enumerate matches exactly as a scan would.
+func (r *Rel) publishRunIx(mask uint32) {
+	ix := &hashIx{mask: mask, buckets: make(map[uint64][]term.Tuple)}
+	for _, rn := range *r.runs.Load() {
+		_, err := rn.scan(r.st.cache, &r.st.stats.BlocksRead, nil, func(t term.Tuple) bool {
+			h := t.HashCols(mask)
+			ix.buckets[h] = append(ix.buckets[h], t)
+			return true
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	atomic.AddInt64(&r.st.stats.IndexBuilds, 1)
+	r.ixMu.Lock()
+	if r.ixs == nil {
+		r.ixs = make(map[uint32]*hashIx)
+	}
+	r.ixs[mask] = ix
+	delete(r.ixCredit, mask)
+	r.ixMu.Unlock()
+}
+
+func ixRemove(ix *hashIx, t term.Tuple) {
+	h := t.HashCols(ix.mask)
+	bucket := ix.buckets[h]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket = bucket[:last]
+			if len(bucket) == 0 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = bucket
+			}
+			return
+		}
+	}
+}
+
+// ---- manifest, recovery, checkpoint ----
+
+// FlushBase implements storage.BaseFlusher: called by the WAL at
+// checkpoint, at a statement boundary. It flushes every memtable, rewrites
+// any run set carrying tombstones (the manifest format has none — at a
+// boundary every tombstone is safely droppable, and snapshots pin the old
+// runs), writes the manifest atomically, and only then removes files the
+// new manifest no longer names.
+func (s *Store) FlushBase() error {
+	if s.opts.Ephemeral {
+		return fmt.Errorf("disk: FlushBase on ephemeral store")
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.RLock()
+	rels := append([]*Rel(nil), s.order...)
+	s.mu.RUnlock()
+	for _, r := range rels {
+		if err := r.flush(true); err != nil {
+			return err
+		}
+		if err := r.dropTombs(); err != nil {
+			return err
+		}
+	}
+	if err := s.writeManifest(); err != nil {
+		return err
+	}
+	// The new manifest is durable: files it no longer names — replaced
+	// durable runs and every auto-flushed run now superseded — can go.
+	s.mu.Lock()
+	obsolete := s.obsolete
+	s.obsolete = nil
+	durable := make(map[uint64]bool)
+	for _, r := range rels {
+		for _, rn := range *r.runs.Load() {
+			durable[rn.seq] = true
+		}
+	}
+	s.durable = durable
+	s.mu.Unlock()
+	for _, rn := range obsolete {
+		os.Remove(rn.path)
+	}
+	return nil
+}
+
+// dropTombs rewrites a relation's runs without tombstoned rows, as a
+// single merged durable run. Called only at statement boundaries
+// (checkpoint), where every tombstone is committed; snapshots captured
+// earlier keep the old run objects alive.
+func (r *Rel) dropTombs() error {
+	runs := *r.runs.Load()
+	tombs := 0
+	for _, rn := range runs {
+		tombs += rn.ntombs()
+	}
+	if tombs == 0 {
+		return nil
+	}
+	merged, err := r.mergeRuns(runs, ^uint64(0), true)
+	if err != nil {
+		return err
+	}
+	r.relMu.Lock()
+	if merged == nil {
+		empty := []*run{}
+		r.runs.Store(&empty)
+	} else {
+		nr := []*run{merged}
+		r.runs.Store(&nr)
+	}
+	r.relMu.Unlock()
+	r.st.retireRuns(runs)
+	return nil
+}
+
+// mergeRuns writes the rows of runs that are live below dropBelow (tomb
+// CSN <= dropBelow is dropped; others are carried with their tombstones)
+// into one new run, preserving order. Returns nil if no rows survive.
+func (r *Rel) mergeRuns(runs []*run, dropBelow uint64, sync bool) (*run, error) {
+	var rows []term.Tuple
+	var hashes []uint64
+	type carried struct {
+		slot int32
+		csn  uint64
+	}
+	var carry []carried
+	for _, rn := range runs {
+		slot := int32(0)
+		for bi := range rn.blocks {
+			decoded, err := rn.block(r.st.cache, &r.st.stats.BlocksRead, bi)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range decoded {
+				d := rn.tombAt(slot)
+				if d != 0 && d <= dropBelow {
+					slot++
+					continue
+				}
+				if d != 0 {
+					carry = append(carry, carried{slot: int32(len(rows)), csn: d})
+				}
+				rows = append(rows, t)
+				hashes = append(hashes, rn.hashes[int(slot)])
+				slot++
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	seq := r.st.nextRunSeq()
+	merged, err := createRun(r.st.dir, seq, r.arity, rows, hashes, sync)
+	if err != nil {
+		return nil, err
+	}
+	if len(carry) > 0 {
+		tm := make(map[int32]uint64, len(carry))
+		for _, c := range carry {
+			tm[c.slot] = c.csn
+		}
+		merged.tombs.Store(&tm)
+	}
+	return merged, nil
+}
+
+// writeManifest writes the manifest atomically: temp file, fsync, rename,
+// directory fsync.
+func (s *Store) writeManifest() error {
+	var payload bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	s.mu.RLock()
+	payload.Write(tmp[:binary.PutUvarint(tmp[:], s.runSeq)])
+	payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s.order)))])
+	for _, r := range s.order {
+		term.WriteValue(&payload, r.name)
+		payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(r.arity))])
+		runs := *r.runs.Load()
+		payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(runs)))])
+		for _, rn := range runs {
+			payload.Write(tmp[:binary.PutUvarint(tmp[:], rn.seq)])
+		}
+	}
+	s.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.WriteString(manifestMagic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+
+	path := filepath.Join(s.dir, manifestName)
+	tmpPath := path + ".tmp"
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// loadManifest restores relations and runs from the manifest, if present.
+func (s *Store) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) < len(manifestMagic)+8 || string(data[:len(manifestMagic)]) != manifestMagic {
+		return fmt.Errorf("disk: %s: bad manifest header", s.dir)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[len(manifestMagic) : len(manifestMagic)+4]))
+	sum := binary.LittleEndian.Uint32(data[len(manifestMagic)+4 : len(manifestMagic)+8])
+	rest := data[len(manifestMagic)+8:]
+	if len(rest) < plen || crc32.ChecksumIEEE(rest[:plen]) != sum {
+		return fmt.Errorf("disk: %s: manifest checksum mismatch", s.dir)
+	}
+	br := bytes.NewReader(rest[:plen])
+	rd := newByteScanner(br)
+	runSeq, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return err
+	}
+	nrels, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nrels; i++ {
+		name, err := term.ReadValue(rd.buf)
+		if err != nil {
+			return err
+		}
+		arity, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return err
+		}
+		nruns, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return err
+		}
+		r := s.ensure(name, int(arity), false)
+		var runs []*run
+		live := 0
+		for j := uint64(0); j < nruns; j++ {
+			seq, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return err
+			}
+			rn, err := openRun(filepath.Join(s.dir, runName(seq)), seq, func(t term.Tuple) { r.dist.Add(t) })
+			if err != nil {
+				return err
+			}
+			runs = append(runs, rn)
+			live += int(rn.nrows)
+			s.durable[seq] = true
+		}
+		r.runs.Store(&runs)
+		r.diskLive = live
+		r.epochRows = live
+	}
+	if runSeq > s.runSeq {
+		s.runSeq = runSeq
+	}
+	return nil
+}
+
+// sweepOrphans removes temp files and run files the manifest does not
+// name: leftovers of an interrupted flush, compaction, or checkpoint.
+// Committed rows among them are still in the WAL, which replays after the
+// store opens.
+func (s *Store) sweepOrphans() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) > 4 && name[len(name)-4:] == ".tmp" {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "run-%d.grn", &seq); err == nil && name == runName(seq) {
+			if !s.durable[seq] {
+				os.Remove(filepath.Join(s.dir, name))
+			}
+			if seq > s.runSeq {
+				s.runSeq = seq // never reuse a swept sequence number
+			}
+		}
+	}
+	return nil
+}
+
+// byteScanner adapts a bytes.Reader for both ReadUvarint (io.ByteReader)
+// and term.ReadValue (*bufio.Reader) without losing position.
+type byteScanner struct {
+	buf *bufio.Reader
+}
+
+func newByteScanner(r *bytes.Reader) *byteScanner {
+	return &byteScanner{buf: bufio.NewReader(r)}
+}
+
+func (b *byteScanner) ReadByte() (byte, error) { return b.buf.ReadByte() }
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -184,6 +184,10 @@ type Stats struct {
 	LogBytes      int64 // layered backend only
 	LatchAcquires int64 // layered backend only
 	CatalogProbes int64 // layered backend only
+	RunsFlushed   int64 // disk backend: memtables written out as runs
+	RunsCompacted int64 // disk backend: runs replaced by merged runs
+	BlocksRead    int64 // disk backend: run blocks fetched from disk (cache misses)
+	RowsSpilled   int64 // disk backend: rows written to run files
 }
 
 // TuplesInserted returns the cumulative insert count with an atomic load,

@@ -23,11 +23,7 @@ func (s edbStats) RelStats(ref plan.RelRef) (plan.RelEstimate, bool) {
 	if !ok {
 		return plan.RelEstimate{}, false
 	}
-	re := plan.RelEstimate{Rows: rel.Len(), Distinct: make([]int, rel.Arity())}
-	for i := range re.Distinct {
-		re.Distinct[i] = rel.DistinctEst(i)
-	}
-	return re, true
+	return relEstimate(rel), true
 }
 
 // ExplainPhysical renders the physical plan of a compiled procedure.

@@ -193,14 +193,26 @@ func (m *Machine) govErr(limit error, detail string) error {
 }
 
 // checkRelBudget enforces the max-relation-cardinality budget after a
-// write lands in rel.
+// write lands in rel. A relation that spills rows beyond the budget to
+// disk (storage.MemResident — the spill-backed scratch tables) is charged
+// its resident rows, not its total cardinality: its flush threshold is
+// capped at the budget, so instead of aborting with ErrMemoryBudget it
+// keeps going out of core. Fully memory-resident relations (the default)
+// are charged Len as before.
 func (f *frame) checkRelBudget(rel storage.Rel) error {
 	max := f.m.MaxRelRows
-	if max <= 0 || rel == nil || rel.Len() <= max {
+	if max <= 0 || rel == nil {
+		return nil
+	}
+	rows := rel.Len()
+	if mr, ok := rel.(storage.MemResident); ok {
+		rows = mr.MemRows()
+	}
+	if rows <= max {
 		return nil
 	}
 	return f.m.govErr(ErrMemoryBudget,
-		fmt.Sprintf("relation %v holds %d rows, budget %d", rel.Name(), rel.Len(), max))
+		fmt.Sprintf("relation %v holds %d rows in memory, budget %d", rel.Name(), rows, max))
 }
 
 // abortPoint mirrors commitPoint for the failure path: when a top-level

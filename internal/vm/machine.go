@@ -220,11 +220,23 @@ func (f *frame) RelStats(ref plan.RelRef) (plan.RelEstimate, bool) {
 	if err != nil || rel == nil {
 		return plan.RelEstimate{}, false
 	}
+	return relEstimate(rel), true
+}
+
+// relEstimate builds the planner's statistics snapshot for one relation:
+// cardinality, per-column distinct estimates, and — when the relation's
+// backend reports one (storage.Coster, the disk engine) — the per-row
+// access-cost factors the greedy orderer weighs estimates with.
+func relEstimate(rel storage.Rel) plan.RelEstimate {
 	re := plan.RelEstimate{Rows: rel.Len(), Distinct: make([]int, rel.Arity())}
 	for i := range re.Distinct {
 		re.Distinct[i] = rel.DistinctEst(i)
 	}
-	return re, true
+	if c, ok := rel.(storage.Coster); ok {
+		p := c.CostProfile()
+		re.ScanCost, re.LookupCost, re.Engine = p.Scan, p.Lookup, p.Engine
+	}
+	return re
 }
 
 // RuntimeError wraps an execution failure with procedure context.

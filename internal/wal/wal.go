@@ -517,11 +517,18 @@ func (l *Log) ShouldCheckpoint() bool {
 	return t > 0 && l.size >= t
 }
 
-// Checkpoint serializes every relation of store into a new snapshot and
-// rotates the log: snapshot N+1 is made durable first, segment N+1 is
-// created, then generation N is removed. A crash at any point leaves a
-// directory Open recovers from. The caller must guarantee store is not
-// mutated concurrently (statement boundaries satisfy this).
+// Checkpoint makes the store's state durable outside the log and rotates
+// it: snapshot N+1 is made durable first, segment N+1 is created, then
+// generation N is removed. A crash at any point leaves a directory Open
+// recovers from. The caller must guarantee store is not mutated
+// concurrently (statement boundaries satisfy this).
+//
+// A store that keeps its own durable base (storage.BaseFlusher — the disk
+// engine's runs and manifest) flushes that base instead of serializing
+// into the snapshot image: the image written is empty, and recovery
+// composes by loading the engine's base before replaying the (now empty)
+// image plus the log tail on top — storage.Load is additive, so the empty
+// image is a no-op and replay is idempotent against the flushed base.
 func (l *Log) Checkpoint(store storage.Store) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -531,8 +538,15 @@ func (l *Log) Checkpoint(store storage.Store) error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
+	snapStore := store
+	if bf, ok := store.(storage.BaseFlusher); ok {
+		if err := bf.FlushBase(); err != nil {
+			return err
+		}
+		snapStore = storage.NewMemStore(storage.IndexAdaptive)
+	}
 	next := l.seq + 1
-	if err := WriteSnapshot(filepath.Join(l.dir, snapName(next)), store); err != nil {
+	if err := WriteSnapshot(filepath.Join(l.dir, snapName(next)), snapStore); err != nil {
 		return err
 	}
 	if err := syncDir(l.dir); err != nil {

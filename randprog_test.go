@@ -110,7 +110,7 @@ func TestQuickRandomProgramsAllConfigsAgree(t *testing.T) {
 			fmt.Sprintf("%s(X, %d)", target, rng.Intn(5)),
 		}
 		var ref []string
-		for name, opts := range allConfigs {
+		for name, opts := range allConfigs(t) {
 			sys := New(opts...)
 			if err := sys.Load(program); err != nil {
 				t.Fatalf("seed %d: generated program invalid: %v\n%s", seed, err, program)
@@ -125,6 +125,7 @@ func TestQuickRandomProgramsAllConfigsAgree(t *testing.T) {
 				}
 				got = append(got, rowsKey(res))
 			}
+			sys.Close()
 			if ref == nil {
 				ref = got
 				continue

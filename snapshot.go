@@ -43,7 +43,8 @@ type Snapshot struct {
 	// mu serializes statements on this session: the machine is stateful
 	// (frames, profiles, plan cache) and runs one call at a time.
 	mu      sync.Mutex
-	store   *storage.SnapStore
+	store   storage.SnapshotStore
+	temp    storage.Store
 	machine *vm.Machine
 	budget  Budget
 	closed  bool
@@ -60,11 +61,19 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	if err := s.ensure(); err != nil {
 		return nil, err
 	}
-	if s.mem == nil {
-		return nil, fmt.Errorf("gluenail: snapshots require the main-memory backend (not WithLayeredBackend)")
+	if s.eng == nil {
+		return nil, fmt.Errorf("gluenail: snapshots require a multi-version backend (not WithLayeredBackend)")
 	}
-	store := s.mem.Snapshot()
-	m := vm.New(s.progView(), store, storage.NewMemStore(s.cfg.indexPolicy), s.registry)
+	store, err := s.eng.SnapshotView()
+	if err != nil {
+		return nil, err
+	}
+	temp, err := newScratchStore(&s.cfg)
+	if err != nil {
+		closeStore(store)
+		return nil, err
+	}
+	m := vm.New(s.progView(), store, temp, s.registry)
 	s.tuneMachine(m, s.cfg.budget)
 	// Session I/O is private: write/nl output from a snapshot query is
 	// discarded unless SetOutput directs it somewhere, and read_line
@@ -72,7 +81,17 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	// trace lines from concurrent sessions would be garbage.
 	m.Out = io.Discard
 	m.In = bufio.NewReader(strings.NewReader(""))
-	return &Snapshot{sys: s, store: store, machine: m, budget: s.cfg.budget}, nil
+	return &Snapshot{sys: s, store: store, temp: temp, machine: m, budget: s.cfg.budget}, nil
+}
+
+// closeStore closes a store that has a Close method (disk-backed snapshot
+// views pin run files; spill scratch stores own a directory). Main-memory
+// stores close as no-ops.
+func closeStore(st any) error {
+	if c, ok := st.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // CSN returns the commit sequence number the snapshot was captured at;
@@ -86,10 +105,10 @@ func (sn *Snapshot) CSN() uint64 { return sn.store.CSN() }
 func (s *System) CSN() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.mem == nil {
+	if s.eng == nil {
 		return 0
 	}
-	return s.mem.CommitCSN()
+	return s.eng.CommitCSN()
 }
 
 // SetBudget replaces the session's resource budget: subsequent queries
@@ -125,15 +144,24 @@ func (sn *Snapshot) SetOutput(w io.Writer) {
 	}
 }
 
-// Close ends the session. Closing is optional — an abandoned snapshot
-// costs only memory until the garbage collector reclaims it — but a
-// closed session fails fast instead of answering from stale state.
+// Close ends the session and releases its captured resources. For a
+// main-memory snapshot closing is optional (an abandoned session costs
+// only memory until the garbage collector reclaims it); a disk-backed
+// snapshot pins run file handles and a spill-configured session owns a
+// scratch directory, so those sessions should be closed.
 func (sn *Snapshot) Close() error {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
+	if sn.closed {
+		return nil
+	}
 	sn.closed = true
 	sn.machine = nil
-	return nil
+	err := closeStore(sn.store)
+	if cerr := closeStore(sn.temp); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Query evaluates a goal conjunction in the main module's scope against
