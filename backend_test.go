@@ -12,6 +12,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"gluenail/internal/storage"
 )
 
 // Storage-engine differential tests: the disk engine and the out-of-core
@@ -390,4 +392,109 @@ func TestSpillDirOverlapRefused(t *testing.T) {
 		t.Errorf("disjoint dirs refused: %v", err)
 	}
 	sys.Close()
+}
+
+const bulkCrashEnv = "GLUENAIL_BULK_CRASH_CHILD"
+
+// TestBulkCrashChild is the helper process for TestBulkLoadCrashRecovery:
+// it asserts batches large enough to take the WAL-bypassing bulk path,
+// one batch per statement, until the parent SIGKILLs it.
+func TestBulkCrashChild(t *testing.T) {
+	if os.Getenv(bulkCrashEnv) == "" {
+		t.Skip("helper process for TestBulkLoadCrashRecovery")
+	}
+	sys, err := Open(os.Getenv("GLUENAIL_BULK_DATA"),
+		WithBackend("disk"),
+		WithFsync(FsyncAlways))
+	if err != nil {
+		fmt.Println("child-error:", err)
+		os.Exit(1)
+	}
+	if err := sys.Load(`edb edge(X,Y);`); err != nil {
+		fmt.Println("child-error:", err)
+		os.Exit(1)
+	}
+	n := storage.BulkThreshold
+	for b := 0; ; b++ {
+		rows := make([][]any, n)
+		for j := 0; j < n; j++ {
+			rows[j] = []any{b*n + j, b}
+		}
+		if err := sys.Assert("edge", rows...); err != nil {
+			fmt.Println("child-error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("committed %d\n", b)
+	}
+}
+
+// TestBulkLoadCrashRecovery SIGKILLs a process mid-bulk-ingest and checks
+// the recovered store is a statement-boundary prefix: whole batches only
+// (the manifest is the bulk path's durability point; a half-built batch
+// must be swept), in exact insertion order.
+func TestBulkLoadCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test")
+	}
+	dataDir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestBulkCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		bulkCrashEnv+"=1",
+		"GLUENAIL_BULK_DATA="+dataDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	committed := -1
+	deadline := time.After(30 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "child-error:") {
+			t.Fatalf("child failed before kill: %s", line)
+		}
+		if n, err := fmt.Sscanf(line, "committed %d", &committed); n == 1 && err == nil && committed >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("child never committed 3 bulk batches")
+		default:
+		}
+	}
+	if committed < 3 {
+		t.Fatalf("child exited early (last committed %d): %v", committed, sc.Err())
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	sys, err := Open(dataDir, WithBackend("disk"))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer sys.Close()
+	rows, err := sys.Relation("edge", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := storage.BulkThreshold
+	if len(rows)%n != 0 {
+		t.Fatalf("recovered %d rows: not a whole number of %d-row batches", len(rows), n)
+	}
+	if k := len(rows) / n; k <= committed {
+		t.Fatalf("recovered %d batches, child reported %d committed (FsyncAlways)", k, committed)
+	}
+	for i, row := range rows {
+		if row[0].Int() != int64(i) || row[1].Int() != int64(i/n) {
+			t.Fatalf("recovered row %d = (%v,%v), want (%d,%d): not an insertion-order prefix",
+				i, row[0], row[1], i, i/n)
+		}
+	}
 }

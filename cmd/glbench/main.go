@@ -31,6 +31,8 @@ import (
 	"gluenail/internal/bench"
 	"gluenail/internal/server"
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/disk"
+	"gluenail/internal/term"
 )
 
 var (
@@ -93,7 +95,7 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
 		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"E14", e14},
-		{"E15", e15}, {"E16", e16}, {"E17", e17}, {"F1", f1}, {"A1", a1},
+		{"E15", e15}, {"E16", e16}, {"E17", e17}, {"E18", e18}, {"F1", f1}, {"A1", a1},
 	}
 	ran := 0
 	for _, exp := range all {
@@ -104,7 +106,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E16,F1,A1")
+		fmt.Fprintln(os.Stderr, "glbench: no experiments matched; use -e E1..E18,F1,A1")
 		os.Exit(1)
 	}
 }
@@ -1056,4 +1058,266 @@ func f1() {
 	table("F1: Figure 1 micro-CAD select (scripted reject-then-accept interaction)",
 		"the paper's complete worked example runs as written",
 		[]string{"elements", "select ms", "chosen"}, rows)
+}
+
+// e18 measures the fast-disk-engine additions: (a) query throughput when
+// the working set no longer fits the block cache, with compression on and
+// off; (b) cold-start membership-miss probes with and without per-run
+// bloom filters; (c) durable ingest through the WAL versus the direct
+// bulk path; (d) reopen time as the EDB grows (footer-only run opens make
+// it a function of run count, not row count).
+func e18() {
+	base, err := os.MkdirTemp("", "glbench-e18-")
+	check(err)
+	defer os.RemoveAll(base)
+
+	// (a) tc over a chain whose decoded blocks outsize a deliberately tiny
+	// block cache: every iteration of the closure re-reads evicted blocks.
+	const n = 4000
+	edges := make([][]any, n)
+	for i := range edges {
+		edges[i] = []any{i + 1, i + 2}
+	}
+	type qrec struct {
+		Config     string  `json:"config"`
+		Millis     float64 `json:"ms"`
+		Rows       int     `json:"rows"`
+		MemRatio   float64 `json:"vs_mem"`
+		BlocksRead int64   `json:"blocks_read"`
+		CacheHits  int64   `json:"cache_hits"`
+	}
+	qrun := func(label string, ckpt bool, opts ...gluenail.Option) qrec {
+		var r qrec
+		r.Config = label
+		d := best(func() {
+			sys := bench.NewTCSystem(edges, opts...)
+			if ckpt {
+				check(sys.Checkpoint())
+			}
+			res, err := sys.Query("tc(1,X)")
+			check(err)
+			r.Rows = len(res.Rows)
+			st := sys.Stats()
+			r.BlocksRead = st.EDB.BlocksRead + st.Scratch.BlocksRead
+			r.CacheHits = st.EDB.CacheHits + st.Scratch.CacheHits
+			check(sys.Close())
+		})
+		r.Millis = float64(d.Microseconds()) / 1000
+		return r
+	}
+	qrecs := []qrec{
+		qrun("mem", false),
+		qrun("disk packed, 8-block cache", true,
+			gluenail.WithBackend("disk"),
+			gluenail.WithBlockCache(8),
+			gluenail.WithDurability(filepath.Join(base, "q-packed"))),
+		qrun("disk raw, 8-block cache", true,
+			gluenail.WithBackend("disk"),
+			gluenail.WithBlockCache(8),
+			gluenail.WithBlockCompression(false),
+			gluenail.WithDurability(filepath.Join(base, "q-raw"))),
+	}
+	var qrows [][]string
+	for i := range qrecs {
+		qrecs[i].MemRatio = qrecs[i].Millis / qrecs[0].Millis
+		if qrecs[i].Rows != qrecs[0].Rows {
+			check(fmt.Errorf("E18: row counts diverge: %d vs %d", qrecs[i].Rows, qrecs[0].Rows))
+		}
+		qrows = append(qrows, []string{qrecs[i].Config,
+			fmt.Sprintf("%.3f", qrecs[i].Millis),
+			fmt.Sprint(qrecs[i].Rows),
+			fmt.Sprintf("%.2f", qrecs[i].MemRatio),
+			fmt.Sprint(qrecs[i].BlocksRead),
+			fmt.Sprint(qrecs[i].CacheHits)})
+	}
+	table(fmt.Sprintf("E18a: query past the block cache, tc over a %d-edge chain", n),
+		"a cache an order of magnitude smaller than the working set forces re-reads every closure iteration; packed blocks and raw blocks answer identically",
+		[]string{"engine", "ms", "tc rows", "vs mem", "blocks read", "cache hits"}, qrows)
+
+	// (b) cold-start membership misses: a reopened multi-run store is
+	// probed for absent keys. Without blooms every probe must load each
+	// run's chain index before it can say no; with them the probe ends at
+	// an in-memory filter.
+	const probeRows, probesPerOpen = 100000, 5
+	probeDir := filepath.Join(base, "probe")
+	pst, err := disk.Open(probeDir, disk.Options{FlushRows: 4096, NoCompactor: true})
+	check(err)
+	prel := pst.Ensure(term.Intern("edge"), 2)
+	for i := 0; i < probeRows; i++ {
+		prel.Insert(term.Tuple{term.NewInt(int64(i)), term.NewInt(int64(i + 1))})
+	}
+	check(pst.FlushBase())
+	check(pst.Close())
+	type mrec struct {
+		Config      string  `json:"config"`
+		MicrosProbe float64 `json:"us_per_probe"`
+		RunReads    int64   `json:"run_reads"`
+		BloomSkips  int64   `json:"bloom_skips"`
+	}
+	mrun := func(label string, o disk.Options) mrec {
+		var r mrec
+		r.Config = label
+		d := best(func() {
+			s, err := disk.Open(probeDir, o)
+			check(err)
+			rel, ok := s.Get(term.Intern("edge"), 2)
+			if !ok {
+				check(fmt.Errorf("E18: probe relation missing"))
+			}
+			for i := 0; i < probesPerOpen; i++ {
+				if rel.Contains(term.Tuple{term.NewInt(int64(probeRows + 7*i + 1)), term.NewInt(0)}) {
+					check(fmt.Errorf("E18: absent key reported present"))
+				}
+			}
+			st := s.Stats()
+			r.RunReads = st.RunIndexLoads + st.BlocksRead
+			r.BloomSkips = st.BloomSkips
+			check(s.Close())
+		})
+		r.MicrosProbe = float64(d.Nanoseconds()) / 1000 / probesPerOpen
+		return r
+	}
+	mrecs := []mrec{
+		mrun("blooms", disk.Options{NoCompactor: true}),
+		mrun("no blooms", disk.Options{NoCompactor: true, NoBloom: true}),
+	}
+	missRatio := float64(mrecs[1].RunReads) / float64(max64(mrecs[0].RunReads, 1))
+	table(fmt.Sprintf("E18b: cold-start membership misses, %d probes against a %d-row store", probesPerOpen, probeRows),
+		"per-run bloom filters answer miss probes from memory; the ablation pays a chain-index load per run before it can say no",
+		[]string{"config", "µs/probe (incl. open)", "run reads", "bloom skips"},
+		[][]string{
+			{mrecs[0].Config, fmt.Sprintf("%.1f", mrecs[0].MicrosProbe), fmt.Sprint(mrecs[0].RunReads), fmt.Sprint(mrecs[0].BloomSkips)},
+			{mrecs[1].Config, fmt.Sprintf("%.1f", mrecs[1].MicrosProbe), fmt.Sprint(mrecs[1].RunReads), fmt.Sprint(mrecs[1].BloomSkips)},
+		})
+
+	// (c) durable ingest: the same rows through per-statement WAL commits
+	// versus one statement large enough to take the direct bulk path.
+	const ingestRows, walChunk = 327680, 1024
+	type irec struct {
+		Config   string  `json:"config"`
+		Millis   float64 `json:"ms"`
+		BulkRows int64   `json:"bulk_rows"`
+		Speedup  float64 `json:"vs_wal"`
+	}
+	irun := func(label string, chunk int) irec {
+		var r irec
+		r.Config = label
+		// Data synthesis stays outside the measurement: the experiment
+		// times the ingest paths, not building the batch.
+		var chunks [][][]any
+		for lo := 0; lo < ingestRows; lo += chunk {
+			rows := make([][]any, chunk)
+			for j := range rows {
+				rows[j] = []any{lo + j, lo + j + 1}
+			}
+			chunks = append(chunks, rows)
+		}
+		d := best(func() {
+			dir, err := os.MkdirTemp(base, "ingest-")
+			check(err)
+			sys, err := gluenail.Open(dir,
+				gluenail.WithBackend("disk"),
+				gluenail.WithFsync(gluenail.FsyncAlways))
+			check(err)
+			check(sys.Load(`edb edge(X,Y);`))
+			for _, rows := range chunks {
+				check(sys.Assert("edge", rows...))
+			}
+			check(sys.Checkpoint())
+			r.BulkRows = sys.Stats().EDB.BulkRows
+			check(sys.Close())
+		})
+		r.Millis = float64(d.Microseconds()) / 1000
+		return r
+	}
+	irecs := []irec{
+		irun(fmt.Sprintf("WAL, %d-row statements", walChunk), walChunk),
+		irun("bulk, one statement", ingestRows),
+	}
+	if irecs[0].BulkRows != 0 {
+		check(fmt.Errorf("E18: WAL config took the bulk path (%d rows)", irecs[0].BulkRows))
+	}
+	if irecs[1].BulkRows == 0 {
+		check(fmt.Errorf("E18: bulk config never took the bulk path"))
+	}
+	irecs[0].Speedup = 1
+	irecs[1].Speedup = irecs[0].Millis / irecs[1].Millis
+	table(fmt.Sprintf("E18c: durable ingest of %d rows, fsync per statement", ingestRows),
+		"a batch past the bulk threshold builds fsynced runs directly and makes the manifest its durability point, skipping the WAL's journal-then-flush double write",
+		[]string{"path", "ms", "bulk rows", "speedup"},
+		[][]string{
+			{irecs[0].Config, fmt.Sprintf("%.1f", irecs[0].Millis), fmt.Sprint(irecs[0].BulkRows), "1.00"},
+			{irecs[1].Config, fmt.Sprintf("%.1f", irecs[1].Millis), fmt.Sprint(irecs[1].BulkRows), fmt.Sprintf("%.2f", irecs[1].Speedup)},
+		})
+
+	// (d) reopen cost versus EDB size: RUN2 opens read a trailer and
+	// footer per run and the manifest's digests — no tuple bytes — so
+	// reopen scales with run count, not row count.
+	type rrec struct {
+		Rows        int     `json:"rows"`
+		Runs        int     `json:"runs"`
+		OpenMillis  float64 `json:"open_ms"`
+		MicrosPer1k float64 `json:"us_per_1k_rows"`
+	}
+	var rrecs []rrec
+	var rrows [][]string
+	for _, sz := range []int{40960, 163840, 655360} {
+		dir := filepath.Join(base, fmt.Sprintf("reopen-%d", sz))
+		s, err := disk.Open(dir, disk.Options{NoCompactor: true})
+		check(err)
+		rel := s.Ensure(term.Intern("edge"), 2)
+		for i := 0; i < sz; i++ {
+			rel.Insert(term.Tuple{term.NewInt(int64(i)), term.NewInt(int64(i + 1))})
+		}
+		check(s.FlushBase())
+		check(s.Close())
+		d := best(func() {
+			s2, err := disk.Open(dir, disk.Options{NoCompactor: true})
+			check(err)
+			r2, _ := s2.Get(term.Intern("edge"), 2)
+			if r2.Len() != sz {
+				check(fmt.Errorf("E18: reopen of %d-row store sees %d rows", sz, r2.Len()))
+			}
+			check(s2.Close())
+		})
+		rec := rrec{
+			Rows:        sz,
+			Runs:        (sz + 32767) / 32768,
+			OpenMillis:  float64(d.Microseconds()) / 1000,
+			MicrosPer1k: float64(d.Nanoseconds()) / 1000 / (float64(sz) / 1000),
+		}
+		rrecs = append(rrecs, rec)
+		rrows = append(rrows, []string{fmt.Sprint(rec.Rows), fmt.Sprint(rec.Runs),
+			fmt.Sprintf("%.3f", rec.OpenMillis), fmt.Sprintf("%.2f", rec.MicrosPer1k)})
+	}
+	table("E18d: reopen time vs EDB size",
+		"footer-only run opens plus persisted manifest digests keep reopen sublinear in rows: per-row cost falls as the store grows",
+		[]string{"rows", "runs", "open ms", "µs per 1k rows"}, rrows)
+
+	out := struct {
+		Experiment string  `json:"experiment"`
+		CachePress []qrec  `json:"cache_pressure"`
+		MissProbes []mrec  `json:"membership_misses"`
+		MissRatio  float64 `json:"miss_read_ratio"`
+		Ingest     []irec  `json:"ingest"`
+		Reopen     []rrec  `json:"reopen"`
+	}{
+		Experiment: "E18 fast disk engine: block cache pressure, bloom misses, bulk ingest, reopen scaling",
+		CachePress: qrecs,
+		MissProbes: mrecs,
+		MissRatio:  missRatio,
+		Ingest:     irecs,
+		Reopen:     rrecs,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_E18.json", append(data, '\n'), 0o644))
+	fmt.Println("   wrote BENCH_E18.json")
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -71,6 +71,8 @@ func run() error {
 		store       = flag.String("store", "mem", "storage engine: mem or disk")
 		spillDir    = flag.String("spill-dir", "", "spill scratch tables to disk runs under this directory")
 		spillBudget = flag.Int("spill-budget", 0, "scratch rows held in memory before spilling (0 = default)")
+		blockCache  = flag.Int("block-cache", 0, "disk engine decoded-block cache entries (0 = default)")
+		noCompress  = flag.Bool("no-compress", false, "store disk run blocks raw instead of compressed")
 		fsyncStr    = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
 		call        = flag.String("call", "", "procedure to call, as module.proc")
 		query       = flag.String("q", "", "query conjunction to evaluate")
@@ -166,6 +168,12 @@ func run() error {
 	}
 	if *spillDir != "" {
 		opts = append(opts, gluenail.WithSpill(*spillDir, *spillBudget))
+	}
+	if *blockCache != 0 {
+		opts = append(opts, gluenail.WithBlockCache(*blockCache))
+	}
+	if *noCompress {
+		opts = append(opts, gluenail.WithBlockCompression(false))
 	}
 	var sys *gluenail.System
 	if *dataDir != "" {

@@ -61,22 +61,24 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7643", "listen address")
-		dataDir   = flag.String("data-dir", "", "durable EDB directory (write-ahead log + snapshots, recovered on open)")
-		store     = flag.String("store", "mem", "storage engine: mem or disk")
-		spillDir  = flag.String("spill-dir", "", "spill scratch tables to disk runs under this directory")
-		spillBud  = flag.Int("spill-budget", 0, "scratch rows held in memory before spilling (0 = default)")
-		maxRel    = flag.Int("max-rel-rows", 0, "per-session in-memory rows per relation (0 = unlimited; with -spill-dir, scratch spills instead of failing)")
-		fsyncStr  = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
-		workers   = flag.Int("workers", 0, "morsel workers shared across sessions (0 = GOMAXPROCS)")
-		maxSess   = flag.Int("max-sessions", 0, "concurrent session cap (0 = 1024)")
-		maxStmt   = flag.Int("max-statements", 0, "concurrent statement cap (0 = 2x GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "per-session wall-clock budget per statement (0 = none)")
-		maxTuples = flag.Int64("max-tuples", 0, "per-session tuple budget per statement (0 = unlimited)")
-		maxDepth  = flag.Int("max-depth", 0, "per-session procedure recursion limit (0 = default)")
-		maxIters  = flag.Int("max-iters", 0, "per-session repeat-loop limit (0 = default, negative = unlimited)")
-		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
-		quiet     = flag.Bool("quiet", false, "suppress per-session log lines")
+		addr       = flag.String("addr", "127.0.0.1:7643", "listen address")
+		dataDir    = flag.String("data-dir", "", "durable EDB directory (write-ahead log + snapshots, recovered on open)")
+		store      = flag.String("store", "mem", "storage engine: mem or disk")
+		spillDir   = flag.String("spill-dir", "", "spill scratch tables to disk runs under this directory")
+		spillBud   = flag.Int("spill-budget", 0, "scratch rows held in memory before spilling (0 = default)")
+		blockCache = flag.Int("block-cache", 0, "disk engine decoded-block cache entries (0 = default)")
+		noCompress = flag.Bool("no-compress", false, "store disk run blocks raw instead of compressed")
+		maxRel     = flag.Int("max-rel-rows", 0, "per-session in-memory rows per relation (0 = unlimited; with -spill-dir, scratch spills instead of failing)")
+		fsyncStr   = flag.String("fsync", "batch", "WAL fsync mode: batch, always, or none")
+		workers    = flag.Int("workers", 0, "morsel workers shared across sessions (0 = GOMAXPROCS)")
+		maxSess    = flag.Int("max-sessions", 0, "concurrent session cap (0 = 1024)")
+		maxStmt    = flag.Int("max-statements", 0, "concurrent statement cap (0 = 2x GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-session wall-clock budget per statement (0 = none)")
+		maxTuples  = flag.Int64("max-tuples", 0, "per-session tuple budget per statement (0 = unlimited)")
+		maxDepth   = flag.Int("max-depth", 0, "per-session procedure recursion limit (0 = default)")
+		maxIters   = flag.Int("max-iters", 0, "per-session repeat-loop limit (0 = default, negative = unlimited)")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
 	)
 	flag.Parse()
 
@@ -89,6 +91,12 @@ func run() error {
 	}
 	if *spillDir != "" {
 		opts = append(opts, gluenail.WithSpill(*spillDir, *spillBud))
+	}
+	if *blockCache != 0 {
+		opts = append(opts, gluenail.WithBlockCache(*blockCache))
+	}
+	if *noCompress {
+		opts = append(opts, gluenail.WithBlockCompression(false))
 	}
 	if *maxRel != 0 {
 		opts = append(opts, gluenail.WithBudget(gluenail.Budget{MaxRelRows: *maxRel}))

@@ -18,20 +18,23 @@ import (
 // in single quotes is always a string ('42' loads as the string "42").
 
 // LoadCSV reads CSV records from r into the named relation, creating it on
-// first use. Every record must have the same width.
+// first use. Every record must have the same width. Files past the bulk
+// threshold take the engine's direct bulk path when the backend has one
+// (the disk engine builds runs straight from the batch, bypassing the
+// WAL); smaller files insert row at a time.
 func (s *System) LoadCSV(relation string, r io.Reader) error {
 	if s.durErr != nil {
 		return s.durErr
 	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	var rel storage.Rel
 	arity := -1
+	var rows []term.Tuple
 	n := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return s.commit()
+			break
 		}
 		if err != nil {
 			return fmt.Errorf("gluenail: csv %s record %d: %w", relation, n+1, err)
@@ -39,7 +42,6 @@ func (s *System) LoadCSV(relation string, r io.Reader) error {
 		n++
 		if arity == -1 {
 			arity = len(rec)
-			rel = s.edb.Ensure(term.Intern(relation), arity)
 		}
 		if len(rec) != arity {
 			return fmt.Errorf("gluenail: csv %s record %d has %d fields, want %d",
@@ -49,8 +51,15 @@ func (s *System) LoadCSV(relation string, r io.Reader) error {
 		for i, f := range rec {
 			tup[i] = csvValue(f)
 		}
-		rel.Insert(tup)
+		rows = append(rows, tup)
 	}
+	if arity == -1 {
+		return s.commit()
+	}
+	if err := s.ingest(term.Intern(relation), arity, rows); err != nil {
+		return err
+	}
+	return s.commit()
 }
 
 // LoadCSVFile reads a CSV file into the named relation.

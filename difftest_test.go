@@ -55,6 +55,7 @@ func allConfigs(t *testing.T) map[string][]Option {
 		// spilling to disk runs past a deliberately tiny in-memory budget —
 		// results must not depend on where rows live.
 		"disk-store": {WithBackend("disk")},
+		"disk-raw":   {WithBackend("disk"), WithBlockCompression(false), WithBlockCache(4)},
 		"spill":      {WithSpill(t.TempDir(), 16)},
 	}
 }

@@ -96,6 +96,8 @@ type config struct {
 	backend      string
 	spillDir     string
 	spillRows    int
+	cacheBlocks  int
+	noCompress   bool
 }
 
 // Option configures a System.
@@ -134,6 +136,20 @@ func WithBackend(name string) Option { return func(c *config) { c.backend = name
 // nest the durability directory.
 func WithSpill(dir string, budgetRows int) Option {
 	return func(c *config) { c.spillDir = dir; c.spillRows = budgetRows }
+}
+
+// WithBlockCache caps the disk engine's decoded-block cache (entries, not
+// bytes; a block holds up to 256 decoded rows). 0 selects the engine
+// default; ignored by the main-memory backend.
+func WithBlockCache(blocks int) Option {
+	return func(c *config) { c.cacheBlocks = blocks }
+}
+
+// WithBlockCompression toggles the disk engine's packed block encoding
+// (on by default). Off stores run blocks raw; reads handle both forms, so
+// the setting may change between opens of the same store.
+func WithBlockCompression(on bool) Option {
+	return func(c *config) { c.noCompress = !on }
 }
 
 // WithIndexPolicy overrides the adaptive index policy (E4 baselines).
@@ -425,7 +441,12 @@ func New(opts ...Option) *System {
 		if cfg.durDir != "" && name != "mem" {
 			dir = filepath.Join(cfg.durDir, "store")
 		}
-		st, err := storage.OpenBackend(name, storage.BackendConfig{Dir: dir, Policy: cfg.indexPolicy})
+		st, err := storage.OpenBackend(name, storage.BackendConfig{
+			Dir:         dir,
+			Policy:      cfg.indexPolicy,
+			CacheBlocks: cfg.cacheBlocks,
+			NoCompress:  cfg.noCompress,
+		})
 		if err != nil {
 			s.durErr = fmt.Errorf("gluenail: opening %s storage backend: %w", name, err)
 			st = storage.NewMemStore(cfg.indexPolicy)
@@ -831,6 +852,11 @@ func (s *System) Assert(relation any, rows ...[]any) error {
 	if err != nil {
 		return err
 	}
+	// Convert and arity-check up front, grouping by arity: a batch large
+	// enough takes the engine's direct bulk path instead of row-at-a-time
+	// journaled inserts.
+	groups := make(map[int][]term.Tuple)
+	var arities []int
 	for _, row := range rows {
 		t, err := toTuple(row)
 		if err != nil {
@@ -843,9 +869,61 @@ func (s *System) Assert(relation any, rows ...[]any) error {
 					name.Str(), sym.Arity(), len(t))
 			}
 		}
-		s.edb.Ensure(name, len(t)).Insert(t)
+		if _, ok := groups[len(t)]; !ok {
+			arities = append(arities, len(t))
+		}
+		groups[len(t)] = append(groups[len(t)], t)
+	}
+	for _, arity := range arities {
+		if err := s.ingest(name, arity, groups[arity]); err != nil {
+			return err
+		}
 	}
 	return s.commit()
+}
+
+// ingest adds one relation's batch: through the engine's direct bulk path
+// (WAL-bypassing, see bulkLoad) when the batch is large enough, otherwise
+// row at a time through the journal.
+func (s *System) ingest(name term.Value, arity int, batch []term.Tuple) error {
+	if len(batch) >= storage.BulkThreshold {
+		if bulk, ok := s.edb.(storage.BulkLoader); ok {
+			return s.bulkLoad(bulk, name, arity, batch)
+		}
+	}
+	rel := s.edb.Ensure(name, arity)
+	for _, t := range batch {
+		rel.Insert(t)
+	}
+	return nil
+}
+
+// bulkLoad runs one batch through storage.BulkLoader under the WAL fence:
+// pending deltas are committed and the log rotated empty first (replay
+// must never re-apply an older tail over a base that already contains the
+// batch), the engine ingests the rows directly, and a closing checkpoint
+// makes the engine's base — now the batch's only home — durable. A crash
+// between the fences reverts to the pre-statement base: the batch's runs
+// are swept as orphans on reopen, so recovery still yields a statement-
+// boundary prefix. Without a WAL there is nothing to fence.
+func (s *System) bulkLoad(bulk storage.BulkLoader, name term.Value, arity int, batch []term.Tuple) error {
+	if s.wlog != nil {
+		if err := s.commit(); err != nil {
+			return err
+		}
+		if err := s.wlog.Checkpoint(s.edb); err != nil {
+			return err
+		}
+	}
+	if _, err := bulk.BulkLoad(name, arity, batch); err != nil {
+		return err
+	}
+	if s.wlog != nil {
+		if err := s.wlog.Checkpoint(s.edb); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Retract removes facts from an EDB relation.
@@ -1075,8 +1153,10 @@ func (s *System) explainQuery(module, goals string, analyze bool) (string, error
 	if err != nil {
 		return "", err
 	}
+	var beforeEDB, beforeScratch storage.Stats
 	if analyze {
 		s.machine.ResetProfiles()
+		beforeEDB, beforeScratch = *s.edb.Stats(), *s.temp.Stats()
 		ctx, cancel := s.execCtx(context.Background())
 		defer cancel()
 		if _, err := s.machine.CallProcContext(ctx, id, []term.Tuple{{}}); err != nil {
@@ -1087,7 +1167,7 @@ func (s *System) explainQuery(module, goals string, analyze bool) (string, error
 	if err != nil || !analyze {
 		return text, err
 	}
-	return text + s.planCacheTrailer(), nil
+	return text + s.planCacheTrailer() + s.storageTrailer(beforeEDB, beforeScratch), nil
 }
 
 // planCacheTrailer renders the prepared-plan cache counters accumulated
@@ -1102,6 +1182,27 @@ func (s *System) planCacheTrailer() string {
 		cs.Hits, cs.Misses, cs.Invalidations)
 }
 
+// storageTrailer renders the disk engine's block-cache and bloom-filter
+// counters for the execution the before-stats were captured at the start
+// of (EXPLAIN ANALYZE), summed over the EDB and scratch stores. Empty
+// unless a disk-resident store is configured — a main-memory system never
+// touches these counters.
+func (s *System) storageTrailer(beforeEDB, beforeScratch storage.Stats) string {
+	if s.cfg.backend != "disk" && s.cfg.spillDir == "" {
+		return ""
+	}
+	edb, scratch := *s.edb.Stats(), *s.temp.Stats()
+	d := func(f func(*storage.Stats) int64) int64 {
+		return (f(&edb) - f(&beforeEDB)) + (f(&scratch) - f(&beforeScratch))
+	}
+	return fmt.Sprintf("block cache: hits=%d misses=%d · bloom: checks=%d skips=%d · run index loads=%d\n",
+		d(func(st *storage.Stats) int64 { return st.CacheHits }),
+		d(func(st *storage.Stats) int64 { return st.BlocksRead }),
+		d(func(st *storage.Stats) int64 { return st.BloomChecks }),
+		d(func(st *storage.Stats) int64 { return st.BloomSkips }),
+		d(func(st *storage.Stats) int64 { return st.RunIndexLoads }))
+}
+
 // ExplainAnalyzeCall invokes an exported procedure like Call, then returns
 // its physical plan annotated with the per-operator actual tuple counts
 // observed during that invocation.
@@ -1112,6 +1213,7 @@ func (s *System) ExplainAnalyzeCall(module, proc string, in ...[]any) (string, e
 		return "", err
 	}
 	s.machine.ResetProfiles()
+	beforeEDB, beforeScratch := *s.edb.Stats(), *s.temp.Stats()
 	if _, err := s.callLocked(context.Background(), module, proc, in...); err != nil {
 		return "", err
 	}
@@ -1120,7 +1222,7 @@ func (s *System) ExplainAnalyzeCall(module, proc string, in ...[]any) (string, e
 	if err != nil {
 		return "", err
 	}
-	return text + s.planCacheTrailer(), nil
+	return text + s.planCacheTrailer() + s.storageTrailer(beforeEDB, beforeScratch), nil
 }
 
 // ExplainProcPhysical renders a compiled procedure's physical plan (and
@@ -1251,17 +1353,36 @@ func (s *System) SaveEDB(path string) error {
 	return storage.SaveFile(path, s.edb)
 }
 
-// LoadEDB reads an EDB image into the store.
+// LoadEDB reads an EDB image into the store. On an engine with a direct
+// bulk path (storage.BulkLoader — the disk backend), large relations in
+// the image bypass the WAL and land straight in runs, fenced by a
+// checkpoint on each side (see bulkLoad for the crash-safety argument);
+// small relations still insert row at a time through the journal.
 func (s *System) LoadEDB(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.durErr != nil {
 		return s.durErr
 	}
+	_, bulk := s.edb.(storage.BulkLoader)
+	if bulk && s.wlog != nil {
+		if err := s.commit(); err != nil {
+			return err
+		}
+		if err := s.wlog.Checkpoint(s.edb); err != nil {
+			return err
+		}
+	}
 	if err := storage.LoadFile(path, s.edb); err != nil {
 		return err
 	}
-	return s.commit()
+	if err := s.commit(); err != nil {
+		return err
+	}
+	if bulk && s.wlog != nil {
+		return s.wlog.Checkpoint(s.edb)
+	}
+	return nil
 }
 
 // Stats exposes executor and back-end counters for the experiments.

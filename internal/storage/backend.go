@@ -11,6 +11,8 @@
 package storage
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -94,6 +96,26 @@ type Coster interface {
 	CostProfile() CostProfile
 }
 
+// BulkLoader is implemented by engines that can ingest a large batch of
+// rows directly into their base storage, bypassing the per-row journal.
+// The batch's durability point is the engine's own base commit (the disk
+// engine's manifest), not the WAL — so callers must fence the call: rotate
+// the journal to an empty tail first (the log must never replay over a
+// base that already contains the batch), call BulkLoad, then flush the
+// base (storage.BaseFlusher). A crash before the base flush loses exactly
+// the whole batch (the statement), never a suffix of earlier statements.
+type BulkLoader interface {
+	// BulkLoad deduplicates rows against the relation and within the
+	// batch, appends the survivors in order, and returns how many were
+	// added. Must be called at a statement boundary.
+	BulkLoad(name term.Value, arity int, rows []term.Tuple) (added int, err error)
+}
+
+// BulkThreshold is the batch size at which loaders prefer BulkLoad over
+// row-at-a-time inserts: below it the fence (a checkpoint plus a base
+// flush) costs more than the journal writes it saves.
+const BulkThreshold = 4096
+
 // BackendConfig carries the engine-independent open parameters.
 type BackendConfig struct {
 	// Dir is the directory a disk-resident engine keeps its state in.
@@ -102,6 +124,12 @@ type BackendConfig struct {
 	Dir string
 	// Policy is the adaptive-index policy relations follow.
 	Policy IndexPolicy
+	// CacheBlocks caps a disk-resident engine's decoded-block cache
+	// (entries, not bytes); <= 0 selects the engine default.
+	CacheBlocks int
+	// NoCompress disables a disk-resident engine's block compression
+	// (blocks are stored raw). Reads handle both forms regardless.
+	NoCompress bool
 }
 
 var (
@@ -208,6 +236,20 @@ func (d *DistinctTracker) Add(t term.Tuple) {
 	d.mu.Unlock()
 }
 
+// AddBatch folds a batch of tuples under one lock acquisition — the bulk
+// loader's per-row Add calls were a measurable share of its profile.
+func (d *DistinctTracker) AddBatch(rows []term.Tuple) {
+	d.mu.Lock()
+	for _, t := range rows {
+		for i := range t {
+			if i < len(d.cols) {
+				d.cols[i].add(t[i].Hash())
+			}
+		}
+	}
+	d.mu.Unlock()
+}
+
 // Remove withdraws a tuple's column values (exact while small; the sketch
 // ignores removals, like the main-memory digest).
 func (d *DistinctTracker) Remove(t term.Tuple) {
@@ -237,4 +279,38 @@ func (d *DistinctTracker) Reset() {
 		d.cols[i] = colStats{}
 	}
 	d.mu.Unlock()
+}
+
+// AppendDigest serializes the tracker's per-column digests so an engine
+// can persist them (the disk engine's manifest) and restore planner
+// statistics on reopen without re-reading every stored row. The encoding
+// is deterministic for identical contents.
+func (d *DistinctTracker) AppendDigest(dst []byte) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dst = binary.AppendUvarint(dst, uint64(len(d.cols)))
+	for i := range d.cols {
+		dst = d.cols[i].appendDigest(dst)
+	}
+	return dst
+}
+
+// ReadDigest restores digests serialized by AppendDigest, replacing the
+// tracker's current state. The serialized arity must match.
+func (d *DistinctTracker) ReadDigest(r *bufio.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(d.cols) {
+		return fmt.Errorf("storage: digest arity %d does not match tracker arity %d", n, len(d.cols))
+	}
+	for i := range d.cols {
+		if err := d.cols[i].readDigest(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -231,7 +231,7 @@ func TestDiskCompactOne(t *testing.T) {
 	if before < 2 {
 		t.Fatalf("need >= 2 runs to compact, have %d", before)
 	}
-	if !st.compactOne(r) {
+	if !st.compactOne(r, 0, before) {
 		t.Fatal("compactOne reported no progress")
 	}
 	runs := *r.runs.Load()
@@ -246,7 +246,7 @@ func TestDiskCompactOne(t *testing.T) {
 		t.Fatalf("compaction changed content: %v vs %v", got, want)
 	}
 	// A second cycle has a single run and must decline.
-	if st.compactOne(r) {
+	if st.compactOne(r, 0, len(*r.runs.Load())) {
 		t.Fatal("compactOne claimed progress on a single run")
 	}
 }
@@ -273,7 +273,7 @@ func TestDiskSnapshotPinsRuns(t *testing.T) {
 
 	rel.Delete(pair(4, 5))
 	st.AdvanceCSN()
-	if !st.compactOne(rel.(*Rel)) {
+	if !st.compactOne(rel.(*Rel), 0, len(*rel.(*Rel).runs.Load())) {
 		t.Fatal("compactOne reported no progress")
 	}
 

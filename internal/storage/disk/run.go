@@ -1,10 +1,19 @@
 // Run files: the disk engine's unit of storage. A run is an immutable,
 // insertion-ordered sequence of tuples written out in CRC-framed blocks of
 // a fixed row count, so a slot number maps to its block arithmetically.
-// Rows live on disk; what stays in memory per run is the index — one cached
-// whole-tuple hash per row plus the same intrusive bucket/chain layout the
-// main-memory engine uses — so membership probes touch disk only to confirm
-// an actual hash match, through the shared block cache.
+// Blocks are stored raw or packed (see compress.go); what stays in memory
+// per run after open is only the small stuff — block offsets and a bloom
+// filter over the rows' whole-tuple hashes. The chain index (one cached
+// hash per row plus the same intrusive bucket layout the main-memory
+// engine uses) is loaded lazily from the run's hash section the first time
+// a bloom filter lets a probe through.
+//
+// The current format (RUN2) is footer-indexed: block metadata, the row
+// hashes, and the bloom filter are persisted at the tail and sealed by a
+// fixed trailer, so reopening a store reads a few KB per run instead of
+// decoding every block. RUN1 files (no footer) are still readable — they
+// open the old way, by scanning — so a store written before the format
+// change upgrades in place at its next checkpoint.
 //
 // Runs are ordered by flush sequence, not by value: global enumeration
 // order (runs in flush order, then the memtable) reproduces the main-memory
@@ -24,11 +33,17 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gluenail/internal/storage"
 	"gluenail/internal/term"
 )
 
 const (
-	runMagic = "GLUENAIL-RUN1\n"
+	runMagic1 = "GLUENAIL-RUN1\n"
+	runMagic2 = "GLUENAIL-RUN2\n"
+	// runTrailerMagic seals a RUN2 footer; the fixed-size trailer is what
+	// openRun finds by seeking to the end.
+	runTrailerMagic = "GNRUN2F\n"
+	runTrailerLen   = 8 + 4 + 4 + len(runTrailerMagic)
 	// rowsPerBlock is fixed so slot -> block is a shift, not a search.
 	rowsPerBlock = 256
 )
@@ -42,12 +57,12 @@ type blockMeta struct {
 	nrows int32
 }
 
-// run is one immutable on-disk segment plus its resident index. All fields
-// except tombs and refs are frozen after construction; tombs is a
-// copy-on-write map (slot -> deleting CSN) swapped atomically by the single
-// writer and read lock-free by concurrent snapshot sessions and the
-// compactor; refs counts the owners (store, snapshots) holding the file
-// open.
+// run is one immutable on-disk segment plus its resident metadata. All
+// fields except the lazy index, tombs, and refs are frozen after
+// construction; tombs is a copy-on-write map (slot -> deleting CSN)
+// swapped atomically by the single writer and read lock-free by concurrent
+// snapshot sessions and the compactor; refs counts the owners (store,
+// snapshots) holding the file open.
 type run struct {
 	seq    uint64
 	path   string
@@ -55,13 +70,27 @@ type run struct {
 	arity  int
 	nrows  int32
 	blocks []blockMeta
-	// hashes caches each row's whole-tuple hash; buckets/next chain rows by
-	// hash exactly like the main-memory Relation (slot+1 links).
-	hashes  []uint64
-	buckets map[uint64]int32
-	next    []int32
-	tombs   atomic.Pointer[map[int32]uint64]
-	refs    atomic.Int32
+	v2     bool      // footer-indexed format; false = legacy RUN1
+	dict   *atomDict // owning store's intern dictionary (packed blocks)
+	// bloom screens membership probes; built at create, persisted in the
+	// footer, reloaded with it.
+	bloom *bloomFilter
+	// Chain index: hashes caches each row's whole-tuple hash; buckets/next
+	// chain rows by hash exactly like the main-memory Relation (slot+1
+	// links). Resident from creation for freshly written runs; loaded on
+	// demand from hashOff for reopened RUN2 runs (idxReady gates access,
+	// its Store/Load ordering publishes the slices).
+	hashOff  int64
+	idxMu    sync.Mutex
+	idxReady atomic.Bool
+	hashes   []uint64
+	buckets  map[uint64]int32
+	next     []int32
+	// synced records that the file's contents are durable (fsynced);
+	// FlushBase syncs any stragglers before the manifest names them.
+	synced atomic.Bool
+	tombs  atomic.Pointer[map[int32]uint64]
+	refs   atomic.Int32
 }
 
 func (r *run) retain() { r.refs.Add(1) }
@@ -112,6 +141,9 @@ func (r *run) ntombs() int {
 	return len(*m)
 }
 
+// liveNow returns the rows not hidden by any tombstone.
+func (r *run) liveNow() int { return int(r.nrows) - r.ntombs() }
+
 // liveAt counts rows visible at snapshot CSN csn (tomb 0 or > csn).
 func (r *run) liveAt(csn uint64) int {
 	n := int(r.nrows)
@@ -127,40 +159,116 @@ func (r *run) liveAt(csn uint64) int {
 	return n
 }
 
-// encodeRun renders the full run file image for rows.
-func encodeRun(arity int, rows []term.Tuple) []byte {
+// mayContain consults the run's bloom filter, accounting the check. A
+// false return is definitive: the run holds no row with this hash, so the
+// probe can skip the chain walk (and any index load) entirely.
+func (r *run) mayContain(st *storage.Stats, h uint64) bool {
+	atomic.AddInt64(&st.BloomChecks, 1)
+	if r.bloom != nil && !r.bloom.mayContain(h) {
+		atomic.AddInt64(&st.BloomSkips, 1)
+		return false
+	}
+	return true
+}
+
+// ensureIndex makes the chain index resident: freshly created runs carry
+// it from birth; reopened RUN2 runs load the hash section and build the
+// buckets here, on the first probe a bloom filter lets through.
+func (r *run) ensureIndex(st *storage.Stats) error {
+	if r.idxReady.Load() {
+		return nil
+	}
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if r.idxReady.Load() {
+		return nil
+	}
+	buf := make([]byte, int(r.nrows)*8+4)
+	if _, err := r.f.ReadAt(buf, r.hashOff); err != nil {
+		return fmt.Errorf("disk: reading %s hash section: %w", r.path, err)
+	}
+	if crc32.ChecksumIEEE(buf[:len(buf)-4]) != binary.LittleEndian.Uint32(buf[len(buf)-4:]) {
+		return fmt.Errorf("disk: %s hash section failed checksum", r.path)
+	}
+	hashes := make([]uint64, r.nrows)
+	for i := range hashes {
+		hashes[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	r.hashes = hashes
+	r.buildIndex()
+	atomic.AddInt64(&st.RunIndexLoads, 1)
+	r.idxReady.Store(true)
+	return nil
+}
+
+// encodeRun renders the full RUN2 file image for rows: magic, arity,
+// CRC-framed blocks (raw or packed), the hash section, and the sealed
+// footer. Returns the image plus the block metadata and hash-section
+// offset that mirror it.
+func encodeRun(d *atomDict, arity int, rows []term.Tuple, hashes []uint64, compress bool) ([]byte, []blockMeta, int64) {
 	var buf bytes.Buffer
-	buf.WriteString(runMagic)
+	buf.WriteString(runMagic2)
 	var tmp [binary.MaxVarintLen64]byte
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(arity))])
+	var blocks []blockMeta
 	for start := 0; start < len(rows); start += rowsPerBlock {
 		end := start + rowsPerBlock
 		if end > len(rows) {
 			end = len(rows)
 		}
-		var payload bytes.Buffer
-		payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(end-start))])
-		for _, t := range rows[start:end] {
-			term.WriteTuple(&payload, t)
-		}
+		payload := encodeBlockPayload(d, rows[start:end], compress)
 		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		blocks = append(blocks, blockMeta{off: int64(buf.Len()), size: int32(len(payload)) + 8, nrows: int32(end - start)})
 		buf.Write(hdr[:])
-		buf.Write(payload.Bytes())
+		buf.Write(payload)
 	}
-	return buf.Bytes()
+	hashOff := int64(buf.Len())
+	var hsec []byte
+	for _, h := range hashes {
+		hsec = binary.LittleEndian.AppendUint64(hsec, h)
+	}
+	hsec = binary.LittleEndian.AppendUint32(hsec, crc32.ChecksumIEEE(hsec))
+	buf.Write(hsec)
+
+	footOff := int64(buf.Len())
+	var foot []byte
+	foot = binary.AppendUvarint(foot, uint64(len(blocks)))
+	for _, bm := range blocks {
+		foot = binary.AppendUvarint(foot, uint64(bm.size-8))
+		foot = binary.AppendUvarint(foot, uint64(bm.nrows))
+	}
+	foot = binary.AppendUvarint(foot, uint64(len(rows)))
+	foot = binary.AppendUvarint(foot, uint64(hashOff))
+	foot = appendBloom(foot, bloomFrom(hashes))
+	buf.Write(foot)
+
+	var trailer [runTrailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], uint64(footOff))
+	binary.LittleEndian.PutUint32(trailer[8:12], uint32(len(foot)))
+	binary.LittleEndian.PutUint32(trailer[12:16], crc32.ChecksumIEEE(foot))
+	copy(trailer[16:], runTrailerMagic)
+	buf.Write(trailer[:])
+	return buf.Bytes(), blocks, hashOff
 }
 
 // createRun writes rows (live tuples, insertion order; hashes parallel) as
-// run seq under dir — temp file first, renamed into place so a crash never
-// leaves a partial run under a run name — and returns it opened with one
-// reference. sync fsyncs the file before the rename (checkpoint runs must
-// be durable before the manifest names them; auto-flush runs may skip it,
-// their rows are still in the WAL).
-func createRun(dir string, seq uint64, arity int, rows []term.Tuple, hashes []uint64, sync bool) (*run, error) {
-	data := encodeRun(arity, rows)
-	path := filepath.Join(dir, runName(seq))
+// run seq for store s — temp file first, renamed into place so a crash
+// never leaves a partial run under a run name — and returns it opened with
+// one reference. sync fsyncs the file before the rename (checkpoint and
+// bulk-load runs must be durable before the manifest names them; auto-
+// flush runs may skip it, their rows are still in the WAL). The intern
+// dictionary is synced first when the run is: a durable run must never
+// reference atoms the dictionary could lose.
+func createRun(s *Store, seq uint64, arity int, rows []term.Tuple, hashes []uint64, sync bool) (*run, error) {
+	data, blocks, hashOff := encodeRun(s.dict, arity, rows, hashes, s.compress())
+	if sync {
+		if err := s.dict.sync(); err != nil {
+			return nil, err
+		}
+	}
+	path := filepath.Join(s.dir, runName(seq))
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -185,74 +293,176 @@ func createRun(dir string, seq uint64, arity int, rows []term.Tuple, hashes []ui
 	if err != nil {
 		return nil, err
 	}
-	r := &run{seq: seq, path: path, f: rf, arity: arity, nrows: int32(len(rows)), hashes: hashes}
-	// Block metadata mirrors encodeRun's layout without re-parsing.
-	off := int64(len(runMagic))
-	var tmpv [binary.MaxVarintLen64]byte
-	off += int64(binary.PutUvarint(tmpv[:], uint64(arity)))
-	pos := off
-	for start := 0; start < len(rows); start += rowsPerBlock {
-		end := start + rowsPerBlock
-		if end > len(rows) {
-			end = len(rows)
-		}
-		var payload bytes.Buffer
-		payload.Write(tmpv[:binary.PutUvarint(tmpv[:], uint64(end-start))])
-		for _, t := range rows[start:end] {
-			term.WriteTuple(&payload, t)
-		}
-		r.blocks = append(r.blocks, blockMeta{off: pos, size: int32(payload.Len()) + 8, nrows: int32(end - start)})
-		pos += int64(payload.Len()) + 8
+	r := &run{
+		seq: seq, path: path, f: rf, arity: arity,
+		nrows: int32(len(rows)), blocks: blocks,
+		v2: true, dict: s.dict, hashOff: hashOff,
+		hashes: hashes,
+	}
+	if !s.opts.NoBloom {
+		r.bloom = bloomFrom(hashes)
 	}
 	r.buildIndex()
+	r.idxReady.Store(true)
+	r.synced.Store(sync)
 	r.refs.Store(1)
 	return r, nil
 }
 
-// openRun reopens a run file after restart: it re-scans every block to
-// rebuild the offsets, row hashes, and bucket chains (the file format has
-// no footer — the index is cheaper to rebuild than to keep in sync), and
-// feeds each decoded row to observe (distinct-value digests). Corruption
-// is an error: runs reachable from a manifest were fsynced before the
-// manifest named them, and unreachable ones are swept before opening.
-func openRun(path string, seq uint64, observe func(term.Tuple)) (*run, error) {
+// openRun reopens a run file after restart. RUN2 files read only the
+// trailer and footer — block offsets, row count, bloom filter — and defer
+// the chain index until a probe needs it; nothing decodes tuple bytes.
+// Legacy RUN1 files (no footer) re-scan every block the old way, feeding
+// each decoded row to observe (distinct-value digests, for manifests that
+// predate digest persistence). Corruption is an error: runs reachable
+// from a manifest were fsynced before the manifest named them, and
+// unreachable ones are swept before opening.
+func openRun(s *Store, path string, seq uint64, observe func(term.Tuple)) (*run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [len(runMagic2)]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s: reading magic: %w", path, err)
+	}
+	switch string(magic[:]) {
+	case runMagic2:
+		r, err := openRun2(s, f, path, seq)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return r, nil
+	case runMagic1:
+		r, err := openRun1(s, f, path, seq, observe)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return r, nil
+	}
+	f.Close()
+	return nil, fmt.Errorf("disk: %s: bad run magic", path)
+}
+
+// openRun2 loads a footer-indexed run from its tail.
+func openRun2(s *Store, f *os.File, path string, seq uint64) (*run, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() < int64(runTrailerLen) {
+		return nil, fmt.Errorf("disk: %s: truncated run trailer", path)
+	}
+	var trailer [runTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], fi.Size()-int64(runTrailerLen)); err != nil {
+		return nil, err
+	}
+	if string(trailer[16:]) != runTrailerMagic {
+		return nil, fmt.Errorf("disk: %s: bad run trailer magic", path)
+	}
+	footOff := int64(binary.LittleEndian.Uint64(trailer[0:8]))
+	footLen := int64(binary.LittleEndian.Uint32(trailer[8:12]))
+	sum := binary.LittleEndian.Uint32(trailer[12:16])
+	if footOff < int64(len(runMagic2)) || footOff+footLen+int64(runTrailerLen) != fi.Size() {
+		return nil, fmt.Errorf("disk: %s: bad run footer bounds", path)
+	}
+	foot := make([]byte, footLen)
+	if _, err := f.ReadAt(foot, footOff); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(foot) != sum {
+		return nil, fmt.Errorf("disk: %s: run footer failed checksum", path)
+	}
+	// Arity lives in the header; it is a handful of bytes.
+	var head [len(runMagic2) + binary.MaxVarintLen64]byte
+	n, err := f.ReadAt(head[:], 0)
+	if err != nil && n < len(runMagic2)+1 {
+		return nil, err
+	}
+	arity, an := binary.Uvarint(head[len(runMagic2):n])
+	if an <= 0 {
+		return nil, fmt.Errorf("disk: %s: truncated arity", path)
+	}
+	r := &run{seq: seq, path: path, f: f, arity: int(arity), v2: true, dict: s.dict}
+
+	rd := foot
+	nblocks, n2 := binary.Uvarint(rd)
+	if n2 <= 0 {
+		return nil, fmt.Errorf("disk: %s: truncated run footer", path)
+	}
+	rd = rd[n2:]
+	off := int64(len(runMagic2) + an)
+	for i := uint64(0); i < nblocks; i++ {
+		psize, n2 := binary.Uvarint(rd)
+		if n2 <= 0 {
+			return nil, fmt.Errorf("disk: %s: truncated run footer", path)
+		}
+		rd = rd[n2:]
+		brows, n3 := binary.Uvarint(rd)
+		if n3 <= 0 {
+			return nil, fmt.Errorf("disk: %s: truncated run footer", path)
+		}
+		rd = rd[n3:]
+		r.blocks = append(r.blocks, blockMeta{off: off, size: int32(psize) + 8, nrows: int32(brows)})
+		off += int64(psize) + 8
+	}
+	nrows, n2 := binary.Uvarint(rd)
+	if n2 <= 0 {
+		return nil, fmt.Errorf("disk: %s: truncated run footer", path)
+	}
+	rd = rd[n2:]
+	r.nrows = int32(nrows)
+	hashOff, n2 := binary.Uvarint(rd)
+	if n2 <= 0 {
+		return nil, fmt.Errorf("disk: %s: truncated run footer", path)
+	}
+	rd = rd[n2:]
+	r.hashOff = int64(hashOff)
+	bloom, _, ok := readBloom(rd)
+	if !ok {
+		return nil, fmt.Errorf("disk: %s: bad run bloom filter", path)
+	}
+	if !s.opts.NoBloom {
+		r.bloom = bloom
+	}
+	r.synced.Store(true) // manifest-reachable, so it was fsynced
+	r.refs.Store(1)
+	return r, nil
+}
+
+// openRun1 loads a legacy run by scanning it: offsets, hashes, and chains
+// are rebuilt from the decoded blocks, and a bloom filter is built in
+// memory so probe paths treat both formats alike.
+func openRun1(s *Store, f *os.File, path string, seq uint64, observe func(term.Tuple)) (*run, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(runMagic) || string(data[:len(runMagic)]) != runMagic {
-		return nil, fmt.Errorf("disk: %s: bad run magic", path)
-	}
-	pos := len(runMagic)
+	pos := len(runMagic1)
 	arityU, n := binary.Uvarint(data[pos:])
 	if n <= 0 {
 		return nil, fmt.Errorf("disk: %s: truncated arity", path)
 	}
 	pos += n
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	r := &run{seq: seq, path: path, f: f, arity: int(arityU)}
+	r := &run{seq: seq, path: path, f: f, arity: int(arityU), dict: s.dict}
 	for pos < len(data) {
 		if pos+8 > len(data) {
-			f.Close()
 			return nil, fmt.Errorf("disk: %s: truncated block header at %d", path, pos)
 		}
 		size := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
 		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
 		if pos+8+size > len(data) {
-			f.Close()
 			return nil, fmt.Errorf("disk: %s: truncated block at %d", path, pos)
 		}
 		payload := data[pos+8 : pos+8+size]
 		if crc32.ChecksumIEEE(payload) != sum {
-			f.Close()
 			return nil, fmt.Errorf("disk: %s: block checksum mismatch at %d", path, pos)
 		}
-		rows, err := decodeBlock(payload, int(arityU))
+		rows, err := decodeLegacyBlock(payload)
 		if err != nil {
-			f.Close()
 			return nil, fmt.Errorf("disk: %s: %w", path, err)
 		}
 		r.blocks = append(r.blocks, blockMeta{off: int64(pos), size: int32(size) + 8, nrows: int32(len(rows))})
@@ -265,15 +475,19 @@ func openRun(path string, seq uint64, observe func(term.Tuple)) (*run, error) {
 		r.nrows += int32(len(rows))
 		pos += 8 + size
 	}
+	if !s.opts.NoBloom {
+		r.bloom = bloomFrom(r.hashes)
+	}
 	r.buildIndex()
+	r.idxReady.Store(true)
+	r.synced.Store(true)
 	r.refs.Store(1)
 	return r, nil
 }
 
-// decodeBlock decodes one block payload into its rows. Strings re-enter
-// interned (term.ReadValue), carrying their precomputed hashes into the
-// block cache.
-func decodeBlock(payload []byte, arity int) ([]term.Tuple, error) {
+// decodeLegacyBlock decodes one RUN1 block payload (length-prefixed
+// tuples, no encoding byte).
+func decodeLegacyBlock(payload []byte) ([]term.Tuple, error) {
 	br := bufio.NewReader(bytes.NewReader(payload))
 	nrows, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -302,8 +516,9 @@ func (r *run) buildIndex() {
 }
 
 // block returns the decoded rows of block bi, via the cache.
-func (r *run) block(c *blockCache, counter *int64, bi int) ([]term.Tuple, error) {
+func (r *run) block(c *blockCache, st *storage.Stats, bi int) ([]term.Tuple, error) {
 	if rows, ok := c.get(r.seq, int32(bi)); ok {
+		atomic.AddInt64(&st.CacheHits, 1)
 		return rows, nil
 	}
 	bm := r.blocks[bi]
@@ -316,19 +531,25 @@ func (r *run) block(c *blockCache, counter *int64, bi int) ([]term.Tuple, error)
 	if size != len(buf)-8 || crc32.ChecksumIEEE(buf[8:]) != sum {
 		return nil, fmt.Errorf("disk: %s block %d failed checksum", r.path, bi)
 	}
-	rows, err := decodeBlock(buf[8:], r.arity)
-	if err != nil {
-		return nil, err
+	var rows []term.Tuple
+	var err error
+	if r.v2 {
+		rows, err = decodeBlockPayload(r.dict, buf[8:], r.arity)
+	} else {
+		rows, err = decodeLegacyBlock(buf[8:])
 	}
-	atomic.AddInt64(counter, 1)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %s block %d: %w", r.path, bi, err)
+	}
+	atomic.AddInt64(&st.BlocksRead, 1)
 	c.put(r.seq, int32(bi), rows)
 	return rows, nil
 }
 
 // tupleAt returns the row at slot, via the cache.
-func (r *run) tupleAt(c *blockCache, counter *int64, slot int32) (term.Tuple, error) {
+func (r *run) tupleAt(c *blockCache, st *storage.Stats, slot int32) (term.Tuple, error) {
 	bi := int(slot) / rowsPerBlock
-	rows, err := r.block(c, counter, bi)
+	rows, err := r.block(c, st, bi)
 	if err != nil {
 		return nil, err
 	}
@@ -338,10 +559,10 @@ func (r *run) tupleAt(c *blockCache, counter *int64, slot int32) (term.Tuple, er
 // scan yields every row with tomb visibility decided by visible (nil =
 // live view: any tombstone hides the row), in slot order. Returns false if
 // the consumer stopped early.
-func (r *run) scan(c *blockCache, counter *int64, visible func(slot int32) bool, yield func(term.Tuple) bool) (bool, error) {
+func (r *run) scan(c *blockCache, st *storage.Stats, visible func(slot int32) bool, yield func(term.Tuple) bool) (bool, error) {
 	slot := int32(0)
 	for bi := range r.blocks {
-		rows, err := r.block(c, counter, bi)
+		rows, err := r.block(c, st, bi)
 		if err != nil {
 			return false, err
 		}

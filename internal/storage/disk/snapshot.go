@@ -220,12 +220,18 @@ func (r *snapRel) Contains(t term.Tuple) bool {
 	}
 	h := t.Hash()
 	for _, rn := range r.runs {
+		if !rn.mayContain(r.stats, h) {
+			continue
+		}
+		if err := rn.ensureIndex(r.stats); err != nil {
+			panic(err)
+		}
 		for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
 			slot := i - 1
 			if rn.hashes[slot] != h || !r.visible(rn, slot) {
 				continue
 			}
-			u, err := rn.tupleAt(r.src.st.cache, &r.stats.BlocksRead, slot)
+			u, err := rn.tupleAt(r.src.st.cache, r.stats, slot)
 			if err != nil {
 				panic(err)
 			}
@@ -241,7 +247,7 @@ func (r *snapRel) Contains(t term.Tuple) bool {
 // captured memtable — the insertion order of the captured state.
 func (r *snapRel) Scan(yield func(term.Tuple) bool) {
 	for _, rn := range r.runs {
-		more, err := rn.scan(r.src.st.cache, &r.stats.BlocksRead, func(slot int32) bool {
+		more, err := rn.scan(r.src.st.cache, r.stats, func(slot int32) bool {
 			return r.visible(rn, slot)
 		}, yield)
 		if err != nil {
@@ -266,12 +272,18 @@ func (r *snapRel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) boo
 	if mask == full {
 		h := key.Hash()
 		for _, rn := range r.runs {
+			if !rn.mayContain(r.stats, h) {
+				continue
+			}
+			if err := rn.ensureIndex(r.stats); err != nil {
+				panic(err)
+			}
 			for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
 				slot := i - 1
 				if rn.hashes[slot] != h || !r.visible(rn, slot) {
 					continue
 				}
-				u, err := rn.tupleAt(r.src.st.cache, &r.stats.BlocksRead, slot)
+				u, err := rn.tupleAt(r.src.st.cache, r.stats, slot)
 				if err != nil {
 					panic(err)
 				}
@@ -285,7 +297,7 @@ func (r *snapRel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) boo
 	}
 	stopped := false
 	for _, rn := range r.runs {
-		more, err := rn.scan(r.src.st.cache, &r.stats.BlocksRead, func(slot int32) bool {
+		more, err := rn.scan(r.src.st.cache, r.stats, func(slot int32) bool {
 			return r.visible(rn, slot)
 		}, func(t term.Tuple) bool {
 			if t.EqualCols(key, mask) && !yield(t) {

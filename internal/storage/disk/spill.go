@@ -56,12 +56,20 @@ func NewScratch(parentDir string, budgetRows int, policy storage.IndexPolicy, st
 // SweepStaleSpills removes spill directories under parentDir whose owning
 // process is gone — leftovers of a crash or kill. The live process's own
 // directories (and those of any other live process sharing the spill
-// root) are left alone.
+// root) are left alone. The whole directory is scanned in one batch and
+// each pid is probed at most once, however many directories it left
+// behind; removal failures (a permission oddity on a shared spill root,
+// say) are logged and skipped — a stale directory costs disk space, not
+// correctness, and must not fail the session creating a fresh scratch.
 func SweepStaleSpills(parentDir string) {
 	entries, err := os.ReadDir(parentDir)
 	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "gluenail: disk: spill sweep of %s: %v\n", parentDir, err)
+		}
 		return
 	}
+	alive := map[int]bool{os.Getpid(): true}
 	for _, e := range entries {
 		if !e.IsDir() || !strings.HasPrefix(e.Name(), "spill-") {
 			continue
@@ -70,10 +78,17 @@ func SweepStaleSpills(parentDir string) {
 		if _, err := fmt.Sscanf(e.Name(), "spill-%d-%d", &pid, &seq); err != nil {
 			continue
 		}
-		if pid == os.Getpid() || processAlive(pid) {
+		live, probed := alive[pid]
+		if !probed {
+			live = processAlive(pid)
+			alive[pid] = live
+		}
+		if live {
 			continue
 		}
-		os.RemoveAll(filepath.Join(parentDir, e.Name()))
+		if err := os.RemoveAll(filepath.Join(parentDir, e.Name())); err != nil {
+			fmt.Fprintf(os.Stderr, "gluenail: disk: removing stale spill %s: %v\n", e.Name(), err)
+		}
 	}
 }
 

@@ -41,7 +41,11 @@ import (
 
 func init() {
 	storage.RegisterBackend("disk", func(cfg storage.BackendConfig) (storage.Backend, error) {
-		return Open(cfg.Dir, Options{Policy: cfg.Policy})
+		return Open(cfg.Dir, Options{
+			Policy:      cfg.Policy,
+			CacheBlocks: cfg.CacheBlocks,
+			NoCompress:  cfg.NoCompress,
+		})
 	})
 }
 
@@ -64,6 +68,13 @@ type Options struct {
 	// NoCompactor disables background compaction (tests, deterministic
 	// benchmarks).
 	NoCompactor bool
+	// NoCompress stores run blocks raw instead of packed (see
+	// compress.go). Reads handle both forms regardless, so the setting
+	// can change between opens of the same store.
+	NoCompress bool
+	// NoBloom skips building and consulting per-run bloom filters
+	// (benchmark ablation only).
+	NoBloom bool
 	// Stats, when non-nil, is the shared counter block to account into
 	// (a spill store accounts into the executor's scratch stats).
 	Stats *storage.Stats
@@ -83,9 +94,14 @@ func (o Options) compactAfter() int {
 	return 6
 }
 
+func (o Options) compress() bool { return !o.NoCompress }
+
 const (
-	manifestName  = "MANIFEST.grm"
-	manifestMagic = "GLUENAIL-MAN1\n"
+	manifestName   = "MANIFEST.grm"
+	manifestMagic1 = "GLUENAIL-MAN1\n"
+	// MAN2 adds per-relation distinct digests after the arity, so reopen
+	// restores planner statistics without decoding any run.
+	manifestMagic2 = "GLUENAIL-MAN2\n"
 )
 
 // Store is the disk engine. It implements storage.Backend plus the
@@ -95,6 +111,9 @@ type Store struct {
 	opts  Options
 	stats *storage.Stats
 	cache *blockCache
+	// dict is the persistent intern dictionary packed blocks reference;
+	// memory-only on ephemeral stores.
+	dict *atomDict
 
 	journal   storage.Journal
 	commitCSN atomic.Uint64
@@ -166,14 +185,28 @@ func Open(dir string, opts Options) (*Store, error) {
 		st.stats = &storage.Stats{}
 	}
 	st.compactCh = make(chan struct{}, 1)
+	// The intern dictionary loads before the manifest: packed blocks in
+	// manifest-named runs reference its entries. Ephemeral stores keep it
+	// in memory only.
+	dictDir := dir
+	if opts.Ephemeral {
+		dictDir = ""
+	}
+	dict, err := newAtomDict(dictDir)
+	if err != nil {
+		return nil, err
+	}
+	st.dict = dict
 	if err := st.loadManifest(); err != nil {
+		dict.close()
 		return nil, err
 	}
-	if err := st.sweepOrphans(); err != nil {
-		return nil, err
-	}
+	st.sweepOrphans()
 	return st, nil
 }
+
+// compress reports whether new blocks should try the packed encoding.
+func (s *Store) compress() bool { return s.opts.compress() }
 
 // relKey mirrors the storage package's relation key.
 func relKey(name term.Value, arity int) string {
@@ -396,6 +429,7 @@ func (s *Store) Close() error {
 			rn.release()
 		}
 	}
+	s.dict.close()
 	if s.opts.Ephemeral {
 		return os.RemoveAll(s.dir)
 	}
@@ -445,7 +479,9 @@ func (r *Rel) CostProfile() storage.CostProfile {
 	return storage.CostProfile{
 		Engine: "disk",
 		Scan:   1 + 7*frac,
-		Lookup: 1 + 3*frac,
+		// Lookup weighs cheaper than before the bloom filters: most
+		// membership misses now cost one filter check, no I/O.
+		Lookup: 1 + 2*frac,
 	}
 }
 
@@ -500,12 +536,18 @@ func (r *Rel) Delete(t term.Tuple) bool {
 	defer r.relMu.Unlock()
 	h := t.Hash()
 	for _, rn := range *r.runs.Load() {
+		if !rn.mayContain(r.st.stats, h) {
+			continue
+		}
+		if err := rn.ensureIndex(r.st.stats); err != nil {
+			panic(err)
+		}
 		for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
 			slot := i - 1
 			if rn.tombAt(slot) != 0 {
 				continue
 			}
-			u, err := rn.tupleAt(r.st.cache, &r.st.stats.BlocksRead, slot)
+			u, err := rn.tupleAt(r.st.cache, r.st.stats, slot)
 			if err != nil {
 				panic(err)
 			}
@@ -598,7 +640,7 @@ func (r *Rel) flush(sync bool) error {
 		hashes[i] = t.Hash()
 	}
 	seq := r.st.nextRunSeq()
-	rn, err := createRun(r.st.dir, seq, r.arity, rows, hashes, sync)
+	rn, err := createRun(r.st, seq, r.arity, rows, hashes, sync)
 	if err != nil {
 		return err
 	}
@@ -633,15 +675,29 @@ func (s *Store) nextRunSeq() uint64 {
 
 // ---- Rel: reads ----
 
-// runsContain probes every run's resident hash chains for t.
+// runsContain probes the runs for t: the bloom filter first (a miss skips
+// the run with no I/O at all), then the hash chains, loading a reopened
+// run's index on first need.
 func (r *Rel) runsContain(h uint64, t term.Tuple) bool {
-	for _, rn := range *r.runs.Load() {
+	return r.runsContainIn(*r.runs.Load(), h, t)
+}
+
+// runsContainIn probes an explicit run list — the bulk loader passes the
+// runs that predate its batch, skipping the ones the batch itself built.
+func (r *Rel) runsContainIn(runs []*run, h uint64, t term.Tuple) bool {
+	for _, rn := range runs {
+		if !rn.mayContain(r.st.stats, h) {
+			continue
+		}
+		if err := rn.ensureIndex(r.st.stats); err != nil {
+			panic(err)
+		}
 		for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
 			slot := i - 1
 			if rn.hashes[slot] != h || rn.tombAt(slot) != 0 {
 				continue
 			}
-			u, err := rn.tupleAt(r.st.cache, &r.st.stats.BlocksRead, slot)
+			u, err := rn.tupleAt(r.st.cache, r.st.stats, slot)
 			if err != nil {
 				panic(err)
 			}
@@ -663,7 +719,7 @@ func (r *Rel) Contains(t term.Tuple) bool {
 func (r *Rel) Scan(yield func(term.Tuple) bool) {
 	atomic.AddInt64(&r.st.stats.RowsScanned, int64(r.diskLive))
 	for _, rn := range *r.runs.Load() {
-		more, err := rn.scan(r.st.cache, &r.st.stats.BlocksRead, nil, yield)
+		more, err := rn.scan(r.st.cache, r.st.stats, nil, yield)
 		if err != nil {
 			panic(err)
 		}
@@ -685,12 +741,18 @@ func (r *Rel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
 		// At most one live copy exists across runs + memtable.
 		h := key.Hash()
 		for _, rn := range *r.runs.Load() {
+			if !rn.mayContain(r.st.stats, h) {
+				continue
+			}
+			if err := rn.ensureIndex(r.st.stats); err != nil {
+				panic(err)
+			}
 			for i := rn.buckets[h]; i != 0; i = rn.next[i-1] {
 				slot := i - 1
 				if rn.hashes[slot] != h || rn.tombAt(slot) != 0 {
 					continue
 				}
-				u, err := rn.tupleAt(r.st.cache, &r.st.stats.BlocksRead, slot)
+				u, err := rn.tupleAt(r.st.cache, r.st.stats, slot)
 				if err != nil {
 					panic(err)
 				}
@@ -731,7 +793,7 @@ func (r *Rel) Lookup(mask uint32, key term.Tuple, yield func(term.Tuple) bool) {
 	atomic.AddInt64(&r.st.stats.RowsScanned, int64(r.diskLive))
 	stopped := false
 	for _, rn := range *r.runs.Load() {
-		more, err := rn.scan(r.st.cache, &r.st.stats.BlocksRead, nil, func(t term.Tuple) bool {
+		more, err := rn.scan(r.st.cache, r.st.stats, nil, func(t term.Tuple) bool {
 			if t.EqualCols(key, mask) && !yield(t) {
 				stopped = true
 				return false
@@ -836,7 +898,7 @@ func (r *Rel) runIxGuard(mask uint32) *sync.Once {
 func (r *Rel) publishRunIx(mask uint32) {
 	ix := &hashIx{mask: mask, buckets: make(map[uint64][]term.Tuple)}
 	for _, rn := range *r.runs.Load() {
-		_, err := rn.scan(r.st.cache, &r.st.stats.BlocksRead, nil, func(t term.Tuple) bool {
+		_, err := rn.scan(r.st.cache, r.st.stats, nil, func(t term.Tuple) bool {
 			h := t.HashCols(mask)
 			ix.buckets[h] = append(ix.buckets[h], t)
 			return true
@@ -898,6 +960,20 @@ func (s *Store) FlushBase() error {
 			return err
 		}
 	}
+	// Auto-flushed runs were written without fsync (their rows were WAL-
+	// covered); the manifest is about to name them and the WAL is about to
+	// truncate, so make every straggler durable first.
+	for _, r := range rels {
+		for _, rn := range *r.runs.Load() {
+			if rn.synced.Load() {
+				continue
+			}
+			if err := rn.f.Sync(); err != nil {
+				return fmt.Errorf("disk: syncing %s: %w", rn.path, err)
+			}
+			rn.synced.Store(true)
+		}
+	}
 	if err := s.writeManifest(); err != nil {
 		return err
 	}
@@ -920,33 +996,40 @@ func (s *Store) FlushBase() error {
 	return nil
 }
 
-// dropTombs rewrites a relation's runs without tombstoned rows, as a
-// single merged durable run. Called only at statement boundaries
-// (checkpoint), where every tombstone is committed; snapshots captured
-// earlier keep the old run objects alive.
+// dropTombs rewrites each run that carries tombstones without its
+// tombstoned rows, in place in the run list — runs without tombstones
+// are untouched, so the size-tiered structure compaction built is
+// preserved. Called only at statement boundaries (checkpoint), where
+// every tombstone is committed; snapshots captured earlier keep the old
+// run objects alive.
 func (r *Rel) dropTombs() error {
 	runs := *r.runs.Load()
-	tombs := 0
+	var nr []*run
+	var retired []*run
 	for _, rn := range runs {
-		tombs += rn.ntombs()
+		if rn.ntombs() == 0 {
+			nr = append(nr, rn)
+			continue
+		}
+		rewritten, err := r.mergeRuns([]*run{rn}, ^uint64(0), true)
+		if err != nil {
+			return err
+		}
+		if rewritten != nil {
+			nr = append(nr, rewritten)
+		}
+		retired = append(retired, rn)
 	}
-	if tombs == 0 {
+	if len(retired) == 0 {
 		return nil
 	}
-	merged, err := r.mergeRuns(runs, ^uint64(0), true)
-	if err != nil {
-		return err
+	if nr == nil {
+		nr = []*run{}
 	}
 	r.relMu.Lock()
-	if merged == nil {
-		empty := []*run{}
-		r.runs.Store(&empty)
-	} else {
-		nr := []*run{merged}
-		r.runs.Store(&nr)
-	}
+	r.runs.Store(&nr)
 	r.relMu.Unlock()
-	r.st.retireRuns(runs)
+	r.st.retireRuns(retired)
 	return nil
 }
 
@@ -962,9 +1045,12 @@ func (r *Rel) mergeRuns(runs []*run, dropBelow uint64, sync bool) (*run, error) 
 	}
 	var carry []carried
 	for _, rn := range runs {
+		if err := rn.ensureIndex(r.st.stats); err != nil {
+			return nil, err
+		}
 		slot := int32(0)
 		for bi := range rn.blocks {
-			decoded, err := rn.block(r.st.cache, &r.st.stats.BlocksRead, bi)
+			decoded, err := rn.block(r.st.cache, r.st.stats, bi)
 			if err != nil {
 				return nil, err
 			}
@@ -987,7 +1073,7 @@ func (r *Rel) mergeRuns(runs []*run, dropBelow uint64, sync bool) (*run, error) 
 		return nil, nil
 	}
 	seq := r.st.nextRunSeq()
-	merged, err := createRun(r.st.dir, seq, r.arity, rows, hashes, sync)
+	merged, err := createRun(r.st, seq, r.arity, rows, hashes, sync)
 	if err != nil {
 		return nil, err
 	}
@@ -1002,30 +1088,34 @@ func (r *Rel) mergeRuns(runs []*run, dropBelow uint64, sync bool) (*run, error) 
 }
 
 // writeManifest writes the manifest atomically: temp file, fsync, rename,
-// directory fsync.
+// directory fsync. The intern dictionary is synced first — manifest-named
+// packed runs must never reference atoms the dictionary could lose.
 func (s *Store) writeManifest() error {
-	var payload bytes.Buffer
-	var tmp [binary.MaxVarintLen64]byte
+	if err := s.dict.sync(); err != nil {
+		return err
+	}
+	var payload []byte
 	s.mu.RLock()
-	payload.Write(tmp[:binary.PutUvarint(tmp[:], s.runSeq)])
-	payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s.order)))])
+	payload = binary.AppendUvarint(payload, s.runSeq)
+	payload = binary.AppendUvarint(payload, uint64(len(s.order)))
 	for _, r := range s.order {
-		term.WriteValue(&payload, r.name)
-		payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(r.arity))])
+		payload = term.AppendValue(payload, r.name)
+		payload = binary.AppendUvarint(payload, uint64(r.arity))
+		payload = r.dist.AppendDigest(payload)
 		runs := *r.runs.Load()
-		payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(runs)))])
+		payload = binary.AppendUvarint(payload, uint64(len(runs)))
 		for _, rn := range runs {
-			payload.Write(tmp[:binary.PutUvarint(tmp[:], rn.seq)])
+			payload = binary.AppendUvarint(payload, rn.seq)
 		}
 	}
 	s.mu.RUnlock()
 	var buf bytes.Buffer
-	buf.WriteString(manifestMagic)
+	buf.WriteString(manifestMagic2)
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	buf.Write(hdr[:])
-	buf.Write(payload.Bytes())
+	buf.Write(payload)
 
 	path := filepath.Join(s.dir, manifestName)
 	tmpPath := path + ".tmp"
@@ -1052,6 +1142,9 @@ func (s *Store) writeManifest() error {
 }
 
 // loadManifest restores relations and runs from the manifest, if present.
+// MAN2 manifests carry persisted distinct digests, so reopening decodes no
+// run data at all; legacy MAN1 manifests rebuild the digests by scanning
+// each run once through the openRun observe callback.
 func (s *Store) loadManifest() error {
 	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
 	if err != nil {
@@ -1060,12 +1153,18 @@ func (s *Store) loadManifest() error {
 		}
 		return err
 	}
-	if len(data) < len(manifestMagic)+8 || string(data[:len(manifestMagic)]) != manifestMagic {
+	mlen := len(manifestMagic2)
+	v2 := false
+	switch {
+	case len(data) >= mlen+8 && string(data[:mlen]) == manifestMagic2:
+		v2 = true
+	case len(data) >= mlen+8 && string(data[:mlen]) == manifestMagic1:
+	default:
 		return fmt.Errorf("disk: %s: bad manifest header", s.dir)
 	}
-	plen := int(binary.LittleEndian.Uint32(data[len(manifestMagic) : len(manifestMagic)+4]))
-	sum := binary.LittleEndian.Uint32(data[len(manifestMagic)+4 : len(manifestMagic)+8])
-	rest := data[len(manifestMagic)+8:]
+	plen := int(binary.LittleEndian.Uint32(data[mlen : mlen+4]))
+	sum := binary.LittleEndian.Uint32(data[mlen+4 : mlen+8])
+	rest := data[mlen+8:]
 	if len(rest) < plen || crc32.ChecksumIEEE(rest[:plen]) != sum {
 		return fmt.Errorf("disk: %s: manifest checksum mismatch", s.dir)
 	}
@@ -1088,11 +1187,19 @@ func (s *Store) loadManifest() error {
 		if err != nil {
 			return err
 		}
+		r := s.ensure(name, int(arity), false)
+		var observe func(term.Tuple)
+		if v2 {
+			if err := r.dist.ReadDigest(rd.buf); err != nil {
+				return fmt.Errorf("disk: %s: manifest digest for %v/%d: %w", s.dir, name, arity, err)
+			}
+		} else {
+			observe = func(t term.Tuple) { r.dist.Add(t) }
+		}
 		nruns, err := binary.ReadUvarint(rd)
 		if err != nil {
 			return err
 		}
-		r := s.ensure(name, int(arity), false)
 		var runs []*run
 		live := 0
 		for j := uint64(0); j < nruns; j++ {
@@ -1100,7 +1207,7 @@ func (s *Store) loadManifest() error {
 			if err != nil {
 				return err
 			}
-			rn, err := openRun(filepath.Join(s.dir, runName(seq)), seq, func(t term.Tuple) { r.dist.Add(t) })
+			rn, err := openRun(s, filepath.Join(s.dir, runName(seq)), seq, observe)
 			if err != nil {
 				return err
 			}
@@ -1121,29 +1228,35 @@ func (s *Store) loadManifest() error {
 // sweepOrphans removes temp files and run files the manifest does not
 // name: leftovers of an interrupted flush, compaction, or checkpoint.
 // Committed rows among them are still in the WAL, which replays after the
-// store opens.
-func (s *Store) sweepOrphans() error {
+// store opens. The sweep is best-effort: an unremovable orphan (a
+// permission oddity, say) costs disk space, not correctness, so failures
+// are logged rather than failing the open.
+func (s *Store) sweepOrphans() {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return err
+		fmt.Fprintf(os.Stderr, "gluenail: disk: orphan sweep of %s: %v\n", s.dir, err)
+		return
 	}
 	for _, e := range entries {
 		name := e.Name()
 		if len(name) > 4 && name[len(name)-4:] == ".tmp" {
-			os.Remove(filepath.Join(s.dir, name))
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "gluenail: disk: removing orphan %s: %v\n", name, err)
+			}
 			continue
 		}
 		var seq uint64
 		if _, err := fmt.Sscanf(name, "run-%d.grn", &seq); err == nil && name == runName(seq) {
 			if !s.durable[seq] {
-				os.Remove(filepath.Join(s.dir, name))
+				if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+					fmt.Fprintf(os.Stderr, "gluenail: disk: removing orphan %s: %v\n", name, err)
+				}
 			}
 			if seq > s.runSeq {
 				s.runSeq = seq // never reuse a swept sequence number
 			}
 		}
 	}
-	return nil
 }
 
 // byteScanner adapts a bytes.Reader for both ReadUvarint (io.ByteReader)

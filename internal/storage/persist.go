@@ -83,6 +83,24 @@ func Load(r io.Reader, s Store) error {
 		if err != nil {
 			return fmt.Errorf("storage: reading tuple count of %v: %w", name, err)
 		}
+		bulk, _ := s.(BulkLoader)
+		if bulk != nil && n >= BulkThreshold {
+			rows := make([]term.Tuple, 0, n)
+			for j := uint64(0); j < n; j++ {
+				t, err := term.ReadTuple(br)
+				if err != nil {
+					return fmt.Errorf("storage: reading tuple %d of %v: %w", j, name, err)
+				}
+				if len(t) != int(arity) {
+					return fmt.Errorf("storage: tuple arity %d != %d in %v", len(t), arity, name)
+				}
+				rows = append(rows, t)
+			}
+			if _, err := bulk.BulkLoad(name, int(arity), rows); err != nil {
+				return fmt.Errorf("storage: bulk loading %v: %w", name, err)
+			}
+			continue
+		}
 		rel := s.Ensure(name, int(arity))
 		for j := uint64(0); j < n; j++ {
 			t, err := term.ReadTuple(br)

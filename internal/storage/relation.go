@@ -19,7 +19,12 @@
 package storage
 
 import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -156,6 +161,76 @@ func (c *colStats) remove(h uint64) {
 	}
 }
 
+// appendDigest serializes the column digest (flushing the pending buffer
+// first): mode byte 0 = exact map (sorted hash/multiplicity pairs, so the
+// encoding is deterministic), mode 1 = raw sketch bitmap. The disk
+// engine's manifest persists these so reopening a store restores planner
+// statistics without re-decoding every run.
+func (c *colStats) appendDigest(dst []byte) []byte {
+	c.flush()
+	if c.sketch == nil {
+		dst = append(dst, 0)
+		dst = binary.AppendUvarint(dst, uint64(len(c.exact)))
+		keys := make([]uint64, 0, len(c.exact))
+		for h := range c.exact {
+			keys = append(keys, h)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, h := range keys {
+			dst = binary.AppendUvarint(dst, h)
+			dst = binary.AppendUvarint(dst, uint64(c.exact[h]))
+		}
+		return dst
+	}
+	dst = append(dst, 1)
+	for _, w := range c.sketch {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// readDigest restores a digest serialized by appendDigest, replacing the
+// column's current state.
+func (c *colStats) readDigest(r *bufio.Reader) error {
+	mode, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	*c = colStats{}
+	switch mode {
+	case 0:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		c.exact = make(map[uint64]uint32, n)
+		for i := uint64(0); i < n; i++ {
+			h, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			m, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			c.exact[h] = uint32(m)
+		}
+		return nil
+	case 1:
+		c.sketch = make([]uint64, sketchBits/64)
+		var buf [8]byte
+		for i := range c.sketch {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return err
+			}
+			c.sketch[i] = binary.LittleEndian.Uint64(buf[:])
+			c.ones += bits.OnesCount64(c.sketch[i])
+		}
+		return nil
+	}
+	return fmt.Errorf("storage: bad digest mode %d", mode)
+}
+
 // estimate returns the distinct-value estimate for the column.
 func (c *colStats) estimate() int {
 	c.flush()
@@ -188,6 +263,11 @@ type Stats struct {
 	RunsCompacted int64 // disk backend: runs replaced by merged runs
 	BlocksRead    int64 // disk backend: run blocks fetched from disk (cache misses)
 	RowsSpilled   int64 // disk backend: rows written to run files
+	CacheHits     int64 // disk backend: block reads served by the decoded-block cache
+	BloomChecks   int64 // disk backend: run membership probes screened by a bloom filter
+	BloomSkips    int64 // disk backend: probes a bloom answered "absent" (no run I/O)
+	RunIndexLoads int64 // disk backend: lazy run hash-index loads after reopen
+	BulkRows      int64 // disk backend: rows ingested via the WAL-bypassing bulk path
 }
 
 // TuplesInserted returns the cumulative insert count with an atomic load,

@@ -25,6 +25,54 @@ const (
 // TestQuickNonTagDisjoint pins the guarantee.
 const NonTag = 0xFF
 
+// EncodedSize returns the exact number of bytes AppendValue would append
+// for every value of t, without writing them. Block encoders use it to
+// decide whether a compressed rendering beat the raw codec before paying
+// to materialize the raw bytes.
+func (t Tuple) EncodedSize() int {
+	n := 0
+	for i := range t {
+		n += valueSize(&t[i])
+	}
+	return n
+}
+
+func valueSize(v *Value) int {
+	switch v.kind {
+	case Int:
+		return 1 + varintLen(v.i)
+	case Float:
+		return 1 + 8
+	case Str:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	case Compound:
+		n := 1 + valueSize(v.fn) + uvarintLen(uint64(len(v.args)))
+		for i := range v.args {
+			n += valueSize(&v.args[i])
+		}
+		return n
+	default:
+		panic("term: sizing invalid value")
+	}
+}
+
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(i int64) int {
+	u := uint64(i) << 1
+	if i < 0 {
+		u = ^u
+	}
+	return uvarintLen(u)
+}
+
 // AppendValue appends a canonical binary encoding of v to dst. Equal values
 // have equal encodings, so the encoding doubles as a map key.
 func AppendValue(dst []byte, v Value) []byte {

@@ -35,6 +35,25 @@ func Intern(s string) Value {
 	return Value{kind: Str, s: ent.s, ie: ent}
 }
 
+// InternWithHash returns the interned value for s, seeding the intern
+// table with a previously computed content hash — the disk engine's
+// persisted intern table stores each atom alongside its hash so reopening
+// a store rebuilds interned atoms without re-folding their bytes. The
+// caller is responsible for h being s's true FNV-1a content hash (the
+// persisted table checksums each record); if s is already interned the
+// existing entry wins and h is ignored.
+func InternWithHash(s string, h uint64) Value {
+	if e, ok := interned.Load(s); ok {
+		ent := e.(*internEntry)
+		return Value{kind: Str, s: ent.s, ie: ent}
+	}
+	ent := &internEntry{s: s, h: h}
+	if prev, loaded := interned.LoadOrStore(ent.s, ent); loaded {
+		ent = prev.(*internEntry)
+	}
+	return Value{kind: Str, s: ent.s, ie: ent}
+}
+
 // InternValue returns v with any Str content interned: Str values are
 // replaced by their interned form, compound terms intern their functor and
 // arguments recursively, and other kinds pass through unchanged. Used at

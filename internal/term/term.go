@@ -283,6 +283,17 @@ func (v Value) strHash() uint64 {
 	return hashString(fnvOffset, v.s)
 }
 
+// StrHash exposes the string content hash for persistence: the disk
+// engine's intern table stores it next to each atom so InternWithHash can
+// rebuild entries on reopen without re-folding the bytes. Panics on
+// non-Str values.
+func (v Value) StrHash() uint64 {
+	if v.kind != Str {
+		panic("term: StrHash() on " + v.kind.String())
+	}
+	return v.strHash()
+}
+
 func (v Value) hashInto(h uint64) uint64 {
 	h = hashUint64(h, uint64(v.kind))
 	switch v.kind {

@@ -290,6 +290,13 @@ func (f *frame) existsIn(rel storage.Rel, sk *term.Tuple, mask uint32,
 	if err != nil {
 		return false, err
 	}
+	if mask != 0 && mask == (uint32(1)<<uint(rel.Arity()))-1 {
+		// Fully bound probe: membership is the whole question, so ask it
+		// directly — Contains is each engine's cheapest path (the disk
+		// engine answers most misses from a per-run bloom filter, with no
+		// I/O at all).
+		return rel.Contains(key), nil
+	}
 	found := false
 	rel.Lookup(mask, key, func(t term.Tuple) bool {
 		if matchArgs(args, t, regs) {
