@@ -5,6 +5,17 @@
 // Usage:
 //
 //	gluenail [flags] file.glue...
+//	gluenail fsck [-repair] -data-dir d        offline integrity check
+//
+// The fsck subcommand verifies every checksum in a data directory without
+// opening the database: WAL frame CRCs, snapshot envelopes, and — when a
+// disk-backed store lives under d/store — run blocks, hash sections,
+// bloom filters, footers, the manifest, and the intern file. It prints
+// one line per finding and exits non-zero if any serious (non-benign)
+// damage remains. With -repair, auxiliary artifacts are rebuilt from the
+// surviving tuple data and runs with damaged tuple bytes are quarantined
+// (renamed aside and dropped from the manifest) instead of being left to
+// return wrong answers.
 //
 //	-edb file     load this EDB image before running, save it after
 //	-data-dir d   durable EDB: write-ahead log + snapshots under d,
@@ -49,19 +60,86 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"gluenail"
+	"gluenail/internal/storage"
+	"gluenail/internal/storage/disk"
+	"gluenail/internal/wal"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		if err := runFsck(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "gluenail: fsck:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gluenail:", err)
 		os.Exit(1)
 	}
+}
+
+// runFsck is the offline integrity checker: it verifies every persistent
+// checksum under a data directory (or a bare store directory) without
+// opening the database, reports findings one per line, and exits non-zero
+// when serious damage remains.
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repair := fs.Bool("repair", false, "rebuild damaged auxiliary structures from surviving tuple data; quarantine runs with damaged tuples")
+	dataDir := fs.String("data-dir", "", "data directory to check (WAL + snapshots; disk store under data-dir/store)")
+	storeDir := fs.String("store-dir", "", "bare disk-engine store directory to check (no WAL)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" && *storeDir == "" {
+		if fs.NArg() == 1 {
+			*dataDir = fs.Arg(0)
+		} else {
+			return fmt.Errorf("usage: gluenail fsck [-repair] -data-dir d  (or -store-dir d)")
+		}
+	}
+	var findings []storage.Finding
+	if *dataDir != "" {
+		wf, err := wal.Verify(*dataDir)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, wf...)
+		st := filepath.Join(*dataDir, "store")
+		if _, err := os.Stat(st); err == nil {
+			df, err := disk.FsckDir(st, *repair)
+			if err != nil {
+				return err
+			}
+			findings = append(findings, df...)
+		}
+	}
+	if *storeDir != "" {
+		df, err := disk.FsckDir(*storeDir, *repair)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, df...)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if n := storage.CountSerious(findings); n > 0 {
+		return fmt.Errorf("%d serious finding(s)", n)
+	}
+	if len(findings) == 0 {
+		fmt.Println("fsck: clean")
+	} else {
+		fmt.Println("fsck: no serious damage remains")
+	}
+	return nil
 }
 
 func run() error {

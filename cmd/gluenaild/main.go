@@ -30,6 +30,11 @@
 //	-max-depth n        per-session procedure recursion limit
 //	-max-iters n        per-session repeat-loop limit (negative = off)
 //	-drain-timeout d    graceful-shutdown drain budget (default 10s)
+//	-verify-on-open     fsck the data directory before serving; refuse to
+//	                    start if any serious (non-benign) damage is found
+//	-scrub-interval d   background scrubber cadence on a disk store: one
+//	                    stored run's checksums verified per interval
+//	                    (0 = off)
 //
 // SIGINT/SIGTERM shut down gracefully: new statements are rejected,
 // in-flight statements drain through the governor (cancelled past the
@@ -45,12 +50,39 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"gluenail"
 	"gluenail/internal/server"
+	"gluenail/internal/storage/disk"
+	"gluenail/internal/wal"
 )
+
+// fsckDataDir runs the offline verifier over a data directory (WAL,
+// snapshots, and the disk store under dir/store when present) without
+// repairs, returning the rendered findings.
+func fsckDataDir(dir string) ([]string, error) {
+	findings, err := wal.Verify(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := filepath.Join(dir, "store")
+	if _, err := os.Stat(st); err == nil {
+		df, err := disk.FsckDir(st, false)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, df...)
+	}
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.String()
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -79,10 +111,32 @@ func run() error {
 		maxIters   = flag.Int("max-iters", 0, "per-session repeat-loop limit (0 = default, negative = unlimited)")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
 		quiet      = flag.Bool("quiet", false, "suppress per-session log lines")
+		verifyOpen = flag.Bool("verify-on-open", false, "fsck the data directory before serving; refuse to start on serious damage")
+		scrubEvery = flag.Duration("scrub-interval", 0, "background scrubber cadence on a disk store (0 = off)")
 	)
 	flag.Parse()
 
+	if *verifyOpen && *dataDir != "" {
+		findings, err := fsckDataDir(*dataDir)
+		if err != nil {
+			return fmt.Errorf("-verify-on-open: %w", err)
+		}
+		serious := 0
+		for _, f := range findings {
+			log.Printf("gluenaild: verify-on-open: %s", f)
+			if !strings.HasSuffix(f, "[benign]") {
+				serious++
+			}
+		}
+		if serious > 0 {
+			return fmt.Errorf("-verify-on-open: %d serious finding(s); run `gluenail fsck -repair -data-dir %s` to heal or quarantine", serious, *dataDir)
+		}
+	}
+
 	var opts []gluenail.Option
+	if *scrubEvery > 0 {
+		opts = append(opts, gluenail.WithScrubInterval(*scrubEvery))
+	}
 	if *workers > 0 {
 		opts = append(opts, gluenail.WithParallelism(*workers))
 	}

@@ -47,6 +47,7 @@ import (
 	"gluenail/internal/plan"
 	"gluenail/internal/storage"
 	"gluenail/internal/storage/disk"
+	"gluenail/internal/storage/fsio"
 	_ "gluenail/internal/storage/mem" // registers the "mem" backend
 	"gluenail/internal/term"
 	"gluenail/internal/vm"
@@ -98,6 +99,8 @@ type config struct {
 	spillRows    int
 	cacheBlocks  int
 	noCompress   bool
+	fs           fsio.FS
+	scrubEvery   time.Duration
 }
 
 // Option configures a System.
@@ -150,6 +153,28 @@ func WithBlockCache(blocks int) Option {
 // the setting may change between opens of the same store.
 func WithBlockCompression(on bool) Option {
 	return func(c *config) { c.noCompress = !on }
+}
+
+// FS is the filesystem seam every persistent artifact (WAL segments,
+// snapshots, disk-engine runs, manifest, intern file, spill runs) is
+// written through; see the storage/fsio package. The default is the real
+// filesystem; fault-injection tests swap in a scripted implementation.
+type FS = fsio.FS
+
+// WithFS routes all of the system's file I/O through fs (nil keeps the
+// real filesystem). The seam covers the write-ahead log, checkpoints, the
+// disk engine's runs and manifest, and spill scratch stores — so a single
+// injected fault surface exercises every persistence path.
+func WithFS(fs FS) Option { return func(c *config) { c.fs = fs } }
+
+// WithScrubInterval starts a background scrubber on a disk-backed EDB:
+// every interval it verifies one stored run's checksums at low priority
+// and reports findings to stderr, so silent corruption is detected while
+// the data is still redundant enough to heal (see System.ScrubEDB).
+// Zero (the default) disables background scrubbing; ignored by the
+// main-memory backend.
+func WithScrubInterval(d time.Duration) Option {
+	return func(c *config) { c.scrubEvery = d }
 }
 
 // WithIndexPolicy overrides the adaptive index policy (E4 baselines).
@@ -242,6 +267,17 @@ var (
 	ErrLoopLimit    = vm.ErrLoopLimit    // a repeat loop ran too long
 	ErrPanic        = vm.ErrPanic        // an internal panic was contained
 	ErrPoisoned     = vm.ErrPoisoned     // the system was poisoned by a panic
+)
+
+// Storage-fault sentinels, re-exported for errors.Is classification. A
+// failed disk write degrades the EDB to read-only (queries keep serving
+// from the durable base; writes fail with ErrDiskFault until the store is
+// reopened); detected checksum damage fails the touching operation with
+// ErrCorrupt rather than returning a wrong answer. Neither poisons the
+// system.
+var (
+	ErrDiskFault = storage.ErrDiskFault // an I/O operation failed; store is read-only degraded
+	ErrCorrupt   = storage.ErrCorrupt   // stored bytes failed checksum verification
 )
 
 // GovernorError is the typed failure raised by the execution governor;
@@ -442,10 +478,12 @@ func New(opts ...Option) *System {
 			dir = filepath.Join(cfg.durDir, "store")
 		}
 		st, err := storage.OpenBackend(name, storage.BackendConfig{
-			Dir:         dir,
-			Policy:      cfg.indexPolicy,
-			CacheBlocks: cfg.cacheBlocks,
-			NoCompress:  cfg.noCompress,
+			Dir:           dir,
+			Policy:        cfg.indexPolicy,
+			CacheBlocks:   cfg.cacheBlocks,
+			NoCompress:    cfg.noCompress,
+			FS:            cfg.fs,
+			ScrubInterval: cfg.scrubEvery,
 		})
 		if err != nil {
 			s.durErr = fmt.Errorf("gluenail: opening %s storage backend: %w", name, err)
@@ -468,6 +506,7 @@ func New(opts ...Option) *System {
 		log, err := wal.Open(cfg.durDir, s.edb, wal.Options{
 			Fsync:           cfg.fsync,
 			CheckpointBytes: cfg.ckptBytes,
+			FS:              cfg.fs,
 		})
 		if err != nil {
 			s.durErr = fmt.Errorf("gluenail: opening durable EDB in %s: %w", cfg.durDir, err)
@@ -501,7 +540,7 @@ func newScratchStore(cfg *config) (storage.Store, error) {
 	if mrr := cfg.budget.MaxRelRows; mrr > 0 && (budget <= 0 || mrr < budget) {
 		budget = mrr
 	}
-	return disk.NewScratch(cfg.spillDir, budget, cfg.indexPolicy, nil)
+	return disk.NewScratchFS(cfg.fs, cfg.spillDir, budget, cfg.indexPolicy, nil)
 }
 
 // Open creates a System whose EDB is durably persisted under dir (see
@@ -659,6 +698,28 @@ func (s *System) execCtx(ctx context.Context) (context.Context, context.CancelFu
 	return ctx, func() {}
 }
 
+// guardStorage converts a storage-fault panic escaping a direct EDB
+// operation (Assert, Retract, Relation, LoadEDB — paths that touch the
+// store without going through the VM) into its typed error. Partial WAL
+// deltas from the failed statement are discarded so the durable log still
+// ends at the previous statement boundary; any other panic is re-raised.
+func (s *System) guardStorage(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	perr, ok := r.(error)
+	if !ok || (!errors.Is(perr, storage.ErrDiskFault) && !errors.Is(perr, storage.ErrCorrupt)) {
+		panic(r)
+	}
+	if s.recorder != nil {
+		s.recorder.Discard()
+	}
+	if *err == nil {
+		*err = perr
+	}
+}
+
 // ctxGovErr converts a context failure into the governor's typed error.
 func ctxGovErr(ctx context.Context) error {
 	switch err := ctx.Err(); {
@@ -681,7 +742,8 @@ func (s *System) LoadFile(path string) error {
 }
 
 // ensure links and compiles all loaded sources.
-func (s *System) ensure() error {
+func (s *System) ensure() (rerr error) {
+	defer s.guardStorage(&rerr)
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -842,9 +904,10 @@ func toTuple(row []any) (term.Tuple, error) {
 // relations. If the program is already compiled and declares the relation
 // with a different arity, the mismatch is reported instead of silently
 // creating a parallel relation.
-func (s *System) Assert(relation any, rows ...[]any) error {
+func (s *System) Assert(relation any, rows ...[]any) (rerr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.guardStorage(&rerr)
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -927,9 +990,10 @@ func (s *System) bulkLoad(bulk storage.BulkLoader, name term.Value, arity int, b
 }
 
 // Retract removes facts from an EDB relation.
-func (s *System) Retract(relation any, rows ...[]any) error {
+func (s *System) Retract(relation any, rows ...[]any) (rerr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.guardStorage(&rerr)
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -950,9 +1014,10 @@ func (s *System) Retract(relation any, rows ...[]any) error {
 }
 
 // Relation returns the current sorted contents of an EDB relation.
-func (s *System) Relation(relation any, arity int) ([][]Value, error) {
+func (s *System) Relation(relation any, arity int) (_ [][]Value, rerr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.guardStorage(&rerr)
 	name, err := toValue(relation)
 	if err != nil {
 		return nil, err
@@ -1347,9 +1412,10 @@ func (s *System) Procs() ([]string, error) {
 
 // SaveEDB writes the EDB to a file (§10: EDB relations persist on disk
 // between runs).
-func (s *System) SaveEDB(path string) error {
+func (s *System) SaveEDB(path string) (rerr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.guardStorage(&rerr)
 	return storage.SaveFile(path, s.edb)
 }
 
@@ -1358,9 +1424,10 @@ func (s *System) SaveEDB(path string) error {
 // the image bypass the WAL and land straight in runs, fenced by a
 // checkpoint on each side (see bulkLoad for the crash-safety argument);
 // small relations still insert row at a time through the journal.
-func (s *System) LoadEDB(path string) error {
+func (s *System) LoadEDB(path string) (rerr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.guardStorage(&rerr)
 	if s.durErr != nil {
 		return s.durErr
 	}
@@ -1416,6 +1483,54 @@ func (s *System) Stats() Stats {
 		st.Exec = s.machine.Stats
 	}
 	return st
+}
+
+// scrubber and degrader are the optional engine faces behind ScrubEDB and
+// Degraded; the disk engine implements both.
+type scrubber interface {
+	Scrub(repair bool) []storage.Finding
+}
+type degrader interface {
+	Degraded() error
+}
+
+// ScrubEDB verifies every checksum in a disk-backed EDB's stored runs,
+// manifest, and intern file, returning one human-readable line per
+// finding (empty means clean). With repair set, auxiliary damage — hash
+// sections, bloom filters, footers — is healed by rewriting the run from
+// its surviving tuple data, and runs with damaged tuple bytes are
+// quarantined (renamed aside and dropped from the relation) rather than
+// left to return wrong answers. Requires the disk backend.
+func (s *System) ScrubEDB(repair bool) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.durErr != nil {
+		return nil, s.durErr
+	}
+	sc, ok := s.edb.(scrubber)
+	if !ok {
+		return nil, fmt.Errorf("gluenail: ScrubEDB requires the disk backend (WithBackend(\"disk\"))")
+	}
+	findings := sc.Scrub(repair)
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.String()
+	}
+	return out, nil
+}
+
+// Degraded reports whether the EDB engine has entered read-only degraded
+// mode after a disk fault: non-nil is the fault that tripped it (an
+// ErrDiskFault). A degraded store keeps serving reads from its durable
+// base; writes fail typed until the store is reopened. Always nil for the
+// main-memory backend.
+func (s *System) Degraded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.edb.(degrader); ok {
+		return d.Degraded()
+	}
+	return nil
 }
 
 func sortTuples(ts []term.Tuple) {

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -9,13 +11,36 @@ import (
 	"gluenail/internal/term"
 )
 
+// ErrConnLost is the typed failure for a dropped server connection: every
+// transport-level error (dial, write, read, EOF) surfaces wrapped in it,
+// so callers classify with errors.Is instead of matching io.EOF or
+// net.OpError by hand. Idempotent reads (hello, query, relation, stats)
+// retry through a bounded reconnect first and only report ErrConnLost
+// once the retries are exhausted; writes and session-stateful ops never
+// retry — the caller must decide whether re-issuing is safe.
+var ErrConnLost = errors.New("server: connection lost")
+
+// Reconnect policy: attempts are spaced by an exponential backoff with
+// jitter so a restarting server is not hammered in lockstep by every
+// client.
+const (
+	reconnectAttempts = 4
+	backoffBase       = 10 * time.Millisecond
+	backoffCap        = time.Second
+)
+
 // Client is a minimal gluenaild client for tests, benchmarks, and the
 // examples: synchronous request/response over one connection. It is not
 // safe for concurrent use — open one client per concurrent session,
 // exactly as the server models it.
 type Client struct {
-	conn   net.Conn
-	nextID uint64
+	conn    net.Conn
+	nextID  uint64
+	addr    string
+	timeout time.Duration
+	// noReconnect disables the idempotent-op reconnect loop (tests that
+	// assert on first-failure behavior).
+	noReconnect bool
 }
 
 // QueryResult is a decoded query answer.
@@ -32,8 +57,8 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn}
-	if _, err := c.roundTrip(&Request{Op: "hello"}); err != nil {
+	c := &Client{conn: conn, addr: addr, timeout: timeout}
+	if _, err := c.send(&Request{Op: "hello"}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -42,13 +67,13 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // Close ends the session and closes the connection.
 func (c *Client) Close() error {
-	_, _ = c.roundTrip(&Request{Op: "close"})
+	_, _ = c.send(&Request{Op: "close"})
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and reads its response, surfacing wire
-// errors as *WireError.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
+// send performs one request/response exchange on the current connection,
+// surfacing wire errors as *WireError and transport failures raw.
+func (c *Client) send(req *Request) (*Response, error) {
 	c.nextID++
 	req.ID = c.nextID
 	if err := WriteFrame(c.conn, req); err != nil {
@@ -70,6 +95,83 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	return &resp, nil
 }
 
+// isWireErr reports whether err is a server-reported failure (the request
+// arrived and was answered) as opposed to a transport failure.
+func isWireErr(err error) bool {
+	var we *WireError
+	return errors.As(err, &we)
+}
+
+// roundTrip is the exchange for non-idempotent operations (writes, loads,
+// prepare/execute, begin/end): a transport failure is never retried —
+// the request may or may not have been applied server-side, so only the
+// caller can decide whether re-issuing is safe — and surfaces as a typed
+// ErrConnLost instead of a raw io.EOF or net error.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	resp, err := c.send(req)
+	if err != nil && !isWireErr(err) {
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	return resp, err
+}
+
+// roundTripIdempotent is the exchange for idempotent reads (hello, query,
+// relation, stats): a transport failure triggers a bounded reconnect —
+// exponential backoff with jitter, a fresh dial, a new hello handshake —
+// and one re-send per attempt. Reconnecting opens a new server session,
+// which is sound exactly because these operations carry no session state.
+func (c *Client) roundTripIdempotent(req *Request) (*Response, error) {
+	resp, err := c.send(req)
+	if c.noReconnect {
+		return c.finish(resp, err)
+	}
+	for attempt := 0; err != nil && !isWireErr(err) && attempt < reconnectAttempts; attempt++ {
+		time.Sleep(backoff(attempt))
+		if derr := c.redial(); derr != nil {
+			err = derr
+			continue
+		}
+		resp, err = c.send(req)
+	}
+	return c.finish(resp, err)
+}
+
+// finish types any remaining transport failure as ErrConnLost.
+func (c *Client) finish(resp *Response, err error) (*Response, error) {
+	if err != nil && !isWireErr(err) {
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	return resp, err
+}
+
+// backoff returns the pause before reconnect attempt n: an exponential
+// base with up to 50% random jitter, capped at backoffCap.
+func backoff(n int) time.Duration {
+	d := backoffBase << n
+	if d > backoffCap {
+		d = backoffCap
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// redial replaces the connection with a fresh dial + hello handshake.
+func (c *Client) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	old := c.conn
+	c.conn = conn
+	if old != nil {
+		old.Close()
+	}
+	if _, err := c.send(&Request{Op: "hello"}); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
 func decodeResult(resp *Response) (*QueryResult, error) {
 	res := &QueryResult{Vars: resp.Vars, CSN: resp.CSN}
 	res.Rows = make([][]term.Value, len(resp.Rows))
@@ -89,7 +191,7 @@ func decodeResult(resp *Response) (*QueryResult, error) {
 
 // Query evaluates a goal conjunction on a server-side snapshot.
 func (c *Client) Query(goals string) (*QueryResult, error) {
-	resp, err := c.roundTrip(&Request{Op: "query", Goals: goals})
+	resp, err := c.roundTripIdempotent(&Request{Op: "query", Goals: goals})
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +290,7 @@ func (c *Client) Load(src string) error {
 // Relation dumps an EDB relation (sorted) from a snapshot.
 func (c *Client) Relation(relation string, arity int) (*QueryResult, error) {
 	rel := WireValue{K: "s", S: relation}
-	resp, err := c.roundTrip(&Request{Op: "relation", Rel: &rel, Arity: arity})
+	resp, err := c.roundTripIdempotent(&Request{Op: "relation", Rel: &rel, Arity: arity})
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +299,7 @@ func (c *Client) Relation(relation string, arity int) (*QueryResult, error) {
 
 // Stats fetches server counters and the current CSN.
 func (c *Client) Stats() (map[string]int64, uint64, error) {
-	resp, err := c.roundTrip(&Request{Op: "stats"})
+	resp, err := c.roundTripIdempotent(&Request{Op: "stats"})
 	if err != nil {
 		return nil, 0, err
 	}

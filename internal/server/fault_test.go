@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"gluenail"
+	"gluenail/internal/storage/fsio"
+)
+
+// Server-side failure semantics: a degraded disk store keeps answering
+// reads while writes come back with the disk_fault wire code, and the
+// client survives a dropped connection on idempotent ops via its bounded
+// reconnect (never on non-idempotent ones).
+
+// TestServerDegradedModeServesReads injects a disk fault under a served
+// system and checks the wire contract.
+func TestServerDegradedModeServesReads(t *testing.T) {
+	ffs := fsio.NewFaultFS(fsio.OS)
+	sys := gluenail.New(gluenail.WithBackend("disk"), gluenail.WithFS(ffs))
+	if err := sys.Load(`edb edge(X,Y); edb big(X,Y);` + "\ntc(X,Y) :- edge(X,Y).\n"); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := startServer(t, Config{System: sys})
+	c := dial(t, addr)
+
+	if err := c.Assert("edge", []any{1, 2}, []any{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(fsio.Fault{Op: fsio.OpWrite, Path: "run-", Err: syscall.ENOSPC})
+
+	// A bulk-size write hits the fault: the session must answer with the
+	// disk_fault code, not a poisoned or panic code, and must stay up.
+	big := make([][]any, 4096)
+	for i := range big {
+		big[i] = []any{i, i}
+	}
+	err := c.Assert("big", big...)
+	var we *WireError
+	if !errors.As(err, &we) || we.Code != CodeDiskFault {
+		t.Fatalf("faulted assert over the wire: got %v, want code %q", err, CodeDiskFault)
+	}
+
+	// Reads keep serving on the same session.
+	res, err := c.Query("tc(1, X)")
+	if err != nil {
+		t.Fatalf("read on degraded store: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("read on degraded store returned nothing")
+	}
+	if _, err := c.Relation("edge", 2); err != nil {
+		t.Fatalf("relation dump on degraded store: %v", err)
+	}
+
+	// Every further write is refused with the same typed code.
+	err = c.Assert("edge", []any{9, 9})
+	if !errors.As(err, &we) || we.Code != CodeDiskFault {
+		t.Fatalf("degraded assert: got %v, want code %q", err, CodeDiskFault)
+	}
+}
+
+// TestClientReconnectIdempotent kills the client's connection out from
+// under it and checks an idempotent Query transparently redials while a
+// non-idempotent Assert reports a typed ErrConnLost without retrying.
+func TestClientReconnectIdempotent(t *testing.T) {
+	addr, _, sys := startServer(t, Config{})
+	if err := sys.Assert("edge", []any{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+
+	// Sever the transport: the next send fails, the reconnect loop dials
+	// a fresh session and re-sends.
+	c.conn.Close()
+	res, err := c.Query("edge(1, X)")
+	if err != nil {
+		t.Fatalf("query across a dropped connection: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("reconnected query rows = %d, want 1", len(res.Rows))
+	}
+
+	// Non-idempotent ops never retry: sever again and Assert must fail
+	// typed, leaving the retry decision to the caller.
+	c.conn.Close()
+	err = c.Assert("edge", []any{3, 4})
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("assert across a dropped connection: got %v, want ErrConnLost", err)
+	}
+	// The server never saw the write.
+	if rows, err := sys.Relation("edge", 2); err != nil || len(rows) != 1 {
+		t.Fatalf("non-idempotent op was applied anyway: %v rows, %v", rows, err)
+	}
+
+	// The client object recovers for the next idempotent call.
+	if _, _, err := c.Stats(); err != nil {
+		t.Fatalf("stats after failed assert: %v", err)
+	}
+}
+
+// TestClientReconnectExhaustion points a client at a dead address and
+// checks the bounded retry gives up with ErrConnLost instead of hanging.
+func TestClientReconnectExhaustion(t *testing.T) {
+	addr, srv, _ := startServer(t, Config{})
+	c := dial(t, addr)
+	// Stop the server so redials fail outright.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.Close()
+
+	start := time.Now()
+	_, err := c.Query("edge(1, X)")
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("query against dead server: got %v, want ErrConnLost", err)
+	}
+	// Backoff is bounded: 4 attempts at 10ms base must finish well under
+	// the cap-sized worst case.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("reconnect exhaustion took %v", elapsed)
+	}
+}

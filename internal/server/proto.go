@@ -120,6 +120,8 @@ const (
 	CodeReadOnlyTxn  = "read_only_txn" // write attempted inside begin/end
 	CodeAdmission    = "admission"     // too many concurrent statements
 	CodeShutdown     = "shutting_down" // server is draining
+	CodeDiskFault    = "disk_fault"    // an I/O fault; the store is read-only degraded
+	CodeCorrupt      = "corrupt"       // stored bytes failed checksum verification
 )
 
 // WireError is the error payload: a stable code, the human-readable
@@ -137,8 +139,11 @@ func (e *WireError) Error() string {
 }
 
 // ToWireError maps any server-side failure to its wire form. Governed
-// failures keep their classification and location; everything else
-// becomes CodeQueryError (the statement failed) with the message intact.
+// failures keep their classification and location; storage faults map to
+// their own codes whether or not the governor wrapped them (a degraded
+// write fails directly with ErrDiskFault, a corrupt block read inside a
+// query arrives wrapped in a GovernorError); everything else becomes
+// CodeQueryError (the statement failed) with the message intact.
 func ToWireError(err error) *WireError {
 	var we *WireError
 	if errors.As(err, &we) {
@@ -148,7 +153,23 @@ func ToWireError(err error) *WireError {
 	if errors.As(err, &ge) {
 		return &WireError{Code: governorCode(ge), Message: ge.Error(), Proc: ge.Proc, Stmt: ge.Stmt}
 	}
+	if code := storageCode(err); code != "" {
+		return &WireError{Code: code, Message: err.Error()}
+	}
 	return &WireError{Code: CodeQueryError, Message: err.Error()}
+}
+
+// storageCode classifies a storage-fault error chain; "" means neither
+// sentinel is present.
+func storageCode(err error) string {
+	switch {
+	case errors.Is(err, gluenail.ErrCorrupt):
+		return CodeCorrupt
+	case errors.Is(err, gluenail.ErrDiskFault):
+		return CodeDiskFault
+	default:
+		return ""
+	}
 }
 
 // governorCode maps a GovernorError's sentinel to its wire code.
@@ -167,6 +188,9 @@ func governorCode(ge *gluenail.GovernorError) string {
 	case errors.Is(ge.Limit, gluenail.ErrPoisoned):
 		return CodePoisoned
 	default:
+		if code := storageCode(ge.Limit); code != "" {
+			return code
+		}
 		return CodePanic
 	}
 }

@@ -17,7 +17,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
@@ -130,6 +132,13 @@ type BackendConfig struct {
 	// NoCompress disables a disk-resident engine's block compression
 	// (blocks are stored raw). Reads handle both forms regardless.
 	NoCompress bool
+	// FS routes the engine's file I/O; nil selects the real filesystem
+	// (fsio.OS). Tests swap in a fault-injecting implementation.
+	FS fsio.FS
+	// ScrubInterval, when positive, asks a disk-resident engine to run a
+	// background scrubber verifying one stored run's checksums per
+	// interval. Engines without persistent runs ignore it.
+	ScrubInterval time.Duration
 }
 
 var (

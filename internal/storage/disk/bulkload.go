@@ -35,13 +35,16 @@ const bulkRunRows = 1 << 20
 // normal flush size, appended in input order so enumeration stays
 // byte-identical with the row-at-a-time path.
 func (s *Store) BulkLoad(name term.Value, arity int, rows []term.Tuple) (int, error) {
+	if err := s.Degraded(); err != nil {
+		return 0, err
+	}
 	r := s.ensure(name, arity, false)
 	// Order parity with the row-at-a-time path: rows already sitting in
 	// the memtable were inserted earlier, so they must enumerate before
 	// the batch. Flushing them to a run first keeps runs-then-memtable
 	// order correct once the batch lands in runs of its own.
 	if err := r.flush(true); err != nil {
-		return 0, err
+		return 0, s.failWrite(err)
 	}
 	// The dedup targets are fixed up front: the memtable (just flushed,
 	// so normally empty) and the runs that predate the batch. Runs the
@@ -122,7 +125,7 @@ nextRow:
 		seq := s.nextRunSeq()
 		rn, err := createRun(s, seq, arity, kept[lo:hi], keptH[lo:hi], true)
 		if err != nil {
-			return lo, err
+			return lo, s.failWrite(err)
 		}
 		r.relMu.Lock()
 		old := *r.runs.Load()

@@ -19,7 +19,6 @@
 package disk
 
 import (
-	"os"
 	"sync/atomic"
 )
 
@@ -40,7 +39,8 @@ func runTier(liveRows int) int {
 // test systems that skip Close leak no goroutine until they actually
 // spill.
 func (s *Store) maybeCompact(r *Rel, nruns int) {
-	if s.opts.NoCompactor || nruns < s.opts.compactAfter() || s.closed.Load() {
+	if s.opts.NoCompactor || nruns < s.opts.compactAfter() || s.closed.Load() ||
+		s.degraded.Load() != nil {
 		return
 	}
 	s.compactStart.Do(func() {
@@ -138,7 +138,10 @@ func (s *Store) compactOne(r *Rel, lo, hi int) bool {
 	}
 	merged, err := r.mergeRuns(window, s.commitCSN.Load(), false)
 	if err != nil {
-		// Compaction is advisory: on error, leave the runs as they are.
+		// Compaction is advisory: on error, leave the runs as they are —
+		// but a disk fault still flips the store to read-only, because the
+		// device that failed a merge write will fail a flush next.
+		s.setDegraded(err)
 		return false
 	}
 	r.relMu.Lock()
@@ -160,7 +163,7 @@ func (s *Store) compactOne(r *Rel, lo, hi int) bool {
 	if stale {
 		r.relMu.Unlock()
 		if merged != nil {
-			os.Remove(merged.path)
+			_ = s.fsys.Remove(merged.path)
 			merged.release()
 		}
 		return false

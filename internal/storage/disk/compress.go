@@ -148,6 +148,12 @@ func decodeRawRows(body []byte, arity int) ([]term.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The count is attacker-controlled on a corrupt block: blocks never
+	// exceed rowsPerBlock rows, so anything larger is damage — reject it
+	// before sizing an allocation (or looping) on it.
+	if nrows > rowsPerBlock {
+		return nil, fmt.Errorf("disk: block claims %d rows (max %d)", nrows, rowsPerBlock)
+	}
 	rows := make([]term.Tuple, 0, nrows)
 	for i := uint64(0); i < nrows; i++ {
 		t := make(term.Tuple, arity)
@@ -165,6 +171,9 @@ func decodePackedRows(d *atomDict, body []byte, arity int) ([]term.Tuple, error)
 	nrows, n := binary.Uvarint(body)
 	if n <= 0 {
 		return nil, fmt.Errorf("disk: truncated packed block")
+	}
+	if nrows > rowsPerBlock {
+		return nil, fmt.Errorf("disk: block claims %d rows (max %d)", nrows, rowsPerBlock)
 	}
 	body = body[n:]
 	rows := make([]term.Tuple, 0, nrows)
@@ -218,7 +227,9 @@ func readPacked(d *atomDict, body []byte, prev *int64) (term.Value, []byte, erro
 		return v, body[n:], nil
 	case pvStr:
 		sz, n := binary.Uvarint(body)
-		if n <= 0 || len(body) < n+int(sz) {
+		// Compare in uint64: int(sz) on a corrupt length can overflow
+		// negative and sail past a len(body) < n+int(sz) check.
+		if n <= 0 || sz > uint64(len(body)-n) {
 			return term.Value{}, nil, fmt.Errorf("disk: truncated packed string")
 		}
 		s := string(body[n : n+int(sz)])
@@ -229,7 +240,9 @@ func readPacked(d *atomDict, body []byte, prev *int64) (term.Value, []byte, erro
 			return term.Value{}, nil, err
 		}
 		nargs, n := binary.Uvarint(rest)
-		if n <= 0 {
+		// Every arg costs at least one byte, so a count beyond the
+		// remaining bytes is damage — reject before allocating on it.
+		if n <= 0 || nargs > uint64(len(rest)-n) {
 			return term.Value{}, nil, fmt.Errorf("disk: truncated packed compound")
 		}
 		rest = rest[n:]

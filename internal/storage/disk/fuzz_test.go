@@ -1,0 +1,44 @@
+package disk
+
+import (
+	"testing"
+
+	"gluenail/internal/term"
+)
+
+// FuzzDecodeBlockPayload throws arbitrary bytes at the RUN2 block
+// decoder — the first parser any stored tuple byte passes through. The
+// contract under fuzzing: never panic, never loop; either a typed error
+// or rows of the requested arity. CRC framing normally screens the input,
+// but the decoder must hold on its own (a block can be corrupted in
+// memory after the CRC check, and fsck feeds it frame-walk guesses).
+func FuzzDecodeBlockPayload(f *testing.F) {
+	dict := &atomDict{ids: make(map[string]uint32)}
+	dict.publish()
+	rows := []term.Tuple{
+		{term.NewInt(1), term.Intern("a")},
+		{term.NewInt(2), term.Intern("b")},
+	}
+	for _, row := range rows {
+		dict.idFor(row[1])
+	}
+	f.Add(encodeBlockPayload(dict, rows, true), 2)
+	f.Add(encodeBlockPayload(dict, rows, false), 2)
+	f.Add([]byte{blockEncPacked, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 1)
+	f.Add([]byte{}, 0)
+
+	f.Fuzz(func(t *testing.T, payload []byte, arity int) {
+		if arity < 0 || arity > 8 {
+			arity = (arity%8 + 8) % 8
+		}
+		out, err := decodeBlockPayload(dict, payload, arity)
+		if err != nil {
+			return
+		}
+		for _, row := range out {
+			if len(row) != arity {
+				t.Fatalf("decoded row of arity %d, asked for %d", len(row), arity)
+			}
+		}
+	})
+}

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
@@ -49,24 +51,25 @@ type atomDict struct {
 	pub  atomic.Pointer[[]term.Value] // reader-visible snapshot of vals
 	prev string                       // last appended string, for prefix coding
 
-	f     *os.File // nil = memory-only (ephemeral store)
-	pend  []byte   // records appended since the last sync
+	f     fsio.File // nil = memory-only (ephemeral store)
+	path  string
+	pend  []byte // records appended since the last sync
 	dirty bool
 }
 
 // newAtomDict opens (or creates) the dictionary under dir. An empty dir
 // keeps it memory-only. Corrupt or torn trailing records are truncated
 // away with a warning; preceding records stay valid.
-func newAtomDict(dir string) (*atomDict, error) {
+func newAtomDict(fsys fsio.FS, dir string) (*atomDict, error) {
 	d := &atomDict{ids: make(map[string]uint32)}
 	d.publish()
 	if dir == "" {
 		return d, nil
 	}
 	path := filepath.Join(dir, internFileName)
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, err
+		return nil, storage.IOFault("intern", path, err)
 	}
 	good := 0
 	if len(data) >= len(internMagic) && string(data[:len(internMagic)]) == internMagic {
@@ -86,33 +89,34 @@ func newAtomDict(dir string) (*atomDict, error) {
 		fmt.Fprintf(os.Stderr, "gluenail: disk: %s: bad intern table header, rebuilding\n", path)
 		good = 0
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("intern", path, err)
 	}
 	if good == 0 {
 		// Fresh or unreadable file: (re)write the header. Entries already
 		// referenced by compressed runs cannot exist in this case — runs
 		// are only durable after the dictionary naming their atoms is.
 		if err := f.Truncate(0); err != nil {
-			f.Close()
-			return nil, err
+			_ = f.Close()
+			return nil, storage.IOFault("intern", path, err)
 		}
 		if _, err := f.WriteAt([]byte(internMagic), 0); err != nil {
-			f.Close()
-			return nil, err
+			_ = f.Close()
+			return nil, storage.IOFault("intern", path, err)
 		}
 		good = len(internMagic)
 	}
 	if err := f.Truncate(int64(good)); err != nil {
-		f.Close()
-		return nil, err
+		_ = f.Close()
+		return nil, storage.IOFault("intern", path, err)
 	}
 	if _, err := f.Seek(int64(good), 0); err != nil {
-		f.Close()
-		return nil, err
+		_ = f.Close()
+		return nil, storage.IOFault("intern", path, err)
 	}
 	d.f = f
+	d.path = path
 	return d, nil
 }
 
@@ -219,10 +223,10 @@ func (d *atomDict) sync() error {
 		return nil
 	}
 	if _, err := d.f.Write(d.pend); err != nil {
-		return err
+		return storage.IOFault("intern", d.path, err)
 	}
 	if err := d.f.Sync(); err != nil {
-		return err
+		return storage.IOFault("intern", d.path, err)
 	}
 	d.pend = d.pend[:0]
 	d.dirty = false
@@ -231,11 +235,16 @@ func (d *atomDict) sync() error {
 
 // close releases the file handle (staged but unsynced records are
 // discarded: nothing durable references them).
-func (d *atomDict) close() {
+func (d *atomDict) close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.f != nil {
-		d.f.Close()
-		d.f = nil
+	if d.f == nil {
+		return nil
 	}
+	err := d.f.Close()
+	d.f = nil
+	if err != nil {
+		return storage.IOFault("intern", d.path, err)
+	}
+	return nil
 }

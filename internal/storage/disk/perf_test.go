@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
@@ -126,7 +127,7 @@ func randomValue(rng *rand.Rand, depth int) term.Value {
 // blocks survive encode/decode bit-exactly under both encodings, and the
 // packed form actually engages for the data it targets.
 func TestBlockPayloadRoundTrip(t *testing.T) {
-	d, err := newAtomDict("")
+	d, err := newAtomDict(fsio.OS, "")
 	if err != nil {
 		t.Fatal(err)
 	}

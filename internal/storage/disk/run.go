@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
@@ -66,7 +67,7 @@ type blockMeta struct {
 type run struct {
 	seq    uint64
 	path   string
-	f      *os.File
+	f      fsio.File
 	arity  int
 	nrows  int32
 	blocks []blockMeta
@@ -101,7 +102,9 @@ func (r *run) retain() { r.refs.Add(1) }
 // independent.
 func (r *run) release() {
 	if r.refs.Add(-1) == 0 {
-		r.f.Close()
+		// Read-only handle over durable (or already-retired) bytes: a
+		// close failure can lose nothing, so it is deliberately dropped.
+		_ = r.f.Close()
 	}
 }
 
@@ -185,10 +188,11 @@ func (r *run) ensureIndex(st *storage.Stats) error {
 	}
 	buf := make([]byte, int(r.nrows)*8+4)
 	if _, err := r.f.ReadAt(buf, r.hashOff); err != nil {
-		return fmt.Errorf("disk: reading %s hash section: %w", r.path, err)
+		return storage.IOFault("run-read", r.path, err)
 	}
 	if crc32.ChecksumIEEE(buf[:len(buf)-4]) != binary.LittleEndian.Uint32(buf[len(buf)-4:]) {
-		return fmt.Errorf("disk: %s hash section failed checksum", r.path)
+		return &storage.CorruptError{Artifact: "run-hash-section", Path: r.path, Run: r.seq,
+			Offset: r.hashOff, Detail: "hash section checksum mismatch"}
 	}
 	hashes := make([]uint64, r.nrows)
 	for i := range hashes {
@@ -270,28 +274,30 @@ func createRun(s *Store, seq uint64, arity int, rows []term.Tuple, hashes []uint
 	}
 	path := filepath.Join(s.dir, runName(seq))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("run-write", tmp, err)
 	}
-	if _, err := f.Write(data); err == nil && sync {
+	_, err = f.Write(data)
+	if err == nil && sync {
 		err = f.Sync()
-	} else if err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return nil, err
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = s.fsys.Remove(tmp)
+		return nil, storage.IOFault("run-write", tmp, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return nil, err
+		_ = s.fsys.Remove(tmp)
+		return nil, storage.IOFault("run-write", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return nil, err
+	if err := s.fsys.Rename(tmp, path); err != nil {
+		_ = s.fsys.Remove(tmp)
+		return nil, storage.IOFault("run-write", path, err)
 	}
-	rf, err := os.Open(path)
+	rf, err := s.fsys.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("run-write", path, err)
 	}
 	r := &run{
 		seq: seq, path: path, f: rf, arity: arity,
@@ -318,152 +324,186 @@ func createRun(s *Store, seq uint64, arity int, rows []term.Tuple, hashes []uint
 // from a manifest were fsynced before the manifest named them, and
 // unreachable ones are swept before opening.
 func openRun(s *Store, path string, seq uint64, observe func(term.Tuple)) (*run, error) {
-	f, err := os.Open(path)
+	f, err := s.fsys.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("run-open", path, err)
 	}
 	var magic [len(runMagic2)]byte
 	if _, err := f.ReadAt(magic[:], 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("disk: %s: reading magic: %w", path, err)
+		_ = f.Close()
+		return nil, storage.IOFault("run-open", path, err)
 	}
 	switch string(magic[:]) {
 	case runMagic2:
 		r, err := openRun2(s, f, path, seq)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		return r, nil
 	case runMagic1:
 		r, err := openRun1(s, f, path, seq, observe)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		return r, nil
 	}
-	f.Close()
-	return nil, fmt.Errorf("disk: %s: bad run magic", path)
+	_ = f.Close()
+	return nil, &storage.CorruptError{Artifact: "run-header", Path: path, Run: seq,
+		Offset: 0, Detail: "bad run magic"}
 }
 
 // openRun2 loads a footer-indexed run from its tail.
-func openRun2(s *Store, f *os.File, path string, seq uint64) (*run, error) {
+func openRun2(s *Store, f fsio.File, path string, seq uint64) (*run, error) {
+	corrupt := func(artifact string, off int64, detail string) error {
+		return &storage.CorruptError{Artifact: artifact, Path: path, Run: seq,
+			Offset: off, Detail: detail}
+	}
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("run-open", path, err)
 	}
 	if fi.Size() < int64(runTrailerLen) {
-		return nil, fmt.Errorf("disk: %s: truncated run trailer", path)
+		return nil, corrupt("run-trailer", fi.Size(), "truncated run trailer")
 	}
+	trailerOff := fi.Size() - int64(runTrailerLen)
 	var trailer [runTrailerLen]byte
-	if _, err := f.ReadAt(trailer[:], fi.Size()-int64(runTrailerLen)); err != nil {
-		return nil, err
+	if _, err := f.ReadAt(trailer[:], trailerOff); err != nil {
+		return nil, storage.IOFault("run-open", path, err)
 	}
 	if string(trailer[16:]) != runTrailerMagic {
-		return nil, fmt.Errorf("disk: %s: bad run trailer magic", path)
+		return nil, corrupt("run-trailer", trailerOff, "bad run trailer magic")
 	}
 	footOff := int64(binary.LittleEndian.Uint64(trailer[0:8]))
 	footLen := int64(binary.LittleEndian.Uint32(trailer[8:12]))
 	sum := binary.LittleEndian.Uint32(trailer[12:16])
 	if footOff < int64(len(runMagic2)) || footOff+footLen+int64(runTrailerLen) != fi.Size() {
-		return nil, fmt.Errorf("disk: %s: bad run footer bounds", path)
+		return nil, corrupt("run-trailer", trailerOff, "bad run footer bounds")
 	}
 	foot := make([]byte, footLen)
 	if _, err := f.ReadAt(foot, footOff); err != nil {
-		return nil, err
+		return nil, storage.IOFault("run-open", path, err)
 	}
 	if crc32.ChecksumIEEE(foot) != sum {
-		return nil, fmt.Errorf("disk: %s: run footer failed checksum", path)
+		return nil, corrupt("run-footer", footOff, "run footer checksum mismatch")
 	}
 	// Arity lives in the header; it is a handful of bytes.
 	var head [len(runMagic2) + binary.MaxVarintLen64]byte
 	n, err := f.ReadAt(head[:], 0)
 	if err != nil && n < len(runMagic2)+1 {
-		return nil, err
+		return nil, storage.IOFault("run-open", path, err)
 	}
 	arity, an := binary.Uvarint(head[len(runMagic2):n])
 	if an <= 0 {
-		return nil, fmt.Errorf("disk: %s: truncated arity", path)
+		return nil, corrupt("run-header", int64(len(runMagic2)), "truncated arity")
 	}
 	r := &run{seq: seq, path: path, f: f, arity: int(arity), v2: true, dict: s.dict}
 
-	rd := foot
-	nblocks, n2 := binary.Uvarint(rd)
-	if n2 <= 0 {
-		return nil, fmt.Errorf("disk: %s: truncated run footer", path)
+	rf, artifact, detail := parseRunFooter(foot, int64(len(runMagic2)+an))
+	if detail != "" {
+		return nil, corrupt(artifact, footOff, detail)
 	}
-	rd = rd[n2:]
-	off := int64(len(runMagic2) + an)
-	for i := uint64(0); i < nblocks; i++ {
-		psize, n2 := binary.Uvarint(rd)
-		if n2 <= 0 {
-			return nil, fmt.Errorf("disk: %s: truncated run footer", path)
-		}
-		rd = rd[n2:]
-		brows, n3 := binary.Uvarint(rd)
-		if n3 <= 0 {
-			return nil, fmt.Errorf("disk: %s: truncated run footer", path)
-		}
-		rd = rd[n3:]
-		r.blocks = append(r.blocks, blockMeta{off: off, size: int32(psize) + 8, nrows: int32(brows)})
-		off += int64(psize) + 8
-	}
-	nrows, n2 := binary.Uvarint(rd)
-	if n2 <= 0 {
-		return nil, fmt.Errorf("disk: %s: truncated run footer", path)
-	}
-	rd = rd[n2:]
-	r.nrows = int32(nrows)
-	hashOff, n2 := binary.Uvarint(rd)
-	if n2 <= 0 {
-		return nil, fmt.Errorf("disk: %s: truncated run footer", path)
-	}
-	rd = rd[n2:]
-	r.hashOff = int64(hashOff)
-	bloom, _, ok := readBloom(rd)
-	if !ok {
-		return nil, fmt.Errorf("disk: %s: bad run bloom filter", path)
-	}
+	r.blocks = rf.blocks
+	r.nrows = rf.nrows
+	r.hashOff = rf.hashOff
 	if !s.opts.NoBloom {
-		r.bloom = bloom
+		r.bloom = rf.bloom
 	}
 	r.synced.Store(true) // manifest-reachable, so it was fsynced
 	r.refs.Store(1)
 	return r, nil
 }
 
+// runFooter is the parsed form of a RUN2 footer.
+type runFooter struct {
+	blocks  []blockMeta
+	nrows   int32
+	hashOff int64
+	bloom   *bloomFilter
+}
+
+// parseRunFooter decodes a (CRC-verified) RUN2 footer whose first block
+// starts at dataStart. On failure it returns the artifact class
+// ("run-footer" or "run-bloom") and a non-empty detail.
+func parseRunFooter(foot []byte, dataStart int64) (runFooter, string, string) {
+	var rf runFooter
+	rd := foot
+	nblocks, n := binary.Uvarint(rd)
+	if n <= 0 {
+		return rf, "run-footer", "truncated run footer"
+	}
+	rd = rd[n:]
+	off := dataStart
+	for i := uint64(0); i < nblocks; i++ {
+		psize, n2 := binary.Uvarint(rd)
+		if n2 <= 0 {
+			return rf, "run-footer", "truncated run footer"
+		}
+		rd = rd[n2:]
+		brows, n3 := binary.Uvarint(rd)
+		if n3 <= 0 {
+			return rf, "run-footer", "truncated run footer"
+		}
+		rd = rd[n3:]
+		rf.blocks = append(rf.blocks, blockMeta{off: off, size: int32(psize) + 8, nrows: int32(brows)})
+		off += int64(psize) + 8
+	}
+	nrows, n := binary.Uvarint(rd)
+	if n <= 0 {
+		return rf, "run-footer", "truncated run footer"
+	}
+	rd = rd[n:]
+	rf.nrows = int32(nrows)
+	hashOff, n := binary.Uvarint(rd)
+	if n <= 0 {
+		return rf, "run-footer", "truncated run footer"
+	}
+	rd = rd[n:]
+	rf.hashOff = int64(hashOff)
+	bloom, _, ok := readBloom(rd)
+	if !ok {
+		return rf, "run-bloom", "bad run bloom filter"
+	}
+	rf.bloom = bloom
+	return rf, "", ""
+}
+
 // openRun1 loads a legacy run by scanning it: offsets, hashes, and chains
 // are rebuilt from the decoded blocks, and a bloom filter is built in
 // memory so probe paths treat both formats alike.
-func openRun1(s *Store, f *os.File, path string, seq uint64, observe func(term.Tuple)) (*run, error) {
-	data, err := os.ReadFile(path)
+func openRun1(s *Store, f fsio.File, path string, seq uint64, observe func(term.Tuple)) (*run, error) {
+	data, err := s.fsys.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("run-open", path, err)
+	}
+	corrupt := func(artifact string, off int64, detail string) error {
+		return &storage.CorruptError{Artifact: artifact, Path: path, Run: seq,
+			Offset: off, Detail: detail}
 	}
 	pos := len(runMagic1)
 	arityU, n := binary.Uvarint(data[pos:])
 	if n <= 0 {
-		return nil, fmt.Errorf("disk: %s: truncated arity", path)
+		return nil, corrupt("run-header", int64(pos), "truncated arity")
 	}
 	pos += n
 	r := &run{seq: seq, path: path, f: f, arity: int(arityU), dict: s.dict}
 	for pos < len(data) {
 		if pos+8 > len(data) {
-			return nil, fmt.Errorf("disk: %s: truncated block header at %d", path, pos)
+			return nil, corrupt("run-block", int64(pos), "truncated block header")
 		}
 		size := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
 		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
 		if pos+8+size > len(data) {
-			return nil, fmt.Errorf("disk: %s: truncated block at %d", path, pos)
+			return nil, corrupt("run-block", int64(pos), "truncated block")
 		}
 		payload := data[pos+8 : pos+8+size]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return nil, fmt.Errorf("disk: %s: block checksum mismatch at %d", path, pos)
+			return nil, corrupt("run-block", int64(pos), "block checksum mismatch")
 		}
 		rows, err := decodeLegacyBlock(payload)
 		if err != nil {
-			return nil, fmt.Errorf("disk: %s: %w", path, err)
+			return nil, corrupt("run-block", int64(pos), err.Error())
 		}
 		r.blocks = append(r.blocks, blockMeta{off: int64(pos), size: int32(size) + 8, nrows: int32(len(rows))})
 		for _, t := range rows {
@@ -493,7 +533,15 @@ func decodeLegacyBlock(payload []byte) ([]term.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]term.Tuple, 0, nrows)
+	// Legacy blocks carry no fixed row bound, but every row costs at
+	// least one byte — clamp the pre-allocation so a corrupt count cannot
+	// size an arbitrary slice (the decode loop then fails naturally when
+	// the stream runs dry).
+	capHint := nrows
+	if capHint > uint64(len(payload)) {
+		capHint = uint64(len(payload))
+	}
+	rows := make([]term.Tuple, 0, capHint)
 	for i := uint64(0); i < nrows; i++ {
 		t, err := term.ReadTuple(br)
 		if err != nil {
@@ -524,12 +572,17 @@ func (r *run) block(c *blockCache, st *storage.Stats, bi int) ([]term.Tuple, err
 	bm := r.blocks[bi]
 	buf := make([]byte, bm.size)
 	if _, err := r.f.ReadAt(buf, bm.off); err != nil {
-		return nil, fmt.Errorf("disk: reading %s block %d: %w", r.path, bi, err)
+		return nil, storage.IOFault("run-read", r.path, err)
 	}
 	size := int(binary.LittleEndian.Uint32(buf[0:4]))
 	sum := binary.LittleEndian.Uint32(buf[4:8])
-	if size != len(buf)-8 || crc32.ChecksumIEEE(buf[8:]) != sum {
-		return nil, fmt.Errorf("disk: %s block %d failed checksum", r.path, bi)
+	if size != len(buf)-8 {
+		return nil, &storage.CorruptError{Artifact: "block-header", Path: r.path, Run: r.seq,
+			Offset: bm.off, Detail: fmt.Sprintf("block %d length field does not match footer", bi)}
+	}
+	if crc32.ChecksumIEEE(buf[8:]) != sum {
+		return nil, &storage.CorruptError{Artifact: "run-block", Path: r.path, Run: r.seq,
+			Offset: bm.off, Detail: fmt.Sprintf("block %d checksum mismatch", bi)}
 	}
 	var rows []term.Tuple
 	var err error
@@ -539,7 +592,8 @@ func (r *run) block(c *blockCache, st *storage.Stats, bi int) ([]term.Tuple, err
 		rows, err = decodeLegacyBlock(buf[8:])
 	}
 	if err != nil {
-		return nil, fmt.Errorf("disk: %s block %d: %w", r.path, bi, err)
+		return nil, &storage.CorruptError{Artifact: "run-block", Path: r.path, Run: r.seq,
+			Offset: bm.off, Detail: fmt.Sprintf("block %d: %v", bi, err)}
 	}
 	atomic.AddInt64(&st.BlocksRead, 1)
 	c.put(r.seq, int32(bi), rows)

@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 )
 
 var spillSeq atomic.Uint64
@@ -29,15 +30,25 @@ var spillSeq atomic.Uint64
 // of dead processes under parentDir are swept first. Close removes the
 // store's directory.
 func NewScratch(parentDir string, budgetRows int, policy storage.IndexPolicy, stats *storage.Stats) (*Store, error) {
-	if err := os.MkdirAll(parentDir, 0o755); err != nil {
-		return nil, err
+	return NewScratchFS(nil, parentDir, budgetRows, policy, stats)
+}
+
+// NewScratchFS is NewScratch over an explicit filesystem (nil selects the
+// real one), so fault-injection tests can reach the spill path too.
+func NewScratchFS(fsys fsio.FS, parentDir string, budgetRows int, policy storage.IndexPolicy, stats *storage.Stats) (*Store, error) {
+	if fsys == nil {
+		fsys = fsio.OS
 	}
-	SweepStaleSpills(parentDir)
+	if err := fsys.MkdirAll(parentDir, 0o755); err != nil {
+		return nil, storage.IOFault("spill", parentDir, err)
+	}
+	sweepStaleSpills(fsys, parentDir)
 	dir := filepath.Join(parentDir, fmt.Sprintf("spill-%d-%d", os.Getpid(), spillSeq.Add(1)))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, storage.IOFault("spill", dir, err)
 	}
 	return Open(dir, Options{
+		FS:        fsys,
 		Policy:    policy,
 		FlushRows: budgetRows,
 		Ephemeral: true,
@@ -62,7 +73,11 @@ func NewScratch(parentDir string, budgetRows int, policy storage.IndexPolicy, st
 // say) are logged and skipped — a stale directory costs disk space, not
 // correctness, and must not fail the session creating a fresh scratch.
 func SweepStaleSpills(parentDir string) {
-	entries, err := os.ReadDir(parentDir)
+	sweepStaleSpills(fsio.OS, parentDir)
+}
+
+func sweepStaleSpills(fsys fsio.FS, parentDir string) {
+	entries, err := fsys.ReadDir(parentDir)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			fmt.Fprintf(os.Stderr, "gluenail: disk: spill sweep of %s: %v\n", parentDir, err)
@@ -86,8 +101,8 @@ func SweepStaleSpills(parentDir string) {
 		if live {
 			continue
 		}
-		if err := os.RemoveAll(filepath.Join(parentDir, e.Name())); err != nil {
-			fmt.Fprintf(os.Stderr, "gluenail: disk: removing stale spill %s: %v\n", e.Name(), err)
+		if err := fsys.RemoveAll(filepath.Join(parentDir, e.Name())); err != nil {
+			fmt.Fprintf(os.Stderr, "gluenail: disk: removing stale spill %s: %v (skipped)\n", e.Name(), err)
 		}
 	}
 }

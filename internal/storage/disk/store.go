@@ -28,23 +28,28 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
 func init() {
 	storage.RegisterBackend("disk", func(cfg storage.BackendConfig) (storage.Backend, error) {
 		return Open(cfg.Dir, Options{
-			Policy:      cfg.Policy,
-			CacheBlocks: cfg.CacheBlocks,
-			NoCompress:  cfg.NoCompress,
+			Policy:        cfg.Policy,
+			CacheBlocks:   cfg.CacheBlocks,
+			NoCompress:    cfg.NoCompress,
+			FS:            cfg.FS,
+			ScrubInterval: cfg.ScrubInterval,
 		})
 	})
 }
@@ -78,6 +83,12 @@ type Options struct {
 	// Stats, when non-nil, is the shared counter block to account into
 	// (a spill store accounts into the executor's scratch stats).
 	Stats *storage.Stats
+	// FS routes all file I/O; nil selects the real filesystem (fsio.OS).
+	// Tests swap in a fault-injecting implementation.
+	FS fsio.FS
+	// ScrubInterval, when positive, starts a background scrubber that
+	// verifies one run's checksums per interval at low priority.
+	ScrubInterval time.Duration
 }
 
 func (o Options) flushRows() int {
@@ -96,6 +107,13 @@ func (o Options) compactAfter() int {
 
 func (o Options) compress() bool { return !o.NoCompress }
 
+func (o Options) fs() fsio.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return fsio.OS
+}
+
 const (
 	manifestName   = "MANIFEST.grm"
 	manifestMagic1 = "GLUENAIL-MAN1\n"
@@ -109,8 +127,17 @@ const (
 type Store struct {
 	dir   string
 	opts  Options
+	fsys  fsio.FS
 	stats *storage.Stats
 	cache *blockCache
+
+	// degraded holds the first write-path disk fault. Once set the store
+	// is read-only: reads keep serving the in-memory state and the last
+	// durable manifest, writes fail typed with the stored fault instead
+	// of stacking new damage on a failing device. Reopening the store is
+	// the only way out — the manifest protocol guarantees the durable
+	// state is the previous statement-boundary manifest.
+	degraded atomic.Pointer[degradedState]
 	// dict is the persistent intern dictionary packed blocks reference;
 	// memory-only on ephemeral stores.
 	dict *atomDict
@@ -147,12 +174,55 @@ type Store struct {
 	stopCh       chan struct{}
 	wg           sync.WaitGroup
 	closed       atomic.Bool
+
+	// scrubCursor is the run sequence the background scrubber verified
+	// last (guarded by mu); it walks the store one run per tick.
+	scrubCursor uint64
 }
 
 var (
 	_ storage.Backend     = (*Store)(nil)
 	_ storage.BaseFlusher = (*Store)(nil)
 )
+
+type degradedState struct{ err error }
+
+// Degraded returns the disk fault that flipped the store read-only, or
+// nil while the store is healthy.
+func (s *Store) Degraded() error {
+	if d := s.degraded.Load(); d != nil {
+		return d.err
+	}
+	return nil
+}
+
+// setDegraded flips the store read-only on its first write-path disk
+// fault. Later faults keep the first cause (the one that did the
+// damage); corruption and non-I/O errors do not degrade.
+func (s *Store) setDegraded(err error) {
+	if err == nil || !errors.Is(err, storage.ErrDiskFault) {
+		return
+	}
+	s.degraded.CompareAndSwap(nil, &degradedState{err: err})
+}
+
+// failWrite classifies a write-path error: disk faults degrade the
+// store; everything passes through for the caller to surface.
+func (s *Store) failWrite(err error) error {
+	s.setDegraded(err)
+	return err
+}
+
+// checkWritable panics with the degrading fault if the store is
+// read-only. Write entry points call it first, so a degraded store
+// rejects mutations without touching the failing device again. The
+// panic is typed (errors.Is ErrDiskFault) and converted back into an
+// error by the VM's containment or the public API's recover.
+func (s *Store) checkWritable() {
+	if d := s.degraded.Load(); d != nil {
+		panic(d.err)
+	}
+}
 
 // Open opens (or creates) a disk store rooted at dir. With an empty dir a
 // private temp directory is created and treated as ephemeral. Opening
@@ -161,20 +231,22 @@ var (
 // files left by a crash (their contents, if committed, are still in the
 // WAL, which replays on top after this returns).
 func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.fs()
 	if dir == "" {
-		tmp, err := os.MkdirTemp("", "gluenail-disk-")
+		tmp, err := fsys.MkdirTemp("", "gluenail-disk-")
 		if err != nil {
-			return nil, err
+			return nil, storage.IOFault("open", "", err)
 		}
 		dir = tmp
 		opts.Ephemeral = true
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, storage.IOFault("open", dir, err)
 	}
 	st := &Store{
 		dir:     dir,
 		opts:    opts,
+		fsys:    fsys,
 		stats:   opts.Stats,
 		cache:   newBlockCache(opts.CacheBlocks),
 		rels:    make(map[string]*Rel),
@@ -192,16 +264,19 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.Ephemeral {
 		dictDir = ""
 	}
-	dict, err := newAtomDict(dictDir)
+	dict, err := newAtomDict(fsys, dictDir)
 	if err != nil {
 		return nil, err
 	}
 	st.dict = dict
 	if err := st.loadManifest(); err != nil {
-		dict.close()
+		_ = dict.close()
 		return nil, err
 	}
 	st.sweepOrphans()
+	if opts.ScrubInterval > 0 && !opts.Ephemeral {
+		st.startScrubber(opts.ScrubInterval)
+	}
 	return st, nil
 }
 
@@ -352,7 +427,7 @@ func (s *Store) retireRuns(runs []*run) {
 		if s.durable[rn.seq] {
 			s.obsolete = append(s.obsolete, rn)
 		} else {
-			os.Remove(rn.path)
+			_ = s.fsys.Remove(rn.path)
 		}
 		s.cache.dropRun(rn.seq)
 		if s.opts.NoCompactor {
@@ -429,11 +504,13 @@ func (s *Store) Close() error {
 			rn.release()
 		}
 	}
-	s.dict.close()
+	err := s.dict.close()
 	if s.opts.Ephemeral {
-		return os.RemoveAll(s.dir)
+		if rerr := s.fsys.RemoveAll(s.dir); err == nil {
+			err = rerr
+		}
 	}
-	return nil
+	return err
 }
 
 // ---- Rel: identity and statistics ----
@@ -494,6 +571,7 @@ func (r *Rel) deadStamp() uint64 { return r.st.commitCSN.Load() + 1 }
 // Insert implements storage.Rel: dedup against the runs by cached hash
 // (disk touched only on a hash match), then against and into the memtable.
 func (r *Rel) Insert(t term.Tuple) bool {
+	r.st.checkWritable()
 	if t == nil {
 		t = term.Tuple{}
 	}
@@ -511,7 +589,11 @@ func (r *Rel) Insert(t term.Tuple) bool {
 	}
 	if r.mem.Len() >= r.st.opts.flushRows() {
 		if err := r.flush(false); err != nil {
-			panic(fmt.Errorf("disk: flushing %v/%d: %w", r.name, r.arity, err))
+			// A failed flush leaves the rows in the memtable and the
+			// store degraded (read-only): the panic is typed and the VM
+			// or public API converts it back to an error at the
+			// statement boundary instead of poisoning the system.
+			panic(r.st.failWrite(err))
 		}
 	}
 	return true
@@ -520,6 +602,7 @@ func (r *Rel) Insert(t term.Tuple) bool {
 // Delete implements storage.Rel. A memtable row is dead-stamped there; a
 // run row gets a tombstone at the same CSN semantics.
 func (r *Rel) Delete(t term.Tuple) bool {
+	r.st.checkWritable()
 	if r.mem.Delete(t) {
 		r.dist.Remove(t)
 		r.version++
@@ -576,6 +659,7 @@ func (r *Rel) Delete(t term.Tuple) bool {
 
 // Clear implements storage.Rel.
 func (r *Rel) Clear() {
+	r.st.checkWritable()
 	if r.Len() == 0 {
 		return
 	}
@@ -947,6 +1031,9 @@ func (s *Store) FlushBase() error {
 	if s.opts.Ephemeral {
 		return fmt.Errorf("disk: FlushBase on ephemeral store")
 	}
+	if err := s.Degraded(); err != nil {
+		return err
+	}
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 	s.mu.RLock()
@@ -954,28 +1041,37 @@ func (s *Store) FlushBase() error {
 	s.mu.RUnlock()
 	for _, r := range rels {
 		if err := r.flush(true); err != nil {
-			return err
+			return s.failWrite(err)
 		}
 		if err := r.dropTombs(); err != nil {
-			return err
+			return s.failWrite(err)
 		}
 	}
-	// Auto-flushed runs were written without fsync (their rows were WAL-
-	// covered); the manifest is about to name them and the WAL is about to
-	// truncate, so make every straggler durable first.
+	return s.persistManifest(rels)
+}
+
+// persistManifest makes the current run lists durable: every straggler
+// run is fsynced (auto-flushed runs skip the sync because their rows are
+// WAL-covered, but a manifest must never name a non-durable file), the
+// manifest is written atomically, and files the new manifest no longer
+// names are removed. Shared by the checkpoint (FlushBase) and the
+// scrubber's heal/quarantine paths, which rewrite run lists between
+// checkpoints — safe mid-generation because WAL replay over the new
+// manifest is idempotent.
+func (s *Store) persistManifest(rels []*Rel) error {
 	for _, r := range rels {
 		for _, rn := range *r.runs.Load() {
 			if rn.synced.Load() {
 				continue
 			}
 			if err := rn.f.Sync(); err != nil {
-				return fmt.Errorf("disk: syncing %s: %w", rn.path, err)
+				return s.failWrite(storage.IOFault("flush", rn.path, err))
 			}
 			rn.synced.Store(true)
 		}
 	}
 	if err := s.writeManifest(); err != nil {
-		return err
+		return s.failWrite(err)
 	}
 	// The new manifest is durable: files it no longer names — replaced
 	// durable runs and every auto-flushed run now superseded — can go.
@@ -991,7 +1087,7 @@ func (s *Store) FlushBase() error {
 	s.durable = durable
 	s.mu.Unlock()
 	for _, rn := range obsolete {
-		os.Remove(rn.path)
+		_ = s.fsys.Remove(rn.path)
 	}
 	return nil
 }
@@ -1119,26 +1215,31 @@ func (s *Store) writeManifest() error {
 
 	path := filepath.Join(s.dir, manifestName)
 	tmpPath := path + ".tmp"
-	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fsys.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return err
+		return storage.IOFault("manifest", tmpPath, err)
 	}
-	if _, err := f.Write(buf.Bytes()); err == nil {
+	_, err = f.Write(buf.Bytes())
+	if err == nil {
 		err = f.Sync()
-	} else {
-		f.Close()
-		os.Remove(tmpPath)
-		return err
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = s.fsys.Remove(tmpPath)
+		return storage.IOFault("manifest", tmpPath, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmpPath)
-		return err
+		_ = s.fsys.Remove(tmpPath)
+		return storage.IOFault("manifest", tmpPath, err)
 	}
-	if err := os.Rename(tmpPath, path); err != nil {
-		os.Remove(tmpPath)
-		return err
+	if err := s.fsys.Rename(tmpPath, path); err != nil {
+		_ = s.fsys.Remove(tmpPath)
+		return storage.IOFault("manifest", path, err)
 	}
-	return syncDir(s.dir)
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		return storage.IOFault("manifest", s.dir, err)
+	}
+	return nil
 }
 
 // loadManifest restores relations and runs from the manifest, if present.
@@ -1146,12 +1247,13 @@ func (s *Store) writeManifest() error {
 // run data at all; legacy MAN1 manifests rebuild the digests by scanning
 // each run once through the openRun observe callback.
 func (s *Store) loadManifest() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	path := filepath.Join(s.dir, manifestName)
+	data, err := s.fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
-		return err
+		return storage.IOFault("manifest", path, err)
 	}
 	mlen := len(manifestMagic2)
 	v2 := false
@@ -1160,13 +1262,15 @@ func (s *Store) loadManifest() error {
 		v2 = true
 	case len(data) >= mlen+8 && string(data[:mlen]) == manifestMagic1:
 	default:
-		return fmt.Errorf("disk: %s: bad manifest header", s.dir)
+		return &storage.CorruptError{Artifact: "manifest", Path: path, Offset: 0,
+			Detail: "bad manifest header"}
 	}
 	plen := int(binary.LittleEndian.Uint32(data[mlen : mlen+4]))
 	sum := binary.LittleEndian.Uint32(data[mlen+4 : mlen+8])
 	rest := data[mlen+8:]
 	if len(rest) < plen || crc32.ChecksumIEEE(rest[:plen]) != sum {
-		return fmt.Errorf("disk: %s: manifest checksum mismatch", s.dir)
+		return &storage.CorruptError{Artifact: "manifest", Path: path, Offset: int64(mlen + 8),
+			Detail: "manifest checksum mismatch"}
 	}
 	br := bytes.NewReader(rest[:plen])
 	rd := newByteScanner(br)
@@ -1232,7 +1336,7 @@ func (s *Store) loadManifest() error {
 // permission oddity, say) costs disk space, not correctness, so failures
 // are logged rather than failing the open.
 func (s *Store) sweepOrphans() {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gluenail: disk: orphan sweep of %s: %v\n", s.dir, err)
 		return
@@ -1240,7 +1344,7 @@ func (s *Store) sweepOrphans() {
 	for _, e := range entries {
 		name := e.Name()
 		if len(name) > 4 && name[len(name)-4:] == ".tmp" {
-			if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			if err := s.fsys.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 				fmt.Fprintf(os.Stderr, "gluenail: disk: removing orphan %s: %v\n", name, err)
 			}
 			continue
@@ -1248,7 +1352,7 @@ func (s *Store) sweepOrphans() {
 		var seq uint64
 		if _, err := fmt.Sscanf(name, "run-%d.grn", &seq); err == nil && name == runName(seq) {
 			if !s.durable[seq] {
-				if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+				if err := s.fsys.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 					fmt.Fprintf(os.Stderr, "gluenail: disk: removing orphan %s: %v\n", name, err)
 				}
 			}
@@ -1270,15 +1374,3 @@ func newByteScanner(r *bytes.Reader) *byteScanner {
 }
 
 func (b *byteScanner) ReadByte() (byte, error) { return b.buf.ReadByte() }
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}

@@ -1,0 +1,70 @@
+package storage
+
+import "fmt"
+
+// Finding is one scrub/fsck observation about a persistent artifact. The
+// WAL verifier and the disk engine's scrubber both produce them, and the
+// fsck CLI renders them, so the type lives on the shared storage surface.
+type Finding struct {
+	// Artifact is the damaged structure class (same vocabulary as
+	// CorruptError.Artifact).
+	Artifact string
+	// Path is the file the finding is about.
+	Path string
+	// Relation names the owning relation, when known.
+	Relation string
+	// Run is the owning run sequence number, when the artifact is part
+	// of a run file.
+	Run uint64
+	// Offset is the byte offset of the damaged region; -1 if unknown.
+	Offset int64
+	// Detail says what failed.
+	Detail string
+	// Benign marks damage the recovery protocol already tolerates (a
+	// torn tail the next open truncates). Benign findings are reported
+	// but do not fail a verify-on-open.
+	Benign bool
+	// Healed reports that a repair pass rebuilt the artifact from
+	// surviving data.
+	Healed bool
+	// Quarantined reports that a repair pass set the damaged file aside
+	// because its tuple data could not be recovered.
+	Quarantined bool
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s %s", f.Artifact, f.Path)
+	if f.Relation != "" {
+		s += fmt.Sprintf(" relation=%s", f.Relation)
+	}
+	if f.Run != 0 {
+		s += fmt.Sprintf(" run=%d", f.Run)
+	}
+	if f.Offset >= 0 {
+		s += fmt.Sprintf(" offset=%d", f.Offset)
+	}
+	if f.Detail != "" {
+		s += ": " + f.Detail
+	}
+	switch {
+	case f.Healed:
+		s += " [healed]"
+	case f.Quarantined:
+		s += " [quarantined]"
+	case f.Benign:
+		s += " [benign]"
+	}
+	return s
+}
+
+// CountSerious returns how many findings are real damage (not benign,
+// not already healed).
+func CountSerious(fs []Finding) int {
+	n := 0
+	for _, f := range fs {
+		if !f.Benign && !f.Healed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,401 @@
+package fsio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op classifies a filesystem operation for fault matching. OpRead covers
+// both positional reads and whole-file reads; OpWrite covers Write and
+// WriteAt.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpCreate
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpTruncate
+	OpRename
+	OpRemove
+	OpReadDir
+	OpMkdir
+	OpStat
+	OpSyncDir
+	opMax
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpCreate: "create", OpRead: "read", OpWrite: "write",
+	OpSync: "sync", OpClose: "close", OpTruncate: "truncate",
+	OpRename: "rename", OpRemove: "remove", OpReadDir: "readdir",
+	OpMkdir: "mkdir", OpStat: "stat", OpSyncDir: "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", o)
+}
+
+// Fault is one injection rule. A rule matches an operation by kind and
+// path substring; the After/Count window makes injection deterministic —
+// "fail the third write to a run file" is a (OpWrite, "run-", After: 2)
+// rule, and a harness enumerates every injection site by sweeping After
+// from 0 to the op count of a clean run.
+type Fault struct {
+	// Op is the operation kind the rule matches.
+	Op Op
+	// Path, when non-empty, restricts the rule to paths containing it.
+	Path string
+	// After skips the first After matching operations before tripping.
+	After int
+	// Count bounds how many times the rule trips; 0 means no bound.
+	Count int
+	// Err is the error to inject (syscall.EIO, syscall.ENOSPC, ...).
+	// Rules with FlipBit >= 0 or SyncLie set leave it nil.
+	Err error
+	// ShortWrite, with OpWrite, truncates the write to this many bytes
+	// before failing it — a torn write. The prefix really is written.
+	ShortWrite int
+	// FlipBit, with OpRead, flips the given bit (counted from the start
+	// of the returned buffer) and reports success — silent bit rot on
+	// the read path. A rule with none of Err/ShortWrite/SyncLie set is
+	// a bit-flip rule; otherwise FlipBit is ignored.
+	FlipBit int64
+	// SyncLie, with OpSync or OpSyncDir, reports success without
+	// syncing — a drive that acknowledges a flush it dropped.
+	SyncLie bool
+}
+
+// FaultFS wraps an FS and injects scripted faults. All matching and
+// counting is under one mutex, so concurrent use (the engine's
+// background compactor, the WAL's writers) stays deterministic with
+// respect to each rule's own counter.
+type FaultFS struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*faultRule
+	seen  [opMax]int
+	sites map[string]int
+}
+
+type faultRule struct {
+	Fault
+	matched int
+	tripped int
+}
+
+// NewFaultFS wraps inner (usually OS) for fault injection.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, sites: map[string]int{}}
+}
+
+// Inject adds a rule. Rules are independent; the first one that matches
+// an operation and is inside its trip window fires.
+func (f *FaultFS) Inject(ft Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ft.Err != nil || ft.SyncLie || ft.ShortWrite > 0 {
+		// An error-type rule: disarm the bit flip so the FlipBit zero
+		// value doesn't silently also corrupt bit 0 of reads.
+		ft.FlipBit = -1
+	}
+	f.rules = append(f.rules, &faultRule{Fault: ft})
+}
+
+// Reset clears all rules and counters.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.seen = [opMax]int{}
+	f.sites = map[string]int{}
+}
+
+// ClearRules drops the injection rules but keeps the observation
+// counters — a harness observes a clean run, then scripts against it.
+func (f *FaultFS) ClearRules() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// OpsSeen returns how many operations of kind op have been observed
+// (matching or not, tripped or not). A harness runs the workload once on
+// a clean FaultFS, reads OpsSeen, and then knows the sweep range for
+// After.
+func (f *FaultFS) OpsSeen(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen[op]
+}
+
+// Trips returns the total number of injected faults so far.
+func (f *FaultFS) Trips() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.rules {
+		n += r.tripped
+	}
+	return n
+}
+
+// TripSites returns "op path" → trip count for every site that fired,
+// sorted by site string. The per-site counters are what lets a test
+// assert not just that a fault fired but where.
+func (f *FaultFS) TripSites() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sites := make([]string, 0, len(f.sites))
+	for s, n := range f.sites {
+		sites = append(sites, fmt.Sprintf("%s ×%d", s, n))
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// match records an operation and returns the rule to apply, if any.
+func (f *FaultFS) match(op Op, path string) *faultRule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen[op]++
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.tripped >= r.Count {
+			continue
+		}
+		r.tripped++
+		f.sites[op.String()+" "+path]++
+		return r
+	}
+	return nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if r := f.match(OpOpen, name); r != nil && r.Err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: r.Err}
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: name}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if r := f.match(op, name); r != nil && r.Err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: r.Err}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: name}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if r := f.match(OpCreate, name); r != nil && r.Err != nil {
+		return nil, &os.PathError{Op: "create", Path: name, Err: r.Err}
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, path: name}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	r := f.match(OpRead, name)
+	if r != nil && r.Err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: r.Err}
+	}
+	data, err := f.inner.ReadFile(name)
+	if err == nil && r != nil && r.FlipBit >= 0 {
+		flipBit(data, r.FlipBit)
+	}
+	return data, err
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if r := f.match(OpReadDir, name); r != nil && r.Err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: r.Err}
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if r := f.match(OpStat, name); r != nil && r.Err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: r.Err}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if r := f.match(OpRename, newpath); r != nil && r.Err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: r.Err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if r := f.match(OpRemove, name); r != nil && r.Err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: r.Err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if r := f.match(OpRemove, path); r != nil && r.Err != nil {
+		return &os.PathError{Op: "removeall", Path: path, Err: r.Err}
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if r := f.match(OpMkdir, path); r != nil && r.Err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: r.Err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
+	if r := f.match(OpMkdir, dir); r != nil && r.Err != nil {
+		return "", &os.PathError{Op: "mkdirtemp", Path: dir, Err: r.Err}
+	}
+	return f.inner.MkdirTemp(dir, pattern)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if r := f.match(OpSyncDir, dir); r != nil {
+		if r.SyncLie {
+			return nil
+		}
+		if r.Err != nil {
+			return &os.PathError{Op: "syncdir", Path: dir, Err: r.Err}
+		}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile consults the parent FaultFS on every call, so rules injected
+// after the file was opened still apply.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	path  string
+}
+
+func (f *faultFile) Name() string               { return f.path }
+func (f *faultFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	r := f.fs.match(OpRead, f.path)
+	if r != nil && r.Err != nil {
+		return 0, &os.PathError{Op: "read", Path: f.path, Err: r.Err}
+	}
+	n, err := f.inner.ReadAt(p, off)
+	if r != nil && r.FlipBit >= 0 && r.FlipBit < int64(n)*8 {
+		flipBit(p[:n], r.FlipBit)
+	}
+	return n, err
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if r := f.fs.match(OpWrite, f.path); r != nil {
+		return f.tornWrite(p, r, func(q []byte) (int, error) { return f.inner.Write(q) })
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if r := f.fs.match(OpWrite, f.path); r != nil {
+		return f.tornWrite(p, r, func(q []byte) (int, error) { return f.inner.WriteAt(q, off) })
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+// tornWrite applies a write-path rule: short-write the prefix if asked,
+// then fail. A torn write's prefix really lands, exactly like a sector
+// boundary cutting a write(2) short.
+func (f *faultFile) tornWrite(p []byte, r *faultRule, write func([]byte) (int, error)) (int, error) {
+	err := r.Err
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	n := 0
+	if r.ShortWrite > 0 {
+		cut := r.ShortWrite
+		if cut > len(p) {
+			cut = len(p)
+		}
+		var werr error
+		n, werr = write(p[:cut])
+		if werr != nil {
+			return n, werr
+		}
+	}
+	return n, &os.PathError{Op: "write", Path: f.path, Err: err}
+}
+
+func (f *faultFile) Sync() error {
+	if r := f.fs.match(OpSync, f.path); r != nil {
+		if r.SyncLie {
+			return nil
+		}
+		if r.Err != nil {
+			return &os.PathError{Op: "sync", Path: f.path, Err: r.Err}
+		}
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if r := f.fs.match(OpTruncate, f.path); r != nil && r.Err != nil {
+		return &os.PathError{Op: "truncate", Path: f.path, Err: r.Err}
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if r := f.fs.match(OpClose, f.path); r != nil && r.Err != nil {
+		_ = f.inner.Close()
+		return &os.PathError{Op: "close", Path: f.path, Err: r.Err}
+	}
+	return f.inner.Close()
+}
+
+func flipBit(p []byte, bit int64) {
+	if bit < 0 || bit >= int64(len(p))*8 {
+		return
+	}
+	p[bit/8] ^= 1 << uint(bit%8)
+}

@@ -1,0 +1,306 @@
+package fsio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the pass-through FS end to end: every method
+// the persistence stack relies on must behave exactly like package os.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Fatalf("Name = %q, want %q", f.Name(), path)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != 11 {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "HELLO" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.bin")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.bin" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Remove(filepath.Join(dir, "b.bin")); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "x", "y")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := OS.MkdirTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.RemoveAll(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Stat(sub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultAfterWindow verifies the deterministic After/Count window: the
+// rule skips the first After matches, then trips Count times, then stops.
+func TestFaultAfterWindow(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpWrite, After: 1, Count: 1, Err: syscall.EIO})
+	f, err := ffs.Create(filepath.Join(dir, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1 (inside After window): %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write 2: got %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3 (Count exhausted): %v", err)
+	}
+	if got := ffs.Trips(); got != 1 {
+		t.Fatalf("Trips = %d, want 1", got)
+	}
+	if sites := ffs.TripSites(); len(sites) != 1 {
+		t.Fatalf("TripSites = %v", sites)
+	}
+}
+
+// TestFaultPathFilter verifies path-substring matching.
+func TestFaultPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpCreate, Path: "run-", Err: syscall.ENOSPC})
+	if _, err := ffs.Create(filepath.Join(dir, "manifest")); err != nil {
+		t.Fatalf("non-matching create: %v", err)
+	}
+	if _, err := ffs.Create(filepath.Join(dir, "run-7.grn")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("matching create: got %v, want ENOSPC", err)
+	}
+}
+
+// TestShortWrite verifies the torn-write semantics: the prefix really
+// lands, the call still fails.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpWrite, ShortWrite: 4, Err: syscall.EIO})
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.EIO) || n != 4 {
+		t.Fatalf("torn write: n=%d err=%v, want 4, EIO", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "0123" {
+		t.Fatalf("on-disk prefix = %q, want %q", data, "0123")
+	}
+}
+
+// TestShortWriteDefaultErr verifies a ShortWrite rule with no Err fails
+// with io.ErrShortWrite.
+func TestShortWriteDefaultErr(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpWrite, ShortWrite: 1})
+	f, err := ffs.Create(filepath.Join(dir, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("xy")); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("got %v, want ErrShortWrite", err)
+	}
+}
+
+// TestFlipBit verifies silent read-path bit rot on both ReadAt and
+// ReadFile, and that the file itself is untouched.
+func TestFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rot")
+	if err := os.WriteFile(path, []byte{0x00, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpRead, FlipBit: 9, Count: 1})
+	data, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0x00 || data[1] != 0x02 {
+		t.Fatalf("ReadFile = %x, want 0002", data)
+	}
+	// Count exhausted: the next read is clean.
+	data, err = ffs.ReadFile(path)
+	if err != nil || data[1] != 0x00 {
+		t.Fatalf("second ReadFile = %x, %v", data, err)
+	}
+	ffs.Reset()
+	ffs.Inject(Fault{Op: OpRead, FlipBit: 0, Count: 1})
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x01 {
+		t.Fatalf("ReadAt = %x, want bit 0 flipped", buf)
+	}
+	// The stored bytes are pristine: rot is injected on the read path only.
+	disk, _ := os.ReadFile(path)
+	if disk[0] != 0x00 || disk[1] != 0x00 {
+		t.Fatalf("on-disk bytes changed: %x", disk)
+	}
+}
+
+// TestErrRuleDoesNotFlip verifies the zero-value FlipBit on an error rule
+// is disarmed rather than silently flipping bit 0.
+func TestErrRuleDoesNotFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte{0xFF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpRead, Err: syscall.EIO, Count: 1})
+	if _, err := ffs.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("got %v, want EIO", err)
+	}
+	data, err := ffs.ReadFile(path)
+	if err != nil || data[0] != 0xFF {
+		t.Fatalf("clean read after EIO rule: %x, %v", data, err)
+	}
+}
+
+// TestSyncLie verifies a lying fsync reports success and counts as a trip.
+func TestSyncLie(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpSync, SyncLie: true})
+	ffs.Inject(Fault{Op: OpSyncDir, SyncLie: true})
+	f, err := ffs.Create(filepath.Join(dir, "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync returned %v", err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatalf("lying syncdir returned %v", err)
+	}
+	if got := ffs.Trips(); got != 2 {
+		t.Fatalf("Trips = %d, want 2", got)
+	}
+}
+
+// TestOpsSeen verifies the observation counters a harness sweeps After
+// against, and that ClearRules keeps them while Reset clears them.
+func TestOpsSeen(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	f, err := ffs.Create(filepath.Join(dir, "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Write([]byte("y"))
+	f.Sync()
+	f.Close()
+	if got := ffs.OpsSeen(OpWrite); got != 2 {
+		t.Fatalf("OpsSeen(write) = %d, want 2", got)
+	}
+	if got := ffs.OpsSeen(OpSync); got != 1 {
+		t.Fatalf("OpsSeen(sync) = %d, want 1", got)
+	}
+	ffs.ClearRules()
+	if got := ffs.OpsSeen(OpWrite); got != 2 {
+		t.Fatalf("OpsSeen after ClearRules = %d, want 2", got)
+	}
+	ffs.Reset()
+	if got := ffs.OpsSeen(OpWrite); got != 0 {
+		t.Fatalf("OpsSeen after Reset = %d, want 0", got)
+	}
+}
+
+// TestOpenVsCreateClassification verifies O_CREATE routes through the
+// OpCreate counter, plain opens through OpOpen.
+func TestOpenVsCreateClassification(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	f, err := ffs.OpenFile(filepath.Join(dir, "n"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ffs.Open(filepath.Join(dir, "n")); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.OpsSeen(OpCreate) != 1 || ffs.OpsSeen(OpOpen) != 1 {
+		t.Fatalf("create=%d open=%d, want 1/1", ffs.OpsSeen(OpCreate), ffs.OpsSeen(OpOpen))
+	}
+}
+
+// TestCloseFault verifies an injected close error still closes the inner
+// handle (no fd leak) and surfaces the error.
+func TestCloseFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.Inject(Fault{Op: OpClose, Err: syscall.EIO})
+	f, err := ffs.Create(filepath.Join(dir, "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("close: got %v, want EIO", err)
+	}
+}

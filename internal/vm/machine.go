@@ -10,6 +10,7 @@ package vm
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -285,6 +286,23 @@ func (m *Machine) CallProcContext(ctx context.Context, id string, in []term.Tupl
 		defer func() {
 			m.gov = nil
 			if r := recover(); r != nil {
+				// Storage faults ride the panic channel (the Rel read
+				// interface has no error returns) but are not VM bugs:
+				// the store already contained the damage — a degraded
+				// engine or a typed corruption error — and the machine's
+				// own state unwound at a statement boundary like any
+				// governed abort. Convert without poisoning so the
+				// session keeps serving reads.
+				if perr, ok := r.(error); ok &&
+					(errors.Is(perr, storage.ErrDiskFault) || errors.Is(perr, storage.ErrCorrupt)) {
+					if m.Abort != nil {
+						m.Abort()
+					}
+					out, err = nil, &GovernorError{Limit: perr,
+						Proc: m.curProc, Stmt: m.curStmt}
+					m.curProc, m.curStmt = "", ""
+					return
+				}
 				m.poisoned = true
 				m.poisonDetail = fmt.Sprint(r)
 				if m.Abort != nil {

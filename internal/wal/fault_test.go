@@ -336,3 +336,69 @@ func TestCheckpointThenAppendsRecover(t *testing.T) {
 		t.Errorf("recovered %q, want checkpointed state plus post-checkpoint commits %q", got, state)
 	}
 }
+
+// TestVerifyClassifiesDamage checks the offline verifier's taxonomy on a
+// real log: a clean log reports nothing, a truncated tail is a benign
+// torn-tail finding (crash semantics — recovery handles it), and a
+// flipped bit inside a sealed frame is non-benign silent corruption
+// named as a wal-frame artifact.
+func TestVerifyClassifiesDamage(t *testing.T) {
+	_, wal := runFaultWorkload(t, t.TempDir())
+
+	write := func(data []byte) string {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	clean, err := Verify(write(wal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("clean log has findings: %v", clean)
+	}
+
+	// Missing directory: nothing durable, nothing to report.
+	none, err := Verify(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || len(none) != 0 {
+		t.Fatalf("missing dir: %v, %v", none, err)
+	}
+
+	// Torn tail: cut mid-frame. Benign — a crash artifact, not rot.
+	torn, err := Verify(write(wal[:len(wal)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	for _, f := range torn {
+		if !f.Benign {
+			t.Fatalf("torn tail classified as serious: %v", f)
+		}
+	}
+	if storage.CountSerious(torn) != 0 {
+		t.Fatalf("CountSerious(%v) != 0", torn)
+	}
+
+	// A flipped bit in a sealed mid-file frame is silent corruption:
+	// non-benign, named wal-frame.
+	mut := append([]byte(nil), wal...)
+	mut[len(walMagic)+10] ^= 0x10
+	rot, err := Verify(write(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serious bool
+	for _, f := range rot {
+		if f.Artifact == "wal-frame" && !f.Benign {
+			serious = true
+		}
+	}
+	if !serious {
+		t.Fatalf("mid-file rot not reported as a serious wal-frame finding: %v", rot)
+	}
+}

@@ -3,11 +3,11 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
-	"fmt"
 	"hash/crc32"
 	"os"
 
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 )
 
 // Snapshots reuse the EDB image encoding of storage.Save (relation names
@@ -37,14 +37,18 @@ func encodeSnapshot(store storage.Store) ([]byte, error) {
 // WriteSnapshot atomically writes a sealed snapshot of store to path:
 // temp file, fsync, rename. The caller fsyncs the directory.
 func WriteSnapshot(path string, store storage.Store) error {
+	return writeSnapshotFS(fsio.OS, path, store)
+}
+
+func writeSnapshotFS(fsys fsio.FS, path string, store storage.Store) error {
 	data, err := encodeSnapshot(store)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return err
+		return storage.IOFault("checkpoint", tmp, err)
 	}
 	if _, err := f.Write(data); err == nil {
 		err = f.Sync()
@@ -53,30 +57,50 @@ func WriteSnapshot(path string, store storage.Store) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
-		return err
+		_ = fsys.Remove(tmp)
+		return storage.IOFault("checkpoint", tmp, err)
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return storage.IOFault("checkpoint", path, err)
+	}
+	return nil
 }
 
 // ReadSnapshot verifies and loads the snapshot at path into store.
 func ReadSnapshot(path string, store storage.Store) error {
-	data, err := os.ReadFile(path)
+	return readSnapshotFS(fsio.OS, path, store)
+}
+
+func readSnapshotFS(fsys fsio.FS, path string, store storage.Store) error {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	if err := verifySnapshot(path, data); err != nil {
+		return err
+	}
+	head := len(snapMagic) + 12
+	return storage.Load(bytes.NewReader(data[head:]), store)
+}
+
+// verifySnapshot checks the envelope of a snapshot image, returning a
+// typed CorruptError naming the artifact on any mismatch.
+func verifySnapshot(path string, data []byte) error {
 	head := len(snapMagic) + 12
 	if len(data) < head || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
-		return fmt.Errorf("not a Glue-Nail snapshot")
+		return &storage.CorruptError{Artifact: "snapshot", Path: path, Offset: 0,
+			Detail: "not a Glue-Nail snapshot"}
 	}
 	plen := binary.LittleEndian.Uint64(data[len(snapMagic):])
 	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+8:])
 	payload := data[head:]
 	if uint64(len(payload)) != plen {
-		return fmt.Errorf("snapshot length %d, header says %d", len(payload), plen)
+		return &storage.CorruptError{Artifact: "snapshot", Path: path, Offset: int64(head),
+			Detail: "payload length does not match header"}
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return fmt.Errorf("snapshot checksum mismatch")
+		return &storage.CorruptError{Artifact: "snapshot", Path: path, Offset: int64(head),
+			Detail: "payload checksum mismatch"}
 	}
-	return storage.Load(bytes.NewReader(payload), store)
+	return nil
 }

@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
@@ -116,6 +117,9 @@ type Options struct {
 	// CheckpointBytes is the log size at which ShouldCheckpoint reports
 	// true; negative disables size-triggered checkpoints.
 	CheckpointBytes int64
+	// FS routes the log's file I/O; nil selects the real filesystem
+	// (fsio.OS). Tests swap in a fault-injecting implementation.
+	FS fsio.FS
 }
 
 func (o Options) batchBytes() int {
@@ -137,6 +141,13 @@ func (o Options) checkpointBytes() int64 {
 		return o.CheckpointBytes
 	}
 	return DefaultCheckpointBytes
+}
+
+func (o Options) fs() fsio.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return fsio.OS
 }
 
 var walMagic = []byte("GLUENAIL-WAL1\n")
@@ -162,9 +173,10 @@ func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.gns", seq) }
 type Log struct {
 	dir  string
 	opts Options
+	fsys fsio.FS
 
 	mu              sync.Mutex
-	f               *os.File
+	f               fsio.File
 	seq             uint64
 	size            int64
 	unsyncedBytes   int64
@@ -178,16 +190,17 @@ type Log struct {
 // empty and must not have a journal attached yet — replayed deltas must
 // not be re-journaled.
 func Open(dir string, store storage.Store, opts Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	fsys := opts.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, storage.IOFault("wal-open", dir, err)
 	}
-	snaps, wals, tmps, err := scanDir(dir)
+	snaps, wals, tmps, err := scanDir(fsys, dir)
 	if err != nil {
-		return nil, err
+		return nil, storage.IOFault("wal-open", dir, err)
 	}
 	// Temp files are leftovers of an interrupted checkpoint: discard.
 	for _, p := range tmps {
-		os.Remove(p)
+		_ = fsys.Remove(p)
 	}
 	var base uint64
 	if len(snaps) > 0 {
@@ -209,53 +222,69 @@ func Open(dir string, store storage.Store, opts Options) (*Log, error) {
 	}
 	if base > 0 {
 		path := filepath.Join(dir, snapName(base))
-		if err := ReadSnapshot(path, store); err != nil {
+		if err := readSnapshotFS(fsys, path, store); err != nil {
 			return nil, fmt.Errorf("wal: loading snapshot %s: %w; the newest snapshot is unreadable and recovery refuses to silently fall back — restore the file, or remove it together with %s to recover from the previous generation",
 				path, err, walName(base))
 		}
 	}
-	f, size, err := recoverSegment(filepath.Join(dir, walName(seq)), store)
+	f, size, err := recoverSegment(fsys, filepath.Join(dir, walName(seq)), store)
 	if err != nil {
 		return nil, err
 	}
 	// Recovery succeeded; stale files from before the last completed
-	// checkpoint can go.
+	// checkpoint can go. Failures here are tolerable (the files are
+	// ignored by recovery either way) — log and continue.
 	for _, s := range snaps {
 		if s < base {
-			os.Remove(filepath.Join(dir, snapName(s)))
+			removeBestEffort(fsys, filepath.Join(dir, snapName(s)))
 		}
 	}
 	for _, w := range wals {
 		if w < seq {
-			os.Remove(filepath.Join(dir, walName(w)))
+			removeBestEffort(fsys, filepath.Join(dir, walName(w)))
 		}
 	}
-	if err := syncDir(dir); err != nil {
-		f.Close()
-		return nil, err
+	if err := fsys.SyncDir(dir); err != nil {
+		_ = f.Close()
+		return nil, storage.IOFault("wal-open", dir, err)
 	}
-	return &Log{dir: dir, opts: opts, f: f, seq: seq, size: size}, nil
+	return &Log{dir: dir, opts: opts, fsys: fsys, f: f, seq: seq, size: size}, nil
+}
+
+// removeBestEffort deletes a stale generation file, logging (not
+// propagating) failure: a leftover file never confuses recovery, so a
+// permission error or EIO here must not abort an otherwise good open.
+func removeBestEffort(fsys fsio.FS, path string) {
+	if err := fsys.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "wal: sweeping stale %s: %v (skipped)\n", path, err)
+	}
 }
 
 // recoverSegment replays the sealed prefix of the log segment at path
 // into store, truncates any torn tail, and returns the segment opened
 // for appending. A missing segment (or one whose header write was torn)
 // is (re)created empty.
-func recoverSegment(path string, store storage.Store) (*os.File, int64, error) {
-	data, err := os.ReadFile(path)
+func recoverSegment(fsys fsio.FS, path string, store storage.Store) (fsio.File, int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, 0, err
+		return nil, 0, storage.IOFault("wal-recover", path, err)
 	}
 	valid := 0
 	if err == nil {
 		valid, err = replay(data, func(op Op) error { return apply(store, op) })
 		if err != nil {
+			if errors.Is(err, errNotWAL) {
+				return nil, 0, &storage.CorruptError{
+					Artifact: "wal-header", Path: path, Offset: 0,
+					Detail: "file is not a Glue-Nail write-ahead log",
+				}
+			}
 			return nil, 0, fmt.Errorf("wal: replaying %s: %w", path, err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, storage.IOFault("wal-recover", path, err)
 	}
 	if valid < len(walMagic) {
 		// Fresh segment, or the initial header write itself was torn:
@@ -264,24 +293,24 @@ func recoverSegment(path string, store storage.Store) (*os.File, int64, error) {
 			_, err = f.Write(walMagic)
 		}
 		if err != nil {
-			f.Close()
-			return nil, 0, err
+			_ = f.Close()
+			return nil, 0, storage.IOFault("wal-recover", path, err)
 		}
 		valid = len(walMagic)
 	} else if valid < len(data) {
 		// Torn or corrupt tail after the last sealed commit.
 		if err := f.Truncate(int64(valid)); err != nil {
-			f.Close()
-			return nil, 0, err
+			_ = f.Close()
+			return nil, 0, storage.IOFault("wal-recover", path, err)
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, 0, err
+		_ = f.Close()
+		return nil, 0, storage.IOFault("wal-recover", path, err)
 	}
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
-		f.Close()
-		return nil, 0, err
+		_ = f.Close()
+		return nil, 0, storage.IOFault("wal-recover", path, err)
 	}
 	return f, int64(valid), nil
 }
@@ -462,7 +491,7 @@ func (l *Log) Commit(ops []Op) error {
 	buf = appendRecord(buf, opCommit, nil)
 	l.buf = buf
 	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("wal: appending to %s: %w", walName(l.seq), err)
+		return storage.IOFault("wal-commit", walName(l.seq), err)
 	}
 	l.size += int64(len(buf))
 	l.unsyncedBytes += int64(len(buf))
@@ -484,7 +513,7 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		return storage.IOFault("wal-sync", walName(l.seq), err)
 	}
 	l.unsyncedBytes = 0
 	l.unsyncedCommits = 0
@@ -546,34 +575,36 @@ func (l *Log) Checkpoint(store storage.Store) error {
 		snapStore = storage.NewMemStore(storage.IndexAdaptive)
 	}
 	next := l.seq + 1
-	if err := WriteSnapshot(filepath.Join(l.dir, snapName(next)), snapStore); err != nil {
+	if err := writeSnapshotFS(l.fsys, filepath.Join(l.dir, snapName(next)), snapStore); err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
-		return err
+	if err := l.fsys.SyncDir(l.dir); err != nil {
+		return storage.IOFault("checkpoint", l.dir, err)
 	}
-	nf, err := os.OpenFile(filepath.Join(l.dir, walName(next)),
-		os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	npath := filepath.Join(l.dir, walName(next))
+	nf, err := l.fsys.OpenFile(npath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
-		return err
+		return storage.IOFault("checkpoint", npath, err)
 	}
 	if _, err := nf.Write(walMagic); err == nil {
 		err = nf.Sync()
 	}
 	if err != nil {
-		nf.Close()
-		return err
+		_ = nf.Close()
+		return storage.IOFault("checkpoint", npath, err)
 	}
-	if err := syncDir(l.dir); err != nil {
-		nf.Close()
-		return err
+	if err := l.fsys.SyncDir(l.dir); err != nil {
+		_ = nf.Close()
+		return storage.IOFault("checkpoint", l.dir, err)
 	}
 	old, oldSeq := l.f, l.seq
 	l.f, l.seq, l.size = nf, next, int64(len(walMagic))
 	l.unsyncedBytes, l.unsyncedCommits = 0, 0
-	old.Close()
-	os.Remove(filepath.Join(l.dir, walName(oldSeq)))
-	os.Remove(filepath.Join(l.dir, snapName(oldSeq)))
+	// The retiring segment was synced above and is about to be deleted;
+	// a close failure can no longer lose data.
+	_ = old.Close()
+	removeBestEffort(l.fsys, filepath.Join(l.dir, walName(oldSeq)))
+	removeBestEffort(l.fsys, filepath.Join(l.dir, snapName(oldSeq)))
 	return nil
 }
 
@@ -585,8 +616,8 @@ func (l *Log) Close() error {
 		return nil
 	}
 	err := l.syncLocked()
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = storage.IOFault("wal-close", walName(l.seq), cerr)
 	}
 	l.f = nil
 	return err
@@ -594,8 +625,8 @@ func (l *Log) Close() error {
 
 // scanDir inventories the durable directory: sorted snapshot and log
 // generation numbers, plus paths of leftover temp files.
-func scanDir(dir string) (snaps, wals []uint64, tmps []string, err error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fsys fsio.FS, dir string) (snaps, wals []uint64, tmps []string, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -617,15 +648,4 @@ func scanDir(dir string) (snaps, wals []uint64, tmps []string, err error) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
 	return snaps, wals, tmps, nil
-}
-
-// syncDir fsyncs a directory so renames and creations within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gluenail/internal/storage"
+	"gluenail/internal/storage/fsio"
 	"gluenail/internal/term"
 )
 
@@ -131,7 +132,7 @@ func TestCheckpointRotatesGeneration(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snaps, wals, _, err := scanDir(dir)
+	snaps, wals, _, err := scanDir(fsio.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+package gluenail
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Static I/O hygiene checks over the persistence packages. Two rules,
+// both enforced as failing tests so CI catches regressions:
+//
+//  1. No ignored Close/Sync results: a bare `x.Close()` or `x.Sync()`
+//     expression (or defer/go) statement silently drops the error that
+//     tells us a write never reached the device. Handle it or discard it
+//     explicitly with `_ =`.
+//  2. No direct package-os file I/O in wal/disk: every byte those
+//     packages move must route through the fsio seam, or fault injection
+//     has blind spots.
+
+// ioVetPackages lists the directories under rule 1; the bool marks the
+// packages that must also route I/O through fsio (rule 2). fsio itself
+// wraps package os, so it is exempt from rule 2.
+var ioVetPackages = map[string]bool{
+	"internal/wal":          true,
+	"internal/storage/disk": true,
+	"internal/storage/fsio": false,
+}
+
+// osFileIO is the package-os surface that bypasses the fsio seam.
+var osFileIO = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "Rename": true,
+	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "Truncate": true, "Chmod": true, "Symlink": true,
+	"Link": true,
+}
+
+func TestIOVet(t *testing.T) {
+	var violations []string
+	for dir, sealed := range ioVetPackages {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			violations = append(violations, vetFile(fset, file, sealed)...)
+		}
+	}
+	if len(violations) > 0 {
+		t.Fatalf("I/O hygiene violations:\n  %s", strings.Join(violations, "\n  "))
+	}
+}
+
+// vetFile returns rule violations in one parsed file.
+func vetFile(fset *token.FileSet, file *ast.File, sealed bool) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	// closeOrSync reports whether call is a method call named Close/Sync
+	// (either case — the packages use unexported helpers too).
+	closeOrSync := func(call *ast.CallExpr) (string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return "", false
+		}
+		switch sel.Sel.Name {
+		case "Close", "Sync", "close", "sync":
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := closeOrSync(call); ok {
+					report(n.Pos(), "result of %s() ignored; handle the error or discard it with `_ =`", name)
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := closeOrSync(n.Call); ok {
+				report(n.Pos(), "deferred %s() drops its error; wrap it in `defer func() { _ = x.%s() }()` or handle it", name, name)
+			}
+		case *ast.GoStmt:
+			if name, ok := closeOrSync(n.Call); ok {
+				report(n.Pos(), "go %s() drops its error", name)
+			}
+		case *ast.CallExpr:
+			if !sealed {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "os" && pkg.Obj == nil && osFileIO[sel.Sel.Name] {
+					report(n.Pos(), "direct os.%s bypasses the fsio seam; route it through the store's fsio.FS", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
